@@ -1,0 +1,121 @@
+// E10 (extension) — §VIII-C distributed injection: the latency cost of
+// re-imposing total order versus the consistency cost of skipping it.
+// Sweeps coordination latency and reports (a) per-message delivery delay
+// and (b) semantic fidelity of a cross-shard counting attack (messages
+// passed vs the centralized ground truth).
+#include <cstdio>
+
+#include "attain/dsl/parser.hpp"
+#include "attain/inject/distributed.hpp"
+#include "attain/monitor/metrics.hpp"
+#include "ofp/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+using namespace attain;
+
+namespace {
+
+struct RunResult {
+  std::size_t passed;
+  double mean_delivery_delay_ms;
+};
+
+RunResult run(inject::Coordination mode, SimTime coordination_latency, unsigned shards) {
+  sim::Scheduler sched;
+  const topo::SystemModel model = scenario::make_enterprise_model();
+  monitor::Monitor monitor;
+  monitor.set_counters_only(true);
+  inject::DistributedInjector injector(sched, model, monitor, shards, mode,
+                                       coordination_latency);
+
+  std::size_t passed = 0;
+  double delay_sum_ms = 0.0;
+  std::map<std::uint32_t, SimTime> sent_at;  // xid -> send time
+  for (const auto& conn : model.control_connections()) {
+    injector.attach_connection(
+        conn.id,
+        [&](Bytes b) {
+          ++passed;
+          delay_sum_ms += to_seconds(sched.now() - sent_at.at(ofp::decode(b).xid)) * 1e3;
+        },
+        [](Bytes) {});
+  }
+
+  // Cross-shard counting attack: pass the first 64 messages network-wide.
+  const std::string source = R"(
+attacker {
+  on (c1, s1) grant no_tls;
+  on (c1, s2) grant no_tls;
+  on (c1, s3) grant no_tls;
+  on (c1, s4) grant no_tls;
+}
+attack global_gate {
+  deque counter = [0];
+  start state s {
+    rule g1 on (c1, s1) { when examine_front(counter) >= 64; do { drop(msg); } }
+    rule t1 on (c1, s1) { when examine_front(counter) < 64; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+    rule g2 on (c1, s2) { when examine_front(counter) >= 64; do { drop(msg); } }
+    rule t2 on (c1, s2) { when examine_front(counter) < 64; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+    rule g3 on (c1, s3) { when examine_front(counter) >= 64; do { drop(msg); } }
+    rule t3 on (c1, s3) { when examine_front(counter) < 64; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+    rule g4 on (c1, s4) { when examine_front(counter) >= 64; do { drop(msg); } }
+    rule t4 on (c1, s4) { when examine_front(counter) < 64; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+  }
+}
+)";
+  const dsl::Document doc = dsl::parse_document(source, model);
+  const model::CapabilityMap caps = doc.capabilities;
+  const dsl::CompiledAttack attack = dsl::compile(doc.attacks.at(0), model, caps);
+  injector.arm(attack, caps);
+
+  // 64 messages round-robin across the four connections, spaced 1 ms.
+  const char* switches[] = {"s1", "s2", "s3", "s4"};
+  for (unsigned i = 0; i < 256; ++i) {
+    sched.at(i * kMillisecond, [&, i] {
+      const ConnectionId conn{model.require("c1"), model.require(switches[i % 4])};
+      sent_at[i + 1] = sched.now();
+      injector.switch_side_input(conn)(
+          ofp::encode(ofp::make_message(i + 1, ofp::EchoRequest{})));
+    });
+  }
+  sched.run();
+
+  RunResult result;
+  result.passed = passed;
+  result.mean_delivery_delay_ms = passed > 0 ? delay_sum_ms / static_cast<double>(passed) : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Distributed injection (paper section VIII-C): ordering vs latency vs fidelity\n");
+  std::printf("Workload: 256 messages round-robin over 4 connections; attack passes the\n");
+  std::printf("first 64 network-wide (centralized ground truth = 64 passed).\n\n");
+
+  monitor::TextTable table({"mode", "shards", "coord latency ms", "messages passed",
+                            "fidelity", "mean delivery delay ms"});
+  const RunResult centralized = run(inject::Coordination::TotalOrder, 0, 1);
+  table.add_row({"centralized (baseline)", "1", "0", std::to_string(centralized.passed), "exact",
+                 monitor::TextTable::num(centralized.mean_delivery_delay_ms, 3)});
+
+  for (const SimTime latency : {500 * kMicrosecond, 2 * kMillisecond, 10 * kMillisecond}) {
+    const RunResult r = run(inject::Coordination::TotalOrder, latency, 4);
+    table.add_row({"total-order", "4", monitor::TextTable::num(to_seconds(latency) * 1e3, 1),
+                   std::to_string(r.passed), r.passed == centralized.passed ? "exact" : "DIVERGED",
+                   monitor::TextTable::num(r.mean_delivery_delay_ms, 3)});
+  }
+  {
+    const RunResult r = run(inject::Coordination::LocalReplicas, 0, 4);
+    table.add_row({"local-replicas", "4", "0", std::to_string(r.passed),
+                   r.passed == centralized.passed ? "exact" : "DIVERGED",
+                   monitor::TextTable::num(r.mean_delivery_delay_ms, 3)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: total-order keeps the centralized count (64) at the price of\n"
+      "2x coordination latency per message; local replicas add zero latency but pass\n"
+      "4x too many messages (each shard counts privately) — the section VIII-C trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E7 — per-message interposition cost of the runtime injector: OpenFlow
+// codec throughput (decode/encode, the unavoidable proxy work) and full
+// proxy traversal with the injector disarmed, with the trivial pass-all
+// attack, and with the Fig. 10 suppression attack armed.
+#include <benchmark/benchmark.h>
+
+#include "attain/dsl/parser.hpp"
+#include "attain/inject/proxy.hpp"
+#include "ofp/codec.hpp"
+#include "packet/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+using namespace attain;
+
+namespace {
+
+ofp::Message sample_flow_mod() {
+  ofp::FlowMod mod;
+  mod.match = ofp::Match::wildcard_all();
+  mod.match.nw_src = pkt::Ipv4Address::parse("10.0.0.2");
+  mod.match.set_nw_src_wild_bits(0);
+  mod.idle_timeout = 10;
+  mod.actions = ofp::output_to(std::uint16_t{2});
+  return ofp::make_message(7, std::move(mod));
+}
+
+ofp::Message sample_packet_in() {
+  ofp::PacketIn pin;
+  pin.buffer_id = 3;
+  pin.in_port = 1;
+  pin.data = pkt::encode(pkt::make_icmp_echo(
+      pkt::MacAddress::from_u64(1), pkt::MacAddress::from_u64(6),
+      pkt::Ipv4Address::parse("10.0.0.1"), pkt::Ipv4Address::parse("10.0.0.6"),
+      pkt::IcmpType::EchoRequest, 1, 1, 0));
+  pin.total_len = static_cast<std::uint16_t>(pin.data.size());
+  return ofp::make_message(8, std::move(pin));
+}
+
+void BM_CodecEncode(benchmark::State& state) {
+  const ofp::Message msg = sample_flow_mod();
+  for (auto _ : state) {
+    Bytes wire = ofp::encode(msg);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const Bytes wire = ofp::encode(sample_packet_in());
+  for (auto _ : state) {
+    ofp::Message msg = ofp::decode(wire);
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  const Bytes wire = ofp::encode(sample_flow_mod());
+  for (auto _ : state) {
+    Bytes out = ofp::encode(ofp::decode(wire));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+struct ProxyFixture {
+  sim::Scheduler sched;
+  topo::SystemModel model = scenario::make_enterprise_model();
+  monitor::Monitor monitor;
+  inject::RuntimeInjector injector{sched, model, monitor};
+  std::function<void(Bytes)> input;
+  std::size_t delivered{0};
+  std::vector<std::unique_ptr<std::pair<dsl::CompiledAttack, model::CapabilityMap>>> armed;
+
+  ProxyFixture() {
+    monitor.set_counters_only(true);
+    const ConnectionId conn{model.require("c1"), model.require("s1")};
+    injector.attach_connection(conn, [this](Bytes) { ++delivered; },
+                               [this](Bytes) { ++delivered; });
+    input = injector.controller_side_input(conn);
+  }
+
+  void arm(const std::string& source) {
+    const dsl::Document doc = dsl::parse_document(source, model);
+    auto holder = std::make_unique<std::pair<dsl::CompiledAttack, model::CapabilityMap>>();
+    holder->second = doc.capabilities;
+    holder->first = dsl::compile(doc.attacks.at(0), model, holder->second);
+    injector.arm(holder->first, holder->second);
+    armed.push_back(std::move(holder));
+  }
+};
+
+void BM_ProxyDisarmed(benchmark::State& state) {
+  ProxyFixture fx;
+  const Bytes wire = ofp::encode(sample_flow_mod());
+  for (auto _ : state) {
+    fx.input(wire);
+  }
+  benchmark::DoNotOptimize(fx.delivered);
+}
+BENCHMARK(BM_ProxyDisarmed);
+
+void BM_ProxyTrivialAttack(benchmark::State& state) {
+  ProxyFixture fx;
+  fx.arm(scenario::trivial_pass_all_dsl());
+  const Bytes wire = ofp::encode(sample_flow_mod());
+  for (auto _ : state) {
+    fx.input(wire);
+  }
+}
+BENCHMARK(BM_ProxyTrivialAttack);
+
+void BM_ProxySuppressionMatch(benchmark::State& state) {
+  // Worst interesting case: the rule matches and drops every message.
+  ProxyFixture fx;
+  fx.arm(scenario::flow_mod_suppression_dsl());
+  const Bytes wire = ofp::encode(sample_flow_mod());
+  for (auto _ : state) {
+    fx.input(wire);
+  }
+}
+BENCHMARK(BM_ProxySuppressionMatch);
+
+void BM_ProxySuppressionMiss(benchmark::State& state) {
+  // Conditional evaluated but false (ECHO under the suppression attack).
+  ProxyFixture fx;
+  fx.arm(scenario::flow_mod_suppression_dsl());
+  const Bytes wire = ofp::encode(ofp::make_message(2, ofp::EchoRequest{}));
+  for (auto _ : state) {
+    fx.input(wire);
+  }
+}
+BENCHMARK(BM_ProxySuppressionMiss);
+
+void BM_DataPlanePacketCodec(benchmark::State& state) {
+  const pkt::Packet packet = pkt::make_icmp_echo(
+      pkt::MacAddress::from_u64(1), pkt::MacAddress::from_u64(6),
+      pkt::Ipv4Address::parse("10.0.0.1"), pkt::Ipv4Address::parse("10.0.0.6"),
+      pkt::IcmpType::EchoRequest, 1, 1, 0);
+  for (auto _ : state) {
+    pkt::Packet out = pkt::decode(pkt::encode(packet));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DataPlanePacketCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// E5 — §VI-D memory complexity: N_D storage/lookup scales as
+// O((|S|+|H|)^2) in edges and N_C as O(|C| x |S|). This bench measures
+// system-model construction and the data-plane queries the controllers
+// use (shortest_path, peer_of) over growing topologies.
+#include <benchmark/benchmark.h>
+
+#include "topo/system_model.hpp"
+
+using namespace attain;
+
+namespace {
+
+/// Linear chain of k switches with one host on each end plus one host per
+/// switch: |S| = k, |H| = k + 2.
+topo::SystemModel chain_model(std::uint32_t k) {
+  topo::SystemModel model;
+  model.add_controller(topo::ControllerSpec{"c1", pkt::Ipv4Address{0x0a640001}, 6633});
+  for (std::uint32_t i = 0; i < k; ++i) {
+    model.add_switch(topo::SwitchSpec{"s" + std::to_string(i + 1), i + 1, 4, false});
+  }
+  for (std::uint32_t i = 0; i + 1 < k; ++i) {
+    model.add_link(model.require("s" + std::to_string(i + 1)), 3,
+                   model.require("s" + std::to_string(i + 2)), 4);
+  }
+  for (std::uint32_t i = 0; i < k; ++i) {
+    model.add_host(topo::HostSpec{"h" + std::to_string(i + 1),
+                                  pkt::MacAddress::from_u64(i + 1),
+                                  pkt::Ipv4Address{0x0a000001 + i}});
+    model.add_link(model.require("h" + std::to_string(i + 1)), std::nullopt,
+                   model.require("s" + std::to_string(i + 1)), 1);
+  }
+  model.add_host(topo::HostSpec{"hx", pkt::MacAddress::from_u64(0xffff),
+                                pkt::Ipv4Address{0x0aff0001}});
+  model.add_link(model.require("hx"), std::nullopt, model.require("s1"), 2);
+  model.add_host(topo::HostSpec{"hy", pkt::MacAddress::from_u64(0xfffe),
+                                pkt::Ipv4Address{0x0aff0002}});
+  model.add_link(model.require("hy"), std::nullopt, model.require("s" + std::to_string(k)), 2);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    model.add_control_connection(model.require("c1"), model.require("s" + std::to_string(i + 1)));
+  }
+  model.validate();
+  return model;
+}
+
+void BM_ModelConstruction(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain_model(k));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ModelConstruction)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+void BM_ShortestPathAcrossChain(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  const topo::SystemModel model = chain_model(k);
+  const EntityId hx = model.require("hx");
+  const EntityId hy = model.require("hy");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.shortest_path(hx, hy));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ShortestPathAcrossChain)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+void BM_PeerLookup(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  const topo::SystemModel model = chain_model(k);
+  const EntityId mid = model.require("s" + std::to_string(k / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.peer_of(mid, 3));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PeerLookup)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+void BM_ControlConnectionRelation(benchmark::State& state) {
+  // N_C with |C| controllers x |S| switches: full bipartite relation.
+  const std::uint32_t c = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t s = 16;
+  for (auto _ : state) {
+    topo::SystemModel model;
+    for (std::uint32_t i = 0; i < c; ++i) {
+      model.add_controller(topo::ControllerSpec{"c" + std::to_string(i + 1),
+                                                pkt::Ipv4Address{0x0a640001 + i}, 6633});
+    }
+    for (std::uint32_t i = 0; i < s; ++i) {
+      model.add_switch(topo::SwitchSpec{"s" + std::to_string(i + 1), i + 1, 4, false});
+    }
+    for (std::uint32_t i = 0; i < c; ++i) {
+      for (std::uint32_t j = 0; j < s; ++j) {
+        model.add_control_connection(model.require("c" + std::to_string(i + 1)),
+                                     model.require("s" + std::to_string(j + 1)));
+      }
+    }
+    benchmark::DoNotOptimize(model.control_connections().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ControlConnectionRelation)->RangeMultiplier(2)->Range(1, 16)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// E4 — §VI-D runtime complexity of rule execution. Two regimes from the
+// paper's analysis:
+//   * one-hot: at most one conditional matches — expected O(|Φ|) per
+//     message (scan all rules, execute one action list);
+//   * all-hot: every conditional matches — expected O(|Φ| x |α_max|).
+#include <benchmark/benchmark.h>
+
+#include "attain/inject/executor.hpp"
+#include "attain/model/capabilities.hpp"
+#include "ofp/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+using namespace attain;
+
+namespace {
+
+struct Setup {
+  topo::SystemModel model = scenario::make_enterprise_model();
+  model::CapabilityMap caps;
+  dsl::CompiledAttack attack;
+  monitor::Monitor monitor;
+  Rng rng{1};
+
+  Setup(std::size_t n_rules, std::size_t n_actions, bool all_hot) {
+    const ConnectionId conn{model.require("c1"), model.require("s1")};
+    caps.grant(conn, model::CapabilitySet::no_tls());
+
+    lang::Attack source;
+    source.name = "synthetic";
+    source.start_state = "s";
+    lang::AttackState state;
+    state.name = "s";
+    for (std::size_t i = 0; i < n_rules; ++i) {
+      lang::Rule rule;
+      rule.name = "phi" + std::to_string(i);
+      rule.connection = conn;
+      // one-hot: only rule 0 matches (msg.id == 1); all-hot: always true.
+      rule.conditional =
+          all_hot ? lang::Expr::literal_int(1)
+                  : lang::Expr::binary(lang::BinaryOp::Eq, lang::Expr::prop(lang::Property::Id),
+                                       lang::Expr::literal_int(i == 0 ? 1 : -1));
+      for (std::size_t a = 0; a < n_actions; ++a) {
+        rule.actions.push_back(lang::ActPass{});
+      }
+      state.rules.push_back(std::move(rule));
+    }
+    source.states.push_back(std::move(state));
+    attack = dsl::compile(source, model, caps);
+    monitor.set_counters_only(true);
+  }
+};
+
+lang::InFlightMessage make_message(const topo::SystemModel& model) {
+  lang::InFlightMessage msg;
+  msg.connection = ConnectionId{model.require("c1"), model.require("s1")};
+  msg.direction = lang::Direction::SwitchToController;
+  msg.source = msg.connection.sw;
+  msg.destination = msg.connection.controller;
+  msg.id = 1;
+  const ofp::Message payload = ofp::make_message(1, ofp::EchoRequest{});
+  msg.wire = ofp::encode(payload);
+  msg.payload = payload;
+  return msg;
+}
+
+void BM_OneHotRules(benchmark::State& state) {
+  Setup setup(static_cast<std::size_t>(state.range(0)), 4, /*all_hot=*/false);
+  inject::AttackExecutor exec(setup.attack, setup.caps, setup.monitor, setup.rng);
+  const lang::InFlightMessage msg = make_message(setup.model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.process(msg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OneHotRules)->RangeMultiplier(4)->Range(1, 4096)->Complexity(benchmark::oN);
+
+void BM_AllHotRules(benchmark::State& state) {
+  Setup setup(static_cast<std::size_t>(state.range(0)), 4, /*all_hot=*/true);
+  inject::AttackExecutor exec(setup.attack, setup.caps, setup.monitor, setup.rng);
+  const lang::InFlightMessage msg = make_message(setup.model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.process(msg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AllHotRules)->RangeMultiplier(4)->Range(1, 4096)->Complexity(benchmark::oN);
+
+void BM_ActionListLength(benchmark::State& state) {
+  // all-hot with one rule: cost scales with |α|.
+  Setup setup(1, static_cast<std::size_t>(state.range(0)), /*all_hot=*/true);
+  inject::AttackExecutor exec(setup.attack, setup.caps, setup.monitor, setup.rng);
+  const lang::InFlightMessage msg = make_message(setup.model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.process(msg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ActionListLength)->RangeMultiplier(4)->Range(1, 1024)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

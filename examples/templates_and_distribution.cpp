@@ -1,0 +1,90 @@
+// Tour of the two future-work directions the paper sketches, implemented
+// here as extensions:
+//   * §X     — attack state-graph templates: parameterized generators that
+//              emit complete, auditable DSL descriptions;
+//   * §VIII-C — distributed runtime injection: total-order coordination vs
+//              uncoordinated local replicas.
+//
+// Build & run:  ./templates_and_distribution
+#include <cstdio>
+
+#include "attain/dsl/parser.hpp"
+#include "attain/dsl/templates.hpp"
+#include "attain/inject/distributed.hpp"
+#include "ofp/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+using namespace attain;
+using namespace attain::dsl;
+
+int main() {
+  const topo::SystemModel model = scenario::make_enterprise_model();
+
+  // --- Templates: one parameter set, complete attack description ----------
+  std::printf("Template: count_gate((c1, s2), FLOW_MOD, 5) generates:\n\n%s\n",
+              templates::count_gate({"c1", "s2"}, "FLOW_MOD", 5).c_str());
+  std::printf("Template: stochastic_drop((c1, s1), 25%%) generates:\n\n%s\n",
+              templates::stochastic_drop({"c1", "s1"}, 25).c_str());
+
+  // Every template output compiles like hand-written DSL.
+  for (const std::string& source :
+       {templates::suppress_type({{"c1", "s1"}, {"c1", "s2"}}, "FLOW_MOD"),
+        templates::interrupt_after({"c1", "s2"}, "FLOW_MOD"),
+        templates::delay_all({{"c1", "s3"}}, 0.05),
+        templates::fuzz_type({"c1", "s4"}, "PACKET_IN", 16),
+        templates::replay_amplifier({"c1", "s1"}, "ECHO_REQUEST", 2)}) {
+    const Document doc = parse_document(source, model);
+    const CompiledAttack compiled = compile(doc.attacks.at(0), model, doc.capabilities);
+    std::printf("compiled template attack '%s' (%zu states)\n", compiled.name.c_str(),
+                compiled.states.size());
+  }
+
+  // --- Distributed injection ----------------------------------------------
+  // A cross-shard counting attack under both coordination modes.
+  std::printf("\nDistributed injection: pass the first 3 messages *network-wide*\n");
+  for (const auto mode :
+       {inject::Coordination::TotalOrder, inject::Coordination::LocalReplicas}) {
+    sim::Scheduler sched;
+    monitor::Monitor monitor;
+    monitor.set_counters_only(true);
+    inject::DistributedInjector injector(sched, model, monitor, /*shards=*/2, mode,
+                                         2 * kMillisecond);
+    std::size_t delivered = 0;
+    for (const auto& conn : model.control_connections()) {
+      injector.attach_connection(conn.id, [&](Bytes) { ++delivered; }, [](Bytes) {});
+    }
+    const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; on (c1, s2) grant no_tls; }
+attack global_gate {
+  deque counter = [0];
+  start state s {
+    rule g1 on (c1, s1) { when examine_front(counter) >= 3; do { drop(msg); } }
+    rule t1 on (c1, s1) { when examine_front(counter) < 3; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+    rule g2 on (c1, s2) { when examine_front(counter) >= 3; do { drop(msg); } }
+    rule t2 on (c1, s2) { when examine_front(counter) < 3; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+  }
+}
+)";
+    const Document doc = parse_document(source, model);
+    const model::CapabilityMap caps = doc.capabilities;
+    const CompiledAttack attack = compile(doc.attacks.at(0), model, caps);
+    injector.arm(attack, caps);
+
+    for (std::uint32_t i = 1; i <= 4; ++i) {
+      injector.switch_side_input({model.require("c1"), model.require("s1")})(
+          ofp::encode(ofp::make_message(i, ofp::EchoRequest{})));
+      injector.switch_side_input({model.require("c1"), model.require("s2")})(
+          ofp::encode(ofp::make_message(100 + i, ofp::EchoRequest{})));
+    }
+    sched.run();
+    std::printf("  %-15s : %zu of 8 messages passed (centralized semantics: 3)%s\n",
+                to_string(mode).c_str(), delivered,
+                mode == inject::Coordination::LocalReplicas
+                    ? "  <- diverged: each shard counted privately"
+                    : "");
+  }
+  std::printf("\nTotal ordering preserves the centralized attack semantics at a\n"
+              "2 x coordination-latency cost per message (see\n"
+              "bench_distributed_injection for the full sweep).\n");
+  return 0;
+}

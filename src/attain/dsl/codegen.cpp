@@ -1,0 +1,81 @@
+#include "attain/dsl/codegen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace attain::dsl {
+
+std::string generate_listing(const CompiledAttack& attack, const topo::SystemModel& system) {
+  std::ostringstream out;
+  out << "attack " << attack.name << "\n";
+  out << "  start state: " << attack.states[attack.start_index].name << "\n";
+  const auto absorbing = attack.source.absorbing_states();
+  const auto ends = attack.source.end_states();
+  out << "  absorbing states: {";
+  for (std::size_t i = 0; i < absorbing.size(); ++i) out << (i ? "," : "") << absorbing[i];
+  out << "}\n  end states: {";
+  for (std::size_t i = 0; i < ends.size(); ++i) out << (i ? "," : "") << ends[i];
+  out << "}\n";
+  if (!attack.deques.empty()) {
+    out << "  storage:\n";
+    for (const auto& [name, initial] : attack.deques) {
+      out << "    deque " << name << " = [";
+      for (std::size_t i = 0; i < initial.size(); ++i) {
+        out << (i ? "," : "") << lang::to_string(initial[i]);
+      }
+      out << "]\n";
+    }
+  }
+  for (const CompiledState& state : attack.states) {
+    out << "  state " << state.name << (state.rules.empty() ? " (end)" : "") << "\n";
+    for (const CompiledRule& compiled : state.rules) {
+      const lang::Rule& rule = compiled.rule;
+      out << "    rule " << rule.name << "\n";
+      out << "      n = (" << system.name_of(rule.connection.controller) << ","
+          << system.name_of(rule.connection.sw) << ")\n";
+      out << "      gamma = " << compiled.required.to_string() << "\n";
+      out << "      lambda = " << rule.conditional->to_string() << "\n";
+      out << "      alpha = [";
+      for (std::size_t i = 0; i < rule.actions.size(); ++i) {
+        out << (i ? "; " : "") << lang::to_string(rule.actions[i]);
+      }
+      out << "]\n";
+    }
+  }
+  return out.str();
+}
+
+std::string generate_state_graph_dot(const CompiledAttack& attack) {
+  const lang::StateGraph graph = attack.source.graph();
+  const auto absorbing = attack.source.absorbing_states();
+  const auto ends = attack.source.end_states();
+  std::ostringstream out;
+  out << "digraph \"" << attack.name << "\" {\n";
+  out << "  rankdir=LR;\n";
+  for (const std::string& v : graph.vertices) {
+    const bool is_start = v == attack.states[attack.start_index].name;
+    const bool is_end = std::find(ends.begin(), ends.end(), v) != ends.end();
+    const bool is_absorbing =
+        std::find(absorbing.begin(), absorbing.end(), v) != absorbing.end();
+    out << "  \"" << v << "\" [shape=" << (is_end ? "doublecircle" : "circle");
+    if (is_start) out << ", style=bold";
+    if (is_absorbing && !is_end) out << ", peripheries=2";
+    out << "];\n";
+  }
+  for (const lang::StateGraph::Edge& e : graph.edges) {
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\"";
+    for (std::size_t i = 0; i < e.action_labels.size(); ++i) {
+      if (i > 0) out << "\\n";
+      // Escape embedded quotes for DOT.
+      for (const char c : e.action_labels[i]) {
+        if (c == '"') out << "\\\"";
+        else out << c;
+      }
+    }
+    out << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace attain::dsl

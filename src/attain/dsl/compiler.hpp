@@ -1,0 +1,60 @@
+// The compiler of Fig. 7: validates a parsed attack against the system
+// model and the attacker capabilities model, and produces the executable
+// form the runtime injector runs. Compilation fails (CompileError) when an
+// attack is structurally ill-formed or requires capabilities the attacker
+// was not granted on a rule's connection — the framework's enforcement of
+// the §IV-C model.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attain/lang/attack.hpp"
+#include "attain/model/capabilities.hpp"
+#include "topo/system_model.hpp"
+
+namespace attain::dsl {
+
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A rule with its capability requirement resolved and its GoTo targets
+/// pre-resolved to state indices for O(1) transitions at runtime.
+struct CompiledRule {
+  lang::Rule rule;
+  model::CapabilitySet required;
+};
+
+struct CompiledState {
+  std::string name;
+  std::vector<CompiledRule> rules;
+};
+
+/// Executable attack: states indexed, start resolved, storage declarations
+/// carried over. The executor (attain/inject/executor.hpp) consumes this.
+struct CompiledAttack {
+  std::string name;
+  std::vector<CompiledState> states;
+  std::size_t start_index{0};
+  std::vector<std::pair<std::string, std::vector<lang::Value>>> deques;
+  /// The source attack (kept for graph rendering and listings).
+  lang::Attack source;
+
+  std::size_t state_index(const std::string& state_name) const;
+};
+
+/// Options controlling compile-time enforcement.
+struct CompileOptions {
+  /// Reject capability grants that exceed Γ_TLS on TLS-marked connections
+  /// (on by default: an attacker cannot read/forge ciphertext without
+  /// breaking the PKI, §IV-C2).
+  bool enforce_tls_consistency{true};
+};
+
+CompiledAttack compile(const lang::Attack& attack, const topo::SystemModel& system,
+                       const model::CapabilityMap& capabilities, CompileOptions options = {});
+
+}  // namespace attain::dsl

@@ -1,0 +1,229 @@
+#include "attain/dsl/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace attain::dsl {
+
+std::string to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Integer: return "integer";
+    case TokenKind::Float: return "float";
+    case TokenKind::String: return "string";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::DashDash: return "'--'";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  unsigned line = 1;
+  unsigned column = 1;
+  std::size_t i = 0;
+
+  auto push = [&](TokenKind kind, unsigned start_col) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = start_col;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    const unsigned start_col = column;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) || source[i] == '_')) {
+        ident.push_back(source[i]);
+        ++i;
+        ++column;
+      }
+      Token t;
+      t.kind = TokenKind::Ident;
+      t.text = std::move(ident);
+      t.line = line;
+      t.column = start_col;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Integer (decimal or 0x hex) or float.
+      std::size_t end = i;
+      bool is_float = false;
+      if (source[i] == '0' && i + 1 < source.size() && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        end = i + 2;
+        while (end < source.size() && std::isxdigit(static_cast<unsigned char>(source[end]))) ++end;
+      } else {
+        while (end < source.size() && std::isdigit(static_cast<unsigned char>(source[end]))) ++end;
+        if (end < source.size() && source[end] == '.' && end + 1 < source.size() &&
+            std::isdigit(static_cast<unsigned char>(source[end + 1]))) {
+          is_float = true;
+          ++end;
+          while (end < source.size() && std::isdigit(static_cast<unsigned char>(source[end]))) ++end;
+        }
+      }
+      const std::string text = source.substr(i, end - i);
+      Token t;
+      t.line = line;
+      t.column = start_col;
+      if (is_float) {
+        t.kind = TokenKind::Float;
+        t.float_value = std::stod(text);
+      } else {
+        t.kind = TokenKind::Integer;
+        t.int_value = std::stoll(text, nullptr, 0);
+      }
+      t.text = text;
+      tokens.push_back(std::move(t));
+      column += static_cast<unsigned>(end - i);
+      i = end;
+      continue;
+    }
+
+    if (c == '"') {
+      std::string text;
+      ++i;
+      ++column;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\n') throw LexError("unterminated string", line, start_col);
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          ++i;
+          ++column;
+        }
+        text.push_back(source[i]);
+        ++i;
+        ++column;
+      }
+      if (i == source.size()) throw LexError("unterminated string", line, start_col);
+      ++i;  // closing quote
+      ++column;
+      Token t;
+      t.kind = TokenKind::String;
+      t.text = std::move(text);
+      t.line = line;
+      t.column = start_col;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(TokenKind::LParen, start_col); break;
+      case ')': push(TokenKind::RParen, start_col); break;
+      case '{': push(TokenKind::LBrace, start_col); break;
+      case '}': push(TokenKind::RBrace, start_col); break;
+      case '[': push(TokenKind::LBracket, start_col); break;
+      case ']': push(TokenKind::RBracket, start_col); break;
+      case ',': push(TokenKind::Comma, start_col); break;
+      case ';': push(TokenKind::Semicolon, start_col); break;
+      case ':': push(TokenKind::Colon, start_col); break;
+      case '.': push(TokenKind::Dot, start_col); break;
+      case '+': push(TokenKind::Plus, start_col); break;
+      case '-':
+        if (two('>')) {
+          push(TokenKind::Arrow, start_col);
+          ++i;
+          ++column;
+        } else if (two('-')) {
+          push(TokenKind::DashDash, start_col);
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::Minus, start_col);
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(TokenKind::EqEq, start_col);
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::Assign, start_col);
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::NotEq, start_col);
+          ++i;
+          ++column;
+        } else {
+          throw LexError("unexpected '!'", line, start_col);
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::Le, start_col);
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::Lt, start_col);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::Ge, start_col);
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::Gt, start_col);
+        }
+        break;
+      default:
+        throw LexError(std::string("unexpected character '") + c + "'", line, start_col);
+    }
+    ++i;
+    ++column;
+  }
+
+  Token end;
+  end.kind = TokenKind::End;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace attain::dsl

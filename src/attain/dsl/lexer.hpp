@@ -1,0 +1,54 @@
+// Lexer for the ATTAIN attack-description DSL. The paper's artifact used
+// XML schemas; this reproduction uses a compact text syntax with identical
+// semantics (see docs in attain/dsl/parser.hpp for the grammar).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace attain::dsl {
+
+enum class TokenKind : std::uint8_t {
+  Ident,      // sigma1, c1, drop, FLOW_MOD
+  Integer,    // 42, 0x1f
+  Float,      // 2.5 (time values)
+  String,     // "match.nw_src"
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Colon, Dot,
+  Arrow,      // ->
+  DashDash,   // -- (link connector)
+  EqEq, NotEq, Le, Ge, Lt, Gt, Assign,  // == != <= >= < > =
+  Plus, Minus,
+  End,        // end of input
+};
+
+struct Token {
+  TokenKind kind{TokenKind::End};
+  std::string text;        // identifier / string contents
+  std::int64_t int_value{0};
+  double float_value{0.0};
+  unsigned line{1};
+  unsigned column{1};
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, unsigned line, unsigned column)
+      : std::runtime_error("lex error at " + std::to_string(line) + ":" + std::to_string(column) +
+                           ": " + what),
+        line(line),
+        column(column) {}
+  unsigned line;
+  unsigned column;
+};
+
+/// Tokenizes a whole source buffer. '#' starts a comment to end of line.
+/// MAC and IPv4 addresses appear as string literals ("aa:bb:..", "10.0.1.2")
+/// and are parsed by the pkt:: address types at parse time.
+std::vector<Token> lex(const std::string& source);
+
+std::string to_string(TokenKind kind);
+
+}  // namespace attain::dsl

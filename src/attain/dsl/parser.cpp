@@ -1,0 +1,711 @@
+#include "attain/dsl/parser.hpp"
+
+#include <map>
+
+#include "attain/dsl/lexer.hpp"
+#include "ofp/constants.hpp"
+
+namespace attain::dsl {
+
+namespace {
+
+using lang::Expr;
+using lang::ExprPtr;
+
+/// Built-in named integer constants available in expressions.
+const std::map<std::string, std::int64_t>& builtin_constants() {
+  static const std::map<std::string, std::int64_t> table = [] {
+    std::map<std::string, std::int64_t> t;
+    using ofp::MsgType;
+    const std::pair<const char*, MsgType> types[] = {
+        {"HELLO", MsgType::Hello},
+        {"ERROR", MsgType::Error},
+        {"ECHO_REQUEST", MsgType::EchoRequest},
+        {"ECHO_REPLY", MsgType::EchoReply},
+        {"VENDOR", MsgType::Vendor},
+        {"FEATURES_REQUEST", MsgType::FeaturesRequest},
+        {"FEATURES_REPLY", MsgType::FeaturesReply},
+        {"GET_CONFIG_REQUEST", MsgType::GetConfigRequest},
+        {"GET_CONFIG_REPLY", MsgType::GetConfigReply},
+        {"SET_CONFIG", MsgType::SetConfig},
+        {"PACKET_IN", MsgType::PacketIn},
+        {"FLOW_REMOVED", MsgType::FlowRemoved},
+        {"PORT_STATUS", MsgType::PortStatus},
+        {"PACKET_OUT", MsgType::PacketOut},
+        {"FLOW_MOD", MsgType::FlowMod},
+        {"PORT_MOD", MsgType::PortMod},
+        {"STATS_REQUEST", MsgType::StatsRequest},
+        {"STATS_REPLY", MsgType::StatsReply},
+        {"BARRIER_REQUEST", MsgType::BarrierRequest},
+        {"BARRIER_REPLY", MsgType::BarrierReply},
+    };
+    for (const auto& [name, type] : types) t[name] = static_cast<std::int64_t>(type);
+    t["FLOW_MOD_ADD"] = 0;
+    t["FLOW_MOD_MODIFY"] = 1;
+    t["FLOW_MOD_MODIFY_STRICT"] = 2;
+    t["FLOW_MOD_DELETE"] = 3;
+    t["FLOW_MOD_DELETE_STRICT"] = 4;
+    t["NO_BUFFER"] = static_cast<std::int64_t>(ofp::kNoBuffer);
+    t["PORT_FLOOD"] = static_cast<std::int64_t>(ofp::Port::Flood);
+    t["PORT_CONTROLLER"] = static_cast<std::int64_t>(ofp::Port::Controller);
+    t["PORT_NONE"] = static_cast<std::int64_t>(ofp::Port::None);
+    t["TO_CONTROLLER"] = 0;  // Direction values for msg.direction comparisons
+    t["TO_SWITCH"] = 1;
+    return t;
+  }();
+  return table;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& source, const topo::SystemModel* external)
+      : tokens_(lex(source)), external_(external) {
+    if (external_ != nullptr) {
+      doc_.system = *external_;
+      doc_.has_system = true;
+    }
+  }
+
+  Document parse() {
+    while (!at(TokenKind::End)) {
+      const Token& t = peek();
+      if (is_keyword("system")) {
+        parse_system_block();
+      } else if (is_keyword("attacker")) {
+        parse_attacker_block();
+      } else if (is_keyword("attack")) {
+        parse_attack_block();
+      } else {
+        fail("expected 'system', 'attacker', or 'attack' block, got '" + t.text + "'");
+      }
+    }
+    return std::move(doc_);
+  }
+
+ private:
+  // -- token plumbing --
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool is_keyword(const char* word) const {
+    return at(TokenKind::Ident) && peek().text == word;
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().line, peek().column);
+  }
+  const Token& expect(TokenKind kind, const char* what) {
+    if (!at(kind)) fail(std::string("expected ") + what + ", got " + to_string(peek().kind));
+    return advance();
+  }
+  bool accept(TokenKind kind) {
+    if (at(kind)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool accept_keyword(const char* word) {
+    if (is_keyword(word)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  std::string expect_ident(const char* what) { return expect(TokenKind::Ident, what).text; }
+  void expect_keyword(const char* word) {
+    if (!accept_keyword(word)) fail(std::string("expected '") + word + "'");
+  }
+
+  topo::SystemModel& system() {
+    if (!doc_.has_system) fail("a 'system' block (or external model) is required first");
+    return doc_.system;
+  }
+
+  EntityId entity(const std::string& name) {
+    const auto id = system().find(name);
+    if (!id) fail("unknown entity '" + name + "'");
+    return *id;
+  }
+
+  ConnectionId connection_pair() {
+    expect(TokenKind::LParen, "'('");
+    const EntityId controller = entity(expect_ident("controller name"));
+    expect(TokenKind::Comma, "','");
+    const EntityId sw = entity(expect_ident("switch name"));
+    expect(TokenKind::RParen, "')'");
+    if (controller.kind != EntityKind::Controller || sw.kind != EntityKind::Switch) {
+      fail("connection pairs are (controller, switch)");
+    }
+    return ConnectionId{controller, sw};
+  }
+
+  // -- system block --
+  void parse_system_block() {
+    expect_keyword("system");
+    if (external_ != nullptr) fail("'system' block not allowed with an external system model");
+    doc_.has_system = true;
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      if (accept_keyword("controller")) {
+        parse_controller();
+      } else if (accept_keyword("switch")) {
+        parse_switch();
+      } else if (accept_keyword("host")) {
+        parse_host();
+      } else if (accept_keyword("link")) {
+        parse_link();
+      } else if (accept_keyword("connection")) {
+        parse_connection();
+      } else {
+        fail("expected controller/switch/host/link/connection declaration");
+      }
+    }
+  }
+
+  void parse_controller() {
+    topo::ControllerSpec spec;
+    spec.name = expect_ident("controller name");
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      if (accept_keyword("ip")) {
+        spec.address = pkt::Ipv4Address::parse(expect(TokenKind::String, "ip string").text);
+      } else if (accept_keyword("port")) {
+        spec.listen_port = static_cast<std::uint16_t>(expect(TokenKind::Integer, "port").int_value);
+      } else {
+        fail("expected 'ip' or 'port' in controller body");
+      }
+      expect(TokenKind::Semicolon, "';'");
+    }
+    doc_.system.add_controller(std::move(spec));
+  }
+
+  void parse_switch() {
+    topo::SwitchSpec spec;
+    spec.name = expect_ident("switch name");
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      if (accept_keyword("dpid")) {
+        spec.dpid = static_cast<std::uint64_t>(expect(TokenKind::Integer, "dpid").int_value);
+      } else if (accept_keyword("ports")) {
+        spec.num_ports =
+            static_cast<std::uint16_t>(expect(TokenKind::Integer, "port count").int_value);
+      } else if (accept_keyword("fail_mode")) {
+        const std::string mode = expect_ident("'safe' or 'secure'");
+        if (mode == "secure") {
+          spec.fail_secure = true;
+        } else if (mode == "safe") {
+          spec.fail_secure = false;
+        } else {
+          fail("fail_mode must be 'safe' or 'secure'");
+        }
+      } else {
+        fail("expected 'dpid', 'ports', or 'fail_mode' in switch body");
+      }
+      expect(TokenKind::Semicolon, "';'");
+    }
+    doc_.system.add_switch(std::move(spec));
+  }
+
+  void parse_host() {
+    topo::HostSpec spec;
+    spec.name = expect_ident("host name");
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      if (accept_keyword("mac")) {
+        spec.mac = pkt::MacAddress::parse(expect(TokenKind::String, "mac string").text);
+      } else if (accept_keyword("ip")) {
+        spec.ip = pkt::Ipv4Address::parse(expect(TokenKind::String, "ip string").text);
+      } else {
+        fail("expected 'mac' or 'ip' in host body");
+      }
+      expect(TokenKind::Semicolon, "';'");
+    }
+    doc_.system.add_host(std::move(spec));
+  }
+
+  void parse_link() {
+    auto endpoint = [this]() -> std::pair<EntityId, std::optional<std::uint16_t>> {
+      const EntityId id = entity(expect_ident("link endpoint"));
+      std::optional<std::uint16_t> port;
+      if (accept(TokenKind::Colon)) {
+        port = static_cast<std::uint16_t>(expect(TokenKind::Integer, "port number").int_value);
+      }
+      return {id, port};
+    };
+    const auto [a, a_port] = endpoint();
+    expect(TokenKind::DashDash, "'--'");
+    const auto [b, b_port] = endpoint();
+    expect(TokenKind::Semicolon, "';'");
+    doc_.system.add_link(a, a_port, b, b_port);
+  }
+
+  void parse_connection() {
+    const EntityId controller = entity(expect_ident("controller name"));
+    expect(TokenKind::Arrow, "'->'");
+    const EntityId sw = entity(expect_ident("switch name"));
+    const bool tls = accept_keyword("tls");
+    expect(TokenKind::Semicolon, "';'");
+    doc_.system.add_control_connection(controller, sw, tls);
+  }
+
+  // -- attacker block --
+  model::CapabilitySet parse_grant() {
+    if (accept_keyword("no_tls") || accept_keyword("all")) return model::CapabilitySet::no_tls();
+    if (accept_keyword("tls")) return model::CapabilitySet::tls();
+    if (accept_keyword("none")) return model::CapabilitySet::none();
+    expect(TokenKind::LBrace, "'{' or a capability class name");
+    model::CapabilitySet caps;
+    do {
+      const std::string name = expect_ident("capability name");
+      const auto cap = model::capability_from_string(name);
+      if (!cap) fail("unknown capability '" + name + "'");
+      caps.insert(*cap);
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::RBrace, "'}'");
+    return caps;
+  }
+
+  void parse_attacker_block() {
+    expect_keyword("attacker");
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      expect_keyword("on");
+      const ConnectionId conn = connection_pair();
+      expect_keyword("grant");
+      const model::CapabilitySet caps = parse_grant();
+      expect(TokenKind::Semicolon, "';'");
+      doc_.capabilities.grant(conn, caps);
+    }
+  }
+
+  // -- attack block --
+  void parse_attack_block() {
+    expect_keyword("attack");
+    lang::Attack attack;
+    attack.name = expect_ident("attack name");
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      if (accept_keyword("deque")) {
+        parse_deque(attack);
+      } else {
+        const bool is_start = accept_keyword("start");
+        expect_keyword("state");
+        parse_state(attack, is_start);
+      }
+    }
+    if (attack.start_state.empty() && !attack.states.empty()) {
+      attack.start_state = attack.states.front().name;
+    }
+    doc_.attacks.push_back(std::move(attack));
+  }
+
+  void parse_deque(lang::Attack& attack) {
+    const std::string name = expect_ident("deque name");
+    std::vector<lang::Value> initial;
+    if (accept(TokenKind::Assign)) {
+      expect(TokenKind::LBracket, "'['");
+      if (!at(TokenKind::RBracket)) {
+        do {
+          initial.push_back(parse_const_value());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RBracket, "']'");
+    }
+    expect(TokenKind::Semicolon, "';'");
+    attack.deques.emplace_back(name, std::move(initial));
+  }
+
+  void parse_state(lang::Attack& attack, bool is_start) {
+    lang::AttackState state;
+    state.name = expect_ident("state name");
+    if (is_start) {
+      if (!attack.start_state.empty()) fail("attack has two start states");
+      attack.start_state = state.name;
+    }
+    if (accept(TokenKind::Semicolon)) {
+      attack.states.push_back(std::move(state));  // `state x;` — empty end state
+      return;
+    }
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      expect_keyword("rule");
+      state.rules.push_back(parse_rule());
+    }
+    attack.states.push_back(std::move(state));
+  }
+
+  lang::Rule parse_rule() {
+    lang::Rule rule;
+    rule.name = expect_ident("rule name");
+    expect_keyword("on");
+    rule.connection = connection_pair();
+    expect(TokenKind::LBrace, "'{'");
+    if (accept_keyword("requires")) {
+      rule.capabilities = parse_grant();
+      expect(TokenKind::Semicolon, "';'");
+    }
+    expect_keyword("when");
+    rule.conditional = parse_expr();
+    expect(TokenKind::Semicolon, "';'");
+    expect_keyword("do");
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace)) {
+      rule.actions.push_back(parse_action());
+      expect(TokenKind::Semicolon, "';'");
+    }
+    expect(TokenKind::RBrace, "'}'");
+    return rule;
+  }
+
+  // -- expressions --
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr left = parse_and();
+    while (accept_keyword("or")) {
+      left = Expr::binary(lang::BinaryOp::Or, std::move(left), parse_and());
+    }
+    return left;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr left = parse_not();
+    while (accept_keyword("and")) {
+      left = Expr::binary(lang::BinaryOp::And, std::move(left), parse_not());
+    }
+    return left;
+  }
+
+  ExprPtr parse_not() {
+    if (accept_keyword("not")) return Expr::negate(parse_not());
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr left = parse_additive();
+    if (accept(TokenKind::EqEq)) {
+      return Expr::binary(lang::BinaryOp::Eq, std::move(left), parse_additive());
+    }
+    if (accept(TokenKind::NotEq)) {
+      return Expr::binary(lang::BinaryOp::Ne, std::move(left), parse_additive());
+    }
+    if (accept(TokenKind::Lt)) {
+      return Expr::binary(lang::BinaryOp::Lt, std::move(left), parse_additive());
+    }
+    if (accept(TokenKind::Le)) {
+      return Expr::binary(lang::BinaryOp::Le, std::move(left), parse_additive());
+    }
+    if (accept(TokenKind::Gt)) {
+      return Expr::binary(lang::BinaryOp::Gt, std::move(left), parse_additive());
+    }
+    if (accept(TokenKind::Ge)) {
+      return Expr::binary(lang::BinaryOp::Ge, std::move(left), parse_additive());
+    }
+    if (accept_keyword("in")) {
+      expect(TokenKind::LBrace, "'{'");
+      std::vector<lang::Value> set;
+      if (!at(TokenKind::RBrace)) {
+        do {
+          set.push_back(parse_const_value());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RBrace, "'}'");
+      return Expr::in_set(std::move(left), std::move(set));
+    }
+    return left;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr left = parse_primary();
+    while (true) {
+      if (accept(TokenKind::Plus)) {
+        left = Expr::binary(lang::BinaryOp::Add, std::move(left), parse_primary());
+      } else if (accept(TokenKind::Minus)) {
+        left = Expr::binary(lang::BinaryOp::Sub, std::move(left), parse_primary());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    if (at(TokenKind::Integer)) return Expr::literal_int(advance().int_value);
+    if (at(TokenKind::String)) return Expr::literal_value(lang::Value{advance().text});
+    if (accept(TokenKind::LParen)) {
+      ExprPtr inner = parse_expr();
+      expect(TokenKind::RParen, "')'");
+      return inner;
+    }
+    if (accept(TokenKind::Minus)) {
+      return Expr::binary(lang::BinaryOp::Sub, Expr::literal_int(0), parse_primary());
+    }
+    if (!at(TokenKind::Ident)) fail("expected expression");
+    const std::string name = advance().text;
+
+    if (name == "msg") {
+      expect(TokenKind::Dot, "'.' after msg");
+      const std::string prop = expect_ident("message property");
+      if (prop == "field") {
+        expect(TokenKind::LParen, "'('");
+        const std::string path = expect(TokenKind::String, "field path string").text;
+        expect(TokenKind::RParen, "')'");
+        return Expr::field(path);
+      }
+      static const std::map<std::string, lang::Property> props = {
+          {"source", lang::Property::Source},
+          {"destination", lang::Property::Destination},
+          {"timestamp", lang::Property::Timestamp},
+          {"length", lang::Property::Length},
+          {"id", lang::Property::Id},
+          {"direction", lang::Property::Direction},
+          {"type", lang::Property::Type},
+      };
+      const auto it = props.find(prop);
+      if (it == props.end()) fail("unknown message property '" + prop + "'");
+      return Expr::prop(it->second);
+    }
+    if (name == "ip" || name == "mac") {
+      expect(TokenKind::LParen, "'('");
+      std::int64_t value;
+      if (at(TokenKind::String)) {
+        const std::string text = advance().text;
+        value = name == "ip"
+                    ? static_cast<std::int64_t>(pkt::Ipv4Address::parse(text).value)
+                    : static_cast<std::int64_t>(pkt::MacAddress::parse(text).to_u64());
+      } else {
+        const EntityId host = entity(expect_ident("host name"));
+        const topo::HostSpec& spec = system().host(host);
+        value = name == "ip" ? static_cast<std::int64_t>(spec.ip.value)
+                             : static_cast<std::int64_t>(spec.mac.to_u64());
+      }
+      expect(TokenKind::RParen, "')'");
+      return Expr::literal_int(value);
+    }
+    if (name == "rand") {
+      expect(TokenKind::LParen, "'('");
+      const std::int64_t bound = expect(TokenKind::Integer, "rand bound").int_value;
+      expect(TokenKind::RParen, "')'");
+      if (bound <= 0) fail("rand() bound must be positive");
+      return Expr::random(bound);
+    }
+    if (name == "examine_front" || name == "examine_end" || name == "len") {
+      expect(TokenKind::LParen, "'('");
+      const std::string deque = expect_ident("deque name");
+      expect(TokenKind::RParen, "')'");
+      if (name == "examine_front") return Expr::deque_front(deque);
+      if (name == "examine_end") return Expr::deque_end(deque);
+      return Expr::deque_len(deque);
+    }
+    // Built-in constant?
+    const auto& constants = builtin_constants();
+    const auto constant = constants.find(name);
+    if (constant != constants.end()) return Expr::literal_int(constant->second);
+    // Entity name?
+    if (doc_.has_system) {
+      const auto id = doc_.system.find(name);
+      if (id) return Expr::literal_int(lang::entity_value(*id));
+    }
+    fail("unknown identifier '" + name + "' in expression");
+  }
+
+  /// Constant values for set members and deque initializers.
+  lang::Value parse_const_value() {
+    if (at(TokenKind::Integer)) return lang::Value{advance().int_value};
+    if (at(TokenKind::String)) return lang::Value{advance().text};
+    if (accept(TokenKind::Minus)) {
+      return lang::Value{-expect(TokenKind::Integer, "integer").int_value};
+    }
+    if (at(TokenKind::Ident)) {
+      const std::string name = peek().text;
+      if (name == "ip" || name == "mac") {
+        // reuse expression machinery, then unwrap the literal
+        const ExprPtr e = parse_primary();
+        return e->literal;
+      }
+      advance();
+      const auto& constants = builtin_constants();
+      const auto constant = constants.find(name);
+      if (constant != constants.end()) return lang::Value{constant->second};
+      if (doc_.has_system) {
+        const auto id = doc_.system.find(name);
+        if (id) return lang::Value{lang::entity_value(*id)};
+      }
+      fail("unknown constant '" + name + "'");
+    }
+    fail("expected constant value");
+  }
+
+  SimTime parse_time() {
+    double value;
+    if (at(TokenKind::Float)) {
+      value = advance().float_value;
+    } else {
+      value = static_cast<double>(expect(TokenKind::Integer, "time value").int_value);
+    }
+    const std::string unit = expect_ident("time unit (s/ms/us)");
+    if (unit == "s") return seconds(value);
+    if (unit == "ms") return static_cast<SimTime>(value * kMillisecond);
+    if (unit == "us") return static_cast<SimTime>(value * kMicrosecond);
+    fail("unknown time unit '" + unit + "'");
+  }
+
+  /// Parses `msg` or an expression for deque-store actions. Returns nullptr
+  /// for the bare `msg` keyword (store the current message).
+  ExprPtr parse_value_or_msg() {
+    if (is_keyword("msg") && peek(1).kind != TokenKind::Dot) {
+      advance();
+      return nullptr;
+    }
+    return parse_expr();
+  }
+
+  void expect_msg_arg() {
+    const std::string arg = expect_ident("'msg'");
+    if (arg != "msg") fail("this action takes 'msg' as its argument");
+  }
+
+  // -- actions --
+  lang::ActionSpec parse_action() {
+    const std::string name = expect_ident("action name");
+    expect(TokenKind::LParen, "'('");
+    lang::ActionSpec action = parse_action_body(name);
+    expect(TokenKind::RParen, "')'");
+    return action;
+  }
+
+  lang::ActionSpec parse_action_body(const std::string& name) {
+    if (name == "drop") {
+      expect_msg_arg();
+      return lang::ActDrop{};
+    }
+    if (name == "pass") {
+      expect_msg_arg();
+      return lang::ActPass{};
+    }
+    if (name == "delay") {
+      expect_msg_arg();
+      expect(TokenKind::Comma, "','");
+      return lang::ActDelay{parse_time()};
+    }
+    if (name == "duplicate") {
+      expect_msg_arg();
+      return lang::ActDuplicate{};
+    }
+    if (name == "read_meta" || name == "read") {
+      expect_msg_arg();
+      std::string note;
+      if (accept(TokenKind::Comma)) note = expect(TokenKind::String, "note string").text;
+      if (name == "read_meta") return lang::ActReadMeta{note};
+      return lang::ActRead{note};
+    }
+    if (name == "modify") {
+      expect_msg_arg();
+      expect(TokenKind::Comma, "','");
+      const std::string path = expect(TokenKind::String, "field path").text;
+      expect(TokenKind::Comma, "','");
+      return lang::ActModifyField{path, parse_expr()};
+    }
+    if (name == "redirect") {
+      expect_msg_arg();
+      expect(TokenKind::Comma, "','");
+      const EntityId target = entity(expect_ident("entity name"));
+      lang::ActModifyMeta meta;
+      meta.new_destination = target;
+      return meta;
+    }
+    if (name == "fuzz") {
+      expect_msg_arg();
+      lang::ActFuzz fuzz;
+      if (accept(TokenKind::Comma)) {
+        fuzz.bit_flips =
+            static_cast<unsigned>(expect(TokenKind::Integer, "bit flip count").int_value);
+      }
+      return fuzz;
+    }
+    if (name == "inject") {
+      return parse_inject();
+    }
+    if (name == "send_front" || name == "send_end" || name == "peek_send_front" ||
+        name == "peek_send_end") {
+      lang::ActSendStored send;
+      send.deque = expect_ident("deque name");
+      send.from_end = (name == "send_end" || name == "peek_send_end");
+      send.remove = (name == "send_front" || name == "send_end");
+      return send;
+    }
+    if (name == "prepend" || name == "append") {
+      const std::string deque = expect_ident("deque name");
+      expect(TokenKind::Comma, "','");
+      ExprPtr value = parse_value_or_msg();
+      if (name == "prepend") return lang::ActPrepend{deque, std::move(value)};
+      return lang::ActAppend{deque, std::move(value)};
+    }
+    if (name == "shift") return lang::ActShift{expect_ident("deque name")};
+    if (name == "pop") return lang::ActPop{expect_ident("deque name")};
+    if (name == "goto") return lang::ActGoTo{expect_ident("state name")};
+    if (name == "sleep") return lang::ActSleep{parse_time()};
+    if (name == "syscmd") {
+      const std::string host = expect_ident("host name");
+      entity(host);  // must exist
+      expect(TokenKind::Comma, "','");
+      const std::string command = expect(TokenKind::String, "command string").text;
+      return lang::ActSysCmd{host, command};
+    }
+    fail("unknown action '" + name + "'");
+  }
+
+  lang::ActionSpec parse_inject() {
+    const std::string tmpl = expect_ident("inject template");
+    lang::ActInject inject;
+    if (tmpl == "hello") {
+      inject.message = ofp::make_message(0, ofp::Hello{});
+    } else if (tmpl == "echo_request") {
+      inject.message = ofp::make_message(0, ofp::EchoRequest{});
+    } else if (tmpl == "barrier_request") {
+      inject.message = ofp::make_message(0, ofp::BarrierRequest{});
+    } else if (tmpl == "features_request") {
+      inject.message = ofp::make_message(0, ofp::FeaturesRequest{});
+    } else if (tmpl == "flow_mod_delete_all") {
+      ofp::FlowMod mod;
+      mod.command = ofp::FlowModCommand::Delete;
+      mod.match = ofp::Match::wildcard_all();
+      inject.message = ofp::make_message(0, std::move(mod));
+    } else if (tmpl == "packet_out_flood") {
+      ofp::PacketOut out;
+      out.actions = ofp::output_to(ofp::Port::Flood);
+      inject.message = ofp::make_message(0, std::move(out));
+    } else {
+      fail("unknown inject template '" + tmpl + "'");
+    }
+    expect(TokenKind::Comma, "','");
+    const std::string direction = expect_ident("'to_switch' or 'to_controller'");
+    if (direction == "to_switch") {
+      inject.direction = lang::Direction::ControllerToSwitch;
+    } else if (direction == "to_controller") {
+      inject.direction = lang::Direction::SwitchToController;
+    } else {
+      fail("inject direction must be to_switch or to_controller");
+    }
+    return inject;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_{0};
+  const topo::SystemModel* external_;
+  Document doc_;
+};
+
+}  // namespace
+
+Document parse_document(const std::string& source) {
+  return Parser(source, nullptr).parse();
+}
+
+Document parse_document(const std::string& source, const topo::SystemModel& system) {
+  return Parser(source, &system).parse();
+}
+
+}  // namespace attain::dsl

@@ -1,0 +1,98 @@
+// Recursive-descent parser for the ATTAIN DSL: the user-facing form of the
+// paper's three input files (system model, attack model, attack states —
+// Fig. 7's compiler inputs). One source may contain any mix of blocks.
+//
+// Grammar (EBNF-ish; '#' comments; ';' terminates items):
+//
+//   document      := (system_block | attacker_block | attack_block)*
+//
+//   system_block  := "system" "{" system_item* "}"
+//   system_item   := "controller" NAME "{" ("ip" STRING ";")? ("port" INT ";")? "}"
+//                  | "switch" NAME "{" "dpid" INT ";" "ports" INT ";"
+//                        ("fail_mode" ("safe"|"secure") ";")? "}"
+//                  | "host" NAME "{" "mac" STRING ";" "ip" STRING ";" "}"
+//                  | "link" endpoint "--" endpoint ";"
+//                  | "connection" NAME "->" NAME ("tls")? ";"
+//   endpoint      := NAME (":" INT)?          # switches take a port, hosts don't
+//
+//   attacker_block:= "attacker" "{" grant_item* "}"
+//   grant_item    := "on" "(" NAME "," NAME ")" "grant" grant ";"
+//   grant         := "no_tls" | "tls" | "all" | "none"
+//                  | "{" capability ("," capability)* "}"
+//
+//   attack_block  := "attack" NAME "{" (deque_decl | state_decl)* "}"
+//   deque_decl    := "deque" NAME ("=" "[" const_value ("," const_value)* "]")? ";"
+//   state_decl    := ("start")? "state" NAME ("{" rule* "}" | ";")
+//   rule          := "rule" NAME "on" "(" NAME "," NAME ")" "{"
+//                        ("requires" grant ";")?
+//                        "when" expr ";"
+//                        "do" "{" (action ";")* "}"
+//                    "}"
+//
+//   expr          := or over and over not over comparison over +/- over primary
+//   comparison ops: == != < <= > >= , and `expr in { const_value, ... }`
+//   primary       := INT | STRING | "(" expr ")" | "msg" "." prop
+//                  | "msg" "." "field" "(" STRING ")"
+//                  | "ip" "(" STRING|NAME ")" | "mac" "(" STRING|NAME ")"
+//                  | "examine_front" "(" NAME ")" | "examine_end" "(" NAME ")"
+//                  | "len" "(" NAME ")"
+//                  | "rand" "(" INT ")"   # uniform in [0, INT): stochastic
+//                                         # extension (paper §VIII-A future work)
+//                  | NAME          # entity name, OpenFlow type, or constant
+//   prop          := source | destination | timestamp | length | id | direction | type
+//
+//   action        := drop(msg) | pass(msg) | delay(msg, TIME) | duplicate(msg)
+//                  | read_meta(msg [, STRING]) | read(msg [, STRING])
+//                  | modify(msg, STRING, expr) | redirect(msg, NAME)
+//                  | fuzz(msg [, INT])
+//                  | inject(TEMPLATE, to_switch|to_controller)
+//                  | send_front(NAME) | send_end(NAME)          # remove + re-emit
+//                  | peek_send_front(NAME) | peek_send_end(NAME) # re-emit, keep stored
+//                  | prepend(NAME, expr|msg) | append(NAME, expr|msg)
+//                  | shift(NAME) | pop(NAME)
+//                  | goto(NAME) | sleep(TIME) | syscmd(NAME, STRING)
+//   TIME          := NUMBER ("s"|"ms"|"us")
+//   TEMPLATE      := hello | echo_request | barrier_request | features_request
+//                  | flow_mod_delete_all | packet_out_flood
+//
+// Built-in constants usable as NAME in expressions: the OpenFlow message
+// types (HELLO, ERROR, ECHO_REQUEST, ..., BARRIER_REPLY), FLOW_MOD commands
+// (FLOW_MOD_ADD, FLOW_MOD_MODIFY, FLOW_MOD_DELETE), NO_BUFFER, and the
+// reserved ports (PORT_FLOOD, PORT_CONTROLLER, PORT_NONE). Entity names
+// resolve to comparable address values (for msg.source / msg.destination).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attain/lang/attack.hpp"
+#include "attain/model/capabilities.hpp"
+#include "topo/system_model.hpp"
+
+namespace attain::dsl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, unsigned line, unsigned column)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what) {}
+};
+
+/// Everything a source buffer declared.
+struct Document {
+  topo::SystemModel system;
+  bool has_system{false};
+  model::CapabilityMap capabilities;
+  std::vector<lang::Attack> attacks;
+};
+
+/// Parses a self-contained document (system block required before any
+/// attacker/attack block that references entities).
+Document parse_document(const std::string& source);
+
+/// Parses attacker/attack blocks against an externally built system model
+/// (the common programmatic path: build the model in C++, write attacks in
+/// the DSL).
+Document parse_document(const std::string& source, const topo::SystemModel& system);
+
+}  // namespace attain::dsl

@@ -1,0 +1,137 @@
+#include "attain/inject/executor.hpp"
+
+namespace attain::inject {
+
+AttackExecutor::AttackExecutor(const dsl::CompiledAttack& attack,
+                               const model::CapabilityMap& capabilities,
+                               monitor::Monitor& monitor, Rng& rng)
+    : attack_(attack), capabilities_(capabilities), monitor_(monitor), rng_(rng) {
+  for (const auto& [name, initial] : attack_.deques) {
+    storage_.declare(name, initial);
+  }
+  reset();
+}
+
+void AttackExecutor::reset() {
+  current_ = attack_.start_index;  // σ_current ← σ_start
+  storage_.reset();
+}
+
+const std::string& AttackExecutor::current_state_name() const {
+  return attack_.states[current_].name;
+}
+
+ExecutionResult AttackExecutor::process(const lang::InFlightMessage& msg) {
+  ++stats_.messages_processed;
+  ExecutionResult result;
+  // line 5: msg_out ← [msg_in]
+  result.outgoing.push_back(OutMessage{msg, 0});
+  // line 6: σ_previous ← σ_current (rules of the state at arrival apply,
+  // even if an earlier rule in the same state transitions away).
+  const std::size_t previous = current_;
+  const dsl::CompiledState& state = attack_.states[previous];
+
+  for (const dsl::CompiledRule& compiled : state.rules) {
+    const lang::Rule& rule = compiled.rule;
+    if (rule.connection != msg.connection) continue;  // rule bound to another n ∈ N_C
+    ++stats_.rules_evaluated;
+
+    // Defence in depth: the compiler already proved required ⊆ granted,
+    // but a hand-built CompiledAttack could bypass it.
+    if (!capabilities_.allows(rule.connection, compiled.required)) {
+      ++stats_.capability_violations;
+      monitor::Event event;
+      event.kind = monitor::EventKind::EvalError;
+      event.time = msg.timestamp;
+      event.connection = msg.connection;
+      event.rule = rule.name;
+      event.state = state.name;
+      event.detail = "runtime capability violation";
+      monitor_.record(std::move(event));
+      continue;
+    }
+
+    bool matched = false;
+    try {
+      lang::EvalContext ectx;
+      ectx.message = &msg;
+      ectx.storage = &storage_;
+      ectx.rng = &rng_;
+      matched = lang::evaluate_bool(*rule.conditional, ectx);
+    } catch (const std::exception& err) {
+      ++stats_.eval_errors;
+      monitor::Event event;
+      event.kind = monitor::EventKind::EvalError;
+      event.time = msg.timestamp;
+      event.connection = msg.connection;
+      event.message_id = msg.id;
+      event.rule = rule.name;
+      event.state = state.name;
+      event.detail = err.what();
+      monitor_.record(std::move(event));
+    }
+    if (!matched) continue;
+
+    ++stats_.rules_matched;
+    {
+      monitor::Event event;
+      event.kind = monitor::EventKind::RuleMatched;
+      event.time = msg.timestamp;
+      event.connection = msg.connection;
+      event.message_id = msg.id;
+      if (msg.payload) event.message_type = msg.payload->type();
+      event.rule = rule.name;
+      event.state = state.name;
+      monitor_.record(std::move(event));
+    }
+
+    ModifierContext ctx;
+    ctx.original = &msg;
+    ctx.storage = &storage_;
+    ctx.rng = &rng_;
+    ctx.monitor = &monitor_;
+    ctx.next_id = [this] { return next_id(); };
+    ctx.next_xid = [this] { return ++xid_counter_; };
+    ctx.state_name = state.name.c_str();
+    ctx.rule_name = rule.name.c_str();
+
+    for (const lang::ActionSpec& action : rule.actions) {
+      ++stats_.actions_executed;
+      if (const auto* go = std::get_if<lang::ActGoTo>(&action)) {
+        const std::size_t target = attack_.state_index(go->state);
+        if (target != current_) {
+          current_ = target;  // lines 11–12
+          ++stats_.state_transitions;
+          monitor::Event event;
+          event.kind = monitor::EventKind::StateTransition;
+          event.time = msg.timestamp;
+          event.connection = msg.connection;
+          event.rule = rule.name;
+          event.state = state.name;
+          event.detail = "-> " + go->state;
+          monitor_.record(std::move(event));
+        }
+        continue;
+      }
+      if (const auto* sleep = std::get_if<lang::ActSleep>(&action)) {
+        result.sleep += sleep->duration;
+        continue;
+      }
+      if (const auto* syscmd = std::get_if<lang::ActSysCmd>(&action)) {
+        result.syscmds.push_back(SysCmdCall{syscmd->host, syscmd->command});
+        monitor::Event event;
+        event.kind = monitor::EventKind::SysCmd;
+        event.time = msg.timestamp;
+        event.rule = rule.name;
+        event.state = state.name;
+        event.detail = syscmd->host + ": " + syscmd->command;
+        monitor_.record(std::move(event));
+        continue;
+      }
+      apply_action(action, result.outgoing, ctx);  // line 14
+    }
+  }
+  return result;
+}
+
+}  // namespace attain::inject

@@ -1,0 +1,73 @@
+// The attack executor of Algorithm 1 (§VI-B2): keeps the attack's current
+// state σ_current, evaluates the saved state's rules against each incoming
+// message, actuates actions through the message modifier, and returns the
+// outgoing message list plus any executor-level effects (sleep, syscmds).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attain/dsl/compiler.hpp"
+#include "attain/inject/modifier.hpp"
+
+namespace attain::inject {
+
+struct SysCmdCall {
+  std::string host;
+  std::string command;
+};
+
+/// Everything one message's processing produced.
+struct ExecutionResult {
+  std::vector<OutMessage> outgoing;
+  /// Accumulated SLEEP() time: the injector pauses processing this long.
+  SimTime sleep{0};
+  std::vector<SysCmdCall> syscmds;
+};
+
+struct ExecutorStats {
+  std::uint64_t messages_processed{0};
+  std::uint64_t rules_evaluated{0};
+  std::uint64_t rules_matched{0};
+  std::uint64_t actions_executed{0};
+  std::uint64_t state_transitions{0};
+  std::uint64_t capability_violations{0};  // runtime defence-in-depth hits
+  std::uint64_t eval_errors{0};
+};
+
+class AttackExecutor {
+ public:
+  /// The executor holds references to the compiled attack and capability
+  /// map; both must outlive it.
+  AttackExecutor(const dsl::CompiledAttack& attack, const model::CapabilityMap& capabilities,
+                 monitor::Monitor& monitor, Rng& rng);
+
+  /// Resets to σ_start and re-initializes storage Δ (Algorithm 1 line 2).
+  void reset();
+
+  /// Processes one incoming message (Algorithm 1 lines 4–21, minus the
+  /// actual sends, which the proxy performs with the returned list).
+  ExecutionResult process(const lang::InFlightMessage& msg);
+
+  const std::string& current_state_name() const;
+  std::size_t current_state_index() const { return current_; }
+  const lang::DequeStore& storage() const { return storage_; }
+  lang::DequeStore& storage() { return storage_; }
+  const ExecutorStats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t next_id() { return ++id_counter_; }
+
+  const dsl::CompiledAttack& attack_;
+  const model::CapabilityMap& capabilities_;
+  monitor::Monitor& monitor_;
+  Rng& rng_;
+  lang::DequeStore storage_;
+  std::size_t current_{0};
+  std::uint64_t id_counter_{1'000'000'000ULL};  // injected-message id space
+  std::uint32_t xid_counter_{0x7a000000};
+  ExecutorStats stats_;
+};
+
+}  // namespace attain::inject

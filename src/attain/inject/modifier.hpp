@@ -1,0 +1,45 @@
+// The MESSAGEMODIFIER of Algorithm 1: applies one attack action to the
+// outgoing message list. Dropping clears the list, duplicating appends a
+// copy, modifying rewrites payload fields and re-encodes the wire bytes,
+// and so on. GoToState / Sleep / SysCmd are *not* handled here — the
+// attack executor owns those (they affect executor state, not messages).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "attain/lang/actions.hpp"
+#include "attain/lang/deque_store.hpp"
+#include "attain/monitor/monitor.hpp"
+#include "common/rng.hpp"
+
+namespace attain::inject {
+
+/// One entry of msg_out: a message awaiting delivery plus its accumulated
+/// transmission delay.
+struct OutMessage {
+  lang::InFlightMessage message;
+  SimTime delay{0};
+};
+
+struct ModifierContext {
+  /// The message that triggered the rule (msg_in of Algorithm 1).
+  const lang::InFlightMessage* original{nullptr};
+  lang::DequeStore* storage{nullptr};
+  Rng* rng{nullptr};
+  monitor::Monitor* monitor{nullptr};
+  /// Allocates message ids for injected/duplicated messages.
+  std::function<std::uint64_t()> next_id;
+  /// Allocates OpenFlow xids for injected messages.
+  std::function<std::uint32_t()> next_xid;
+  const char* state_name{""};
+  const char* rule_name{""};
+};
+
+/// Applies a message-level action to `out`. Returns false (with an
+/// EvalError monitor event) when the action could not be applied — e.g.
+/// modifying an unreadable payload or replaying from an empty deque.
+bool apply_action(const lang::ActionSpec& action, std::vector<OutMessage>& out,
+                  ModifierContext& ctx);
+
+}  // namespace attain::inject

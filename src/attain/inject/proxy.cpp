@@ -1,0 +1,191 @@
+#include "attain/inject/proxy.hpp"
+
+#include "common/log.hpp"
+#include "ofp/codec.hpp"
+
+namespace attain::inject {
+
+RuntimeInjector::RuntimeInjector(sim::Scheduler& sched, const topo::SystemModel& system,
+                                 monitor::Monitor& monitor, std::uint64_t fuzz_seed)
+    : sched_(sched), system_(system), monitor_(monitor), rng_(fuzz_seed) {}
+
+void RuntimeInjector::attach_connection(ConnectionId id, std::function<void(Bytes)> to_controller,
+                                        std::function<void(Bytes)> to_switch) {
+  if (!system_.has_control_connection(id)) {
+    throw topo::ModelError("attach_connection: (" + system_.name_of(id.controller) + "," +
+                           system_.name_of(id.sw) + ") is not in N_C");
+  }
+  bool tls = false;
+  for (const topo::ControlConnSpec& spec : system_.control_connections()) {
+    if (spec.id == id) tls = spec.tls;
+  }
+  endpoints_[id] = Endpoint{std::move(to_controller), std::move(to_switch), tls};
+
+  monitor::Event event;
+  event.kind = monitor::EventKind::ConnectionAttached;
+  event.time = sched_.now();
+  event.connection = id;
+  event.detail = tls ? "tls" : "tcp";
+  monitor_.record(std::move(event));
+}
+
+std::function<void(Bytes)> RuntimeInjector::switch_side_input(ConnectionId id) {
+  return [this, id](Bytes bytes) {
+    on_input(id, lang::Direction::SwitchToController, std::move(bytes));
+  };
+}
+
+std::function<void(Bytes)> RuntimeInjector::controller_side_input(ConnectionId id) {
+  return [this, id](Bytes bytes) {
+    on_input(id, lang::Direction::ControllerToSwitch, std::move(bytes));
+  };
+}
+
+void RuntimeInjector::arm(const dsl::CompiledAttack& attack,
+                          const model::CapabilityMap& capabilities) {
+  executor_ = std::make_unique<AttackExecutor>(attack, capabilities, monitor_, rng_);
+  ATTAIN_LOG(Info, "injector") << "armed attack '" << attack.name << "' at state "
+                               << executor_->current_state_name();
+}
+
+void RuntimeInjector::disarm() { executor_.reset(); }
+
+void RuntimeInjector::set_syscmd_handler(
+    std::function<void(const std::string&, const std::string&)> handler) {
+  syscmd_handler_ = std::move(handler);
+}
+
+std::optional<std::string> RuntimeInjector::current_state() const {
+  if (!executor_) return std::nullopt;
+  return executor_->current_state_name();
+}
+
+lang::InFlightMessage RuntimeInjector::make_in_flight(ConnectionId id, lang::Direction direction,
+                                                      Bytes bytes, bool tls) {
+  lang::InFlightMessage msg;
+  msg.connection = id;
+  msg.direction = direction;
+  if (direction == lang::Direction::SwitchToController) {
+    msg.source = id.sw;
+    msg.destination = id.controller;
+  } else {
+    msg.source = id.controller;
+    msg.destination = id.sw;
+  }
+  msg.timestamp = sched_.now();
+  msg.id = next_message_id_++;
+  msg.wire = std::move(bytes);
+  msg.tls = tls;
+  if (!tls) {
+    try {
+      msg.payload = ofp::decode(msg.wire);
+    } catch (const DecodeError&) {
+      msg.payload.reset();  // forwarded opaque, like any interposer would
+    }
+  }
+  return msg;
+}
+
+void RuntimeInjector::on_input(ConnectionId id, lang::Direction direction, Bytes bytes) {
+  const auto endpoint = endpoints_.find(id);
+  if (endpoint == endpoints_.end()) return;  // connection never attached
+  ++stats_.messages_interposed;
+  lang::InFlightMessage msg =
+      make_in_flight(id, direction, std::move(bytes), endpoint->second.tls);
+
+  {
+    monitor::Event event;
+    event.kind = monitor::EventKind::MessageObserved;
+    event.time = msg.timestamp;
+    event.connection = id;
+    event.direction = direction;
+    event.message_id = msg.id;
+    if (msg.payload) event.message_type = msg.payload->type();
+    event.length = msg.length();
+    monitor_.record(std::move(event));
+  }
+
+  if (sched_.now() < paused_until_) {
+    // A SLEEP() is in effect: queue behind it, order preserved by the
+    // scheduler's FIFO tie-breaking.
+    auto shared = std::make_shared<lang::InFlightMessage>(std::move(msg));
+    sched_.at(paused_until_, [this, shared] { process_now(*shared); });
+    return;
+  }
+  process_now(msg);
+}
+
+void RuntimeInjector::process_now(const lang::InFlightMessage& msg) {
+  if (!executor_) {
+    // Disarmed: pure proxy.
+    deliver(OutMessage{msg, 0});
+    return;
+  }
+  ExecutionResult result = executor_->process(msg);
+  if (result.sleep > 0) {
+    paused_until_ = std::max(paused_until_, sched_.now() + result.sleep);
+  }
+  for (const SysCmdCall& call : result.syscmds) {
+    ++stats_.syscmds_executed;
+    if (syscmd_handler_) syscmd_handler_(call.host, call.command);
+  }
+  const std::uint64_t before = stats_.messages_delivered;
+  for (OutMessage& out : result.outgoing) {
+    deliver(out);
+  }
+  if (stats_.messages_delivered == before) ++stats_.messages_suppressed;
+}
+
+void RuntimeInjector::deliver(const OutMessage& out) {
+  const lang::InFlightMessage& msg = out.message;
+
+  // Resolve the carrying connection: a redirect may have retargeted the
+  // message at a different switch/controller; find the matching attached
+  // connection.
+  ConnectionId conn = msg.connection;
+  if (msg.direction == lang::Direction::ControllerToSwitch) {
+    if (msg.destination != conn.sw) conn.sw = msg.destination;
+  } else {
+    if (msg.destination != conn.controller) conn.controller = msg.destination;
+  }
+  const auto endpoint = endpoints_.find(conn);
+  if (endpoint == endpoints_.end()) {
+    ++stats_.undeliverable;
+    monitor::Event event;
+    event.kind = monitor::EventKind::EvalError;
+    event.time = sched_.now();
+    event.connection = msg.connection;
+    event.detail = "undeliverable: no attached connection for redirect target";
+    monitor_.record(std::move(event));
+    return;
+  }
+
+  const auto do_send = [this, conn, direction = msg.direction, wire = msg.wire,
+                        type = msg.payload ? std::optional<ofp::MsgType>(msg.payload->type())
+                                           : std::nullopt]() {
+    const auto ep = endpoints_.find(conn);
+    if (ep == endpoints_.end()) return;
+    ++stats_.messages_delivered;
+    monitor::Event event;
+    event.kind = monitor::EventKind::MessageForwarded;
+    event.time = sched_.now();
+    event.connection = conn;
+    event.direction = direction;
+    event.message_type = type;
+    event.length = wire.size();
+    monitor_.record(std::move(event));
+    if (direction == lang::Direction::ControllerToSwitch) {
+      if (ep->second.to_switch) ep->second.to_switch(wire);
+    } else {
+      if (ep->second.to_controller) ep->second.to_controller(wire);
+    }
+  };
+
+  if (out.delay > 0) {
+    sched_.after(out.delay, do_send);
+  } else {
+    do_send();
+  }
+}
+
+}  // namespace attain::inject

@@ -1,0 +1,90 @@
+// The control-plane connection proxy of §VI-B2: a single, centralized
+// runtime-injector instance interposing every control-plane connection
+// (switch-side server, controller-side client), imposing a total order on
+// control-plane events. Switches are pointed at the proxy instead of the
+// controller — no switch or controller modification is required.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "attain/inject/executor.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/system_model.hpp"
+
+namespace attain::inject {
+
+struct InjectorStats {
+  std::uint64_t messages_interposed{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t messages_suppressed{0};   // interposed minus delivered messages
+  std::uint64_t syscmds_executed{0};
+  std::uint64_t undeliverable{0};         // redirects to unattached connections
+};
+
+class RuntimeInjector {
+ public:
+  /// `syscmd_handler(host, command)` actuates SYSCMD() on a test host; the
+  /// scenario harness registers one (e.g. "start iperf server").
+  RuntimeInjector(sim::Scheduler& sched, const topo::SystemModel& system,
+                  monitor::Monitor& monitor, std::uint64_t fuzz_seed = 0xa77a19);
+
+  /// Wires one control-plane connection through the proxy. `to_controller`
+  /// and `to_switch` deliver wire bytes to the real endpoints. The
+  /// connection must exist in the system model's N_C (its TLS flag is
+  /// taken from there).
+  void attach_connection(ConnectionId id, std::function<void(Bytes)> to_controller,
+                         std::function<void(Bytes)> to_switch);
+
+  /// Input functions to hand to the endpoints: the switch sends its
+  /// control bytes into switch_side_input; the controller into
+  /// controller_side_input.
+  std::function<void(Bytes)> switch_side_input(ConnectionId id);
+  std::function<void(Bytes)> controller_side_input(ConnectionId id);
+
+  /// Arms an attack: the executor starts at σ_start with fresh storage.
+  /// Both referents must outlive the injector or a later disarm().
+  void arm(const dsl::CompiledAttack& attack, const model::CapabilityMap& capabilities);
+
+  /// Disarms: every subsequent message passes untouched.
+  void disarm();
+  bool armed() const { return executor_ != nullptr; }
+
+  void set_syscmd_handler(std::function<void(const std::string&, const std::string&)> handler);
+
+  const InjectorStats& stats() const { return stats_; }
+  /// Current attack state name; std::nullopt when disarmed.
+  std::optional<std::string> current_state() const;
+  const AttackExecutor* executor() const { return executor_.get(); }
+
+ private:
+  struct Endpoint {
+    std::function<void(Bytes)> to_controller;
+    std::function<void(Bytes)> to_switch;
+    bool tls{false};
+  };
+
+  void on_input(ConnectionId id, lang::Direction direction, Bytes bytes);
+  void process_now(const lang::InFlightMessage& msg);
+  void deliver(const OutMessage& out);
+  lang::InFlightMessage make_in_flight(ConnectionId id, lang::Direction direction, Bytes bytes,
+                                       bool tls);
+
+  sim::Scheduler& sched_;
+  const topo::SystemModel& system_;
+  monitor::Monitor& monitor_;
+  Rng rng_;
+  std::map<ConnectionId, Endpoint> endpoints_;
+  std::unique_ptr<AttackExecutor> executor_;
+  std::function<void(const std::string&, const std::string&)> syscmd_handler_;
+  InjectorStats stats_;
+  std::uint64_t next_message_id_{1};
+  /// SLEEP() pause: messages arriving before this instant queue up and are
+  /// processed (in order) when the pause ends.
+  SimTime paused_until_{0};
+};
+
+}  // namespace attain::inject

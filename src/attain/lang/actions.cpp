@@ -1,0 +1,102 @@
+#include "attain/lang/actions.hpp"
+
+namespace attain::lang {
+
+model::CapabilitySet action_capabilities(const ActionSpec& action) {
+  using model::Capability;
+  using model::CapabilitySet;
+  struct Visitor {
+    CapabilitySet operator()(const ActDrop&) const { return {Capability::DropMessage}; }
+    CapabilitySet operator()(const ActPass&) const { return {Capability::PassMessage}; }
+    CapabilitySet operator()(const ActDelay&) const { return {Capability::DelayMessage}; }
+    CapabilitySet operator()(const ActDuplicate&) const {
+      return {Capability::DuplicateMessage};
+    }
+    CapabilitySet operator()(const ActReadMeta&) const {
+      return {Capability::ReadMessageMetadata};
+    }
+    CapabilitySet operator()(const ActRead&) const { return {Capability::ReadMessage}; }
+    CapabilitySet operator()(const ActModifyField&) const {
+      return {Capability::ModifyMessage};
+    }
+    CapabilitySet operator()(const ActModifyMeta&) const {
+      return {Capability::ModifyMessageMetadata};
+    }
+    CapabilitySet operator()(const ActFuzz&) const { return {Capability::FuzzMessage}; }
+    CapabilitySet operator()(const ActInject&) const { return {Capability::InjectNewMessage}; }
+    CapabilitySet operator()(const ActSendStored&) const { return {Capability::PassMessage}; }
+    CapabilitySet operator()(const ActPrepend&) const { return {}; }
+    CapabilitySet operator()(const ActAppend&) const { return {}; }
+    CapabilitySet operator()(const ActShift&) const { return {}; }
+    CapabilitySet operator()(const ActPop&) const { return {}; }
+    CapabilitySet operator()(const ActGoTo&) const { return {}; }
+    CapabilitySet operator()(const ActSleep&) const { return {}; }
+    CapabilitySet operator()(const ActSysCmd&) const { return {}; }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+model::CapabilitySet total_action_capabilities(const ActionSpec& action) {
+  model::CapabilitySet caps = action_capabilities(action);
+  if (const auto* modify = std::get_if<ActModifyField>(&action)) {
+    if (modify->value) caps = caps | required_capabilities(*modify->value);
+  } else if (const auto* prepend = std::get_if<ActPrepend>(&action)) {
+    if (prepend->value) caps = caps | required_capabilities(*prepend->value);
+  } else if (const auto* append = std::get_if<ActAppend>(&action)) {
+    if (append->value) caps = caps | required_capabilities(*append->value);
+  }
+  return caps;
+}
+
+std::string to_string(const ActionSpec& action) {
+  struct Visitor {
+    std::string operator()(const ActDrop&) const { return "DropMessage(msg)"; }
+    std::string operator()(const ActPass&) const { return "PassMessage(msg)"; }
+    std::string operator()(const ActDelay& a) const {
+      return "DelayMessage(msg, " + std::to_string(to_seconds(a.delay)) + "s)";
+    }
+    std::string operator()(const ActDuplicate&) const { return "DuplicateMessage(msg)"; }
+    std::string operator()(const ActReadMeta& a) const {
+      return a.note.empty() ? "ReadMessageMetadata(msg)"
+                            : "ReadMessageMetadata(msg, \"" + a.note + "\")";
+    }
+    std::string operator()(const ActRead& a) const {
+      return a.note.empty() ? "ReadMessage(msg)" : "ReadMessage(msg, \"" + a.note + "\")";
+    }
+    std::string operator()(const ActModifyField& a) const {
+      return "ModifyMessage(msg, " + a.path + " := " + (a.value ? a.value->to_string() : "?") +
+             ")";
+    }
+    std::string operator()(const ActModifyMeta&) const {
+      return "ModifyMessageMetadata(msg, destination)";
+    }
+    std::string operator()(const ActFuzz& a) const {
+      return "FuzzMessage(msg, bits=" + std::to_string(a.bit_flips) + ")";
+    }
+    std::string operator()(const ActInject& a) const {
+      return "InjectNewMessage(" + ofp::to_string(a.message.type()) + ", " +
+             lang::to_string(a.direction) + ")";
+    }
+    std::string operator()(const ActSendStored& a) const {
+      return std::string("SendStored(") + a.deque + (a.from_end ? ", end" : ", front") + ")";
+    }
+    std::string operator()(const ActPrepend& a) const {
+      return "Prepend(" + a.deque + ", " + (a.value ? a.value->to_string() : "msg") + ")";
+    }
+    std::string operator()(const ActAppend& a) const {
+      return "Append(" + a.deque + ", " + (a.value ? a.value->to_string() : "msg") + ")";
+    }
+    std::string operator()(const ActShift& a) const { return "Shift(" + a.deque + ")"; }
+    std::string operator()(const ActPop& a) const { return "Pop(" + a.deque + ")"; }
+    std::string operator()(const ActGoTo& a) const { return "GoToState(" + a.state + ")"; }
+    std::string operator()(const ActSleep& a) const {
+      return "Sleep(" + std::to_string(to_seconds(a.duration)) + "s)";
+    }
+    std::string operator()(const ActSysCmd& a) const {
+      return "SysCmd(" + a.host + ", \"" + a.command + "\")";
+    }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+}  // namespace attain::lang

@@ -1,0 +1,98 @@
+// Attack actions α (§V-D): actuations of attacker capabilities plus the
+// storage, state-transition, and framework actions. Each action knows the
+// capabilities it requires so the compiler can check Γ_{N_C} feasibility.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "attain/lang/conditional.hpp"
+#include "attain/model/capabilities.hpp"
+#include "ofp/messages.hpp"
+
+namespace attain::lang {
+
+// -- capability-derived actions (Table I) --
+
+struct ActDrop {};        // DROPMESSAGE(msg)
+struct ActPass {};        // PASSMESSAGE(msg)
+struct ActDelay {         // DELAYMESSAGE(msg, t)
+  SimTime delay{0};
+};
+struct ActDuplicate {};   // DUPLICATEMESSAGE(msg)
+struct ActReadMeta {      // READMESSAGEMETADATA(msg): record to the monitor
+  std::string note;       // free-form annotation in the monitor log
+};
+struct ActRead {          // READMESSAGE(msg): record decoded payload
+  std::string note;
+};
+struct ActModifyField {   // MODIFYMESSAGE(msg): semantically valid payload edit
+  std::string path;       // ofp::set_field path
+  ExprPtr value;          // evaluated at actuation time
+};
+struct ActModifyMeta {    // MODIFYMESSAGEMETADATA(msg): redirect the message
+  enum class Target : std::uint8_t { Destination } target{Target::Destination};
+  EntityId new_destination;
+};
+struct ActFuzz {          // FUZZMESSAGE(msg)
+  unsigned bit_flips{8};
+};
+struct ActInject {        // INJECTNEWMESSAGE(msg): emit a fresh message
+  ofp::Message message;   // template; xid refreshed at injection time
+  Direction direction{Direction::ControllerToSwitch};
+};
+/// Re-emit a message previously captured into a deque (replay/reorder,
+/// §VIII-A). Requires PASSMESSAGE — the paper composes replay from
+/// SHIFT/POP + PASSMESSAGE.
+struct ActSendStored {
+  std::string deque;
+  bool from_end{false};   // POP (end) vs SHIFT (front)
+  bool remove{true};      // false = EXAMINE + send (keeps the copy stored)
+};
+
+// -- storage actions (§V-D deque operations) --
+
+struct ActPrepend {
+  std::string deque;
+  ExprPtr value;          // special case: a `msg` literal stores the message
+};
+struct ActAppend {
+  std::string deque;
+  ExprPtr value;
+};
+struct ActShift {         // SHIFT(δ), result discarded
+  std::string deque;
+};
+struct ActPop {           // POP(δ), result discarded
+  std::string deque;
+};
+
+// -- framework actions --
+
+struct ActGoTo {          // GOTOSTATE(σ)
+  std::string state;
+};
+struct ActSleep {         // SLEEP(t): pause rule processing on the injector
+  SimTime duration{0};
+};
+struct ActSysCmd {        // SYSCMD(host, cmd): run a command on a test host
+  std::string host;
+  std::string command;
+};
+
+using ActionSpec =
+    std::variant<ActDrop, ActPass, ActDelay, ActDuplicate, ActReadMeta, ActRead, ActModifyField,
+                 ActModifyMeta, ActFuzz, ActInject, ActSendStored, ActPrepend, ActAppend,
+                 ActShift, ActPop, ActGoTo, ActSleep, ActSysCmd>;
+
+/// Capabilities the action itself needs (expression operands add theirs via
+/// required_capabilities on the expressions).
+model::CapabilitySet action_capabilities(const ActionSpec& action);
+
+/// Capabilities including embedded expressions.
+model::CapabilitySet total_action_capabilities(const ActionSpec& action);
+
+std::string to_string(const ActionSpec& action);
+
+}  // namespace attain::lang

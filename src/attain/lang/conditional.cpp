@@ -1,0 +1,280 @@
+#include "attain/lang/conditional.hpp"
+
+#include "ofp/fields.hpp"
+
+namespace attain::lang {
+
+std::string to_string(Property property) {
+  switch (property) {
+    case Property::Source: return "msg.source";
+    case Property::Destination: return "msg.destination";
+    case Property::Timestamp: return "msg.timestamp";
+    case Property::Length: return "msg.length";
+    case Property::Id: return "msg.id";
+    case Property::Direction: return "msg.direction";
+    case Property::Type: return "msg.type";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::And: return "and";
+    case BinaryOp::Or: return "or";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+  }
+  return "?";
+}
+
+std::int64_t as_int(const Value& v, const char* what) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  throw EvalError(std::string("expected integer operand for ") + what + ", got " +
+                  to_string(v));
+}
+
+}  // namespace
+
+ExprPtr Expr::literal_int(std::int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Literal;
+  e->literal = v;
+  return e;
+}
+
+ExprPtr Expr::literal_value(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Literal;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::prop(Property p) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Prop;
+  e->property = p;
+  return e;
+}
+
+ExprPtr Expr::field(std::string path) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Field;
+  e->field_path = std::move(path);
+  return e;
+}
+
+ExprPtr Expr::deque_front(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::DequeFront;
+  e->deque_name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::deque_end(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::DequeEnd;
+  e->deque_name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::deque_len(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::DequeLen;
+  e->deque_name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::negate(ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Not;
+  e->a = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::binary(BinaryOp op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Binary;
+  e->op = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::in_set(ExprPtr a, std::vector<Value> set) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::InSet;
+  e->a = std::move(a);
+  e->set = std::move(set);
+  return e;
+}
+
+ExprPtr Expr::random(std::int64_t bound) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Random;
+  e->random_bound = bound;
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::Literal: return lang::to_string(literal);
+    case Kind::Prop: return lang::to_string(property);
+    case Kind::Field: return "msg.field(\"" + field_path + "\")";
+    case Kind::DequeFront: return "examine_front(" + deque_name + ")";
+    case Kind::DequeEnd: return "examine_end(" + deque_name + ")";
+    case Kind::DequeLen: return "len(" + deque_name + ")";
+    case Kind::Not: return "not (" + a->to_string() + ")";
+    case Kind::Binary:
+      return "(" + a->to_string() + " " + op_name(op) + " " + b->to_string() + ")";
+    case Kind::Random:
+      return "rand(" + std::to_string(random_bound) + ")";
+    case Kind::InSet: {
+      std::string out = a->to_string() + " in {";
+      const char* sep = "";
+      for (const Value& v : set) {
+        out += sep;
+        out += lang::to_string(v);
+        sep = ",";
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+Value eval_prop(Property property, const EvalContext& ctx) {
+  if (ctx.message == nullptr) throw EvalError("no message in evaluation context");
+  const InFlightMessage& msg = *ctx.message;
+  switch (property) {
+    case Property::Source: return entity_value(msg.source);
+    case Property::Destination: return entity_value(msg.destination);
+    case Property::Timestamp: return static_cast<std::int64_t>(msg.timestamp);
+    case Property::Length: return static_cast<std::int64_t>(msg.length());
+    case Property::Id: return static_cast<std::int64_t>(msg.id);
+    case Property::Direction: return static_cast<std::int64_t>(msg.direction);
+    case Property::Type:
+      if (!msg.payload) throw EvalError("payload not readable (TLS or undecodable)");
+      return static_cast<std::int64_t>(msg.payload->type());
+  }
+  throw EvalError("bad property");
+}
+
+}  // namespace
+
+Value evaluate(const Expr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case Expr::Kind::Literal:
+      return expr.literal;
+    case Expr::Kind::Prop:
+      return eval_prop(expr.property, ctx);
+    case Expr::Kind::Field: {
+      if (ctx.message == nullptr) throw EvalError("no message in evaluation context");
+      if (!ctx.message->payload) throw EvalError("payload not readable (TLS or undecodable)");
+      const auto value = ofp::get_field(*ctx.message->payload, expr.field_path);
+      if (!value) {
+        throw EvalError("message type " + to_string(ctx.message->payload->type()) +
+                        " has no field " + expr.field_path);
+      }
+      return static_cast<std::int64_t>(*value);
+    }
+    case Expr::Kind::DequeFront:
+      if (ctx.storage == nullptr) throw EvalError("no storage in evaluation context");
+      return ctx.storage->examine_front(expr.deque_name);
+    case Expr::Kind::DequeEnd:
+      if (ctx.storage == nullptr) throw EvalError("no storage in evaluation context");
+      return ctx.storage->examine_end(expr.deque_name);
+    case Expr::Kind::DequeLen:
+      if (ctx.storage == nullptr) throw EvalError("no storage in evaluation context");
+      return static_cast<std::int64_t>(ctx.storage->size(expr.deque_name));
+    case Expr::Kind::Not:
+      return static_cast<std::int64_t>(!evaluate_bool(*expr.a, ctx));
+    case Expr::Kind::Binary: {
+      switch (expr.op) {
+        case BinaryOp::And:  // short-circuit, so a FLOW_MOD-field guard works
+          return static_cast<std::int64_t>(evaluate_bool(*expr.a, ctx) &&
+                                           evaluate_bool(*expr.b, ctx));
+        case BinaryOp::Or:
+          return static_cast<std::int64_t>(evaluate_bool(*expr.a, ctx) ||
+                                           evaluate_bool(*expr.b, ctx));
+        default:
+          break;
+      }
+      const Value va = evaluate(*expr.a, ctx);
+      const Value vb = evaluate(*expr.b, ctx);
+      switch (expr.op) {
+        case BinaryOp::Eq: return static_cast<std::int64_t>(value_equals(va, vb));
+        case BinaryOp::Ne: return static_cast<std::int64_t>(!value_equals(va, vb));
+        case BinaryOp::Lt: return static_cast<std::int64_t>(as_int(va, "<") < as_int(vb, "<"));
+        case BinaryOp::Le: return static_cast<std::int64_t>(as_int(va, "<=") <= as_int(vb, "<="));
+        case BinaryOp::Gt: return static_cast<std::int64_t>(as_int(va, ">") > as_int(vb, ">"));
+        case BinaryOp::Ge: return static_cast<std::int64_t>(as_int(va, ">=") >= as_int(vb, ">="));
+        case BinaryOp::Add: return as_int(va, "+") + as_int(vb, "+");
+        case BinaryOp::Sub: return as_int(va, "-") - as_int(vb, "-");
+        case BinaryOp::And:
+        case BinaryOp::Or:
+          break;
+      }
+      throw EvalError("bad binary op");
+    }
+    case Expr::Kind::InSet: {
+      const Value v = evaluate(*expr.a, ctx);
+      for (const Value& member : expr.set) {
+        if (value_equals(v, member)) return std::int64_t{1};
+      }
+      return std::int64_t{0};
+    }
+    case Expr::Kind::Random: {
+      if (ctx.rng == nullptr) throw EvalError("no RNG in evaluation context for rand()");
+      if (expr.random_bound <= 0) throw EvalError("rand() bound must be positive");
+      return static_cast<std::int64_t>(
+          ctx.rng->next_below(static_cast<std::uint64_t>(expr.random_bound)));
+    }
+  }
+  throw EvalError("bad expression kind");
+}
+
+bool evaluate_bool(const Expr& expr, const EvalContext& ctx) {
+  const Value v = evaluate(expr, ctx);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i != 0;
+  throw EvalError("conditional did not evaluate to a boolean/integer: " + to_string(v));
+}
+
+model::CapabilitySet required_capabilities(const Expr& expr) {
+  model::CapabilitySet caps;
+  switch (expr.kind) {
+    case Expr::Kind::Prop:
+      if (expr.property == Property::Type) {
+        caps.insert(model::Capability::ReadMessage);
+      } else {
+        caps.insert(model::Capability::ReadMessageMetadata);
+      }
+      break;
+    case Expr::Kind::Field:
+      caps.insert(model::Capability::ReadMessage);
+      break;
+    case Expr::Kind::Not:
+      caps = required_capabilities(*expr.a);
+      break;
+    case Expr::Kind::Binary:
+      caps = required_capabilities(*expr.a) | required_capabilities(*expr.b);
+      break;
+    case Expr::Kind::InSet:
+      caps = required_capabilities(*expr.a);
+      break;
+    default:
+      break;
+  }
+  return caps;
+}
+
+}  // namespace attain::lang

@@ -1,0 +1,124 @@
+// Conditional expressions λ (§V-B): propositional logic over message
+// properties with equality, ordering, set membership, and deque reads, plus
+// the small integer arithmetic needed for counter idioms (§VIII-B).
+//
+// Capability accounting: evaluating a metadata property (source,
+// destination, timestamp, length, id, direction) requires
+// READMESSAGEMETADATA; evaluating the payload (type or a type-option field)
+// requires READMESSAGE. required_capabilities() computes the union for a
+// whole expression so the compiler can check feasibility against Γ_{N_C}.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "attain/lang/deque_store.hpp"
+#include "attain/lang/value.hpp"
+#include "attain/model/capabilities.hpp"
+#include "common/rng.hpp"
+
+namespace attain::lang {
+
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Message properties referencable in expressions (§V-A).
+enum class Property : std::uint8_t {
+  Source,       // metadata
+  Destination,  // metadata
+  Timestamp,    // metadata (microseconds)
+  Length,       // metadata
+  Id,           // metadata
+  Direction,    // metadata (0 = switch->controller, 1 = controller->switch)
+  Type,         // payload (OpenFlow message type)
+};
+
+std::string to_string(Property property);
+
+enum class BinaryOp : std::uint8_t { And, Or, Eq, Ne, Lt, Le, Gt, Ge, Add, Sub };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// AST node. A tree is immutable after construction and shared freely
+/// between compiled rules.
+struct Expr {
+  enum class Kind : std::uint8_t {
+    Literal,       // value
+    Prop,          // property of the current message
+    Field,         // payload field by dotted path (ofp::get_field)
+    DequeFront,    // EXAMINEFRONT(δ) as an expression
+    DequeEnd,      // EXAMINEEND(δ)
+    DequeLen,      // |δ| (convenience; counts as no capability)
+    Not,           // logical negation of child a
+    Binary,        // op over children a, b
+    InSet,         // a ∈ {set...}
+    Random,        // uniform integer in [0, bound) — the stochastic
+                   // extension the paper defers to future work (§VIII-A);
+                   // draws from the injector's seeded RNG, so runs stay
+                   // replayable
+  };
+
+  Kind kind{Kind::Literal};
+  Value literal{std::int64_t{0}};
+  Property property{Property::Source};
+  std::string field_path;   // Field
+  std::string deque_name;   // DequeFront/DequeEnd/DequeLen
+  BinaryOp op{BinaryOp::And};
+  ExprPtr a;
+  ExprPtr b;
+  std::vector<Value> set;        // InSet members
+  std::int64_t random_bound{0};  // Random
+
+  // -- factories --
+  static ExprPtr literal_int(std::int64_t v);
+  static ExprPtr literal_value(Value v);
+  static ExprPtr prop(Property p);
+  static ExprPtr field(std::string path);
+  static ExprPtr deque_front(std::string name);
+  static ExprPtr deque_end(std::string name);
+  static ExprPtr deque_len(std::string name);
+  static ExprPtr negate(ExprPtr a);
+  static ExprPtr binary(BinaryOp op, ExprPtr a, ExprPtr b);
+  static ExprPtr in_set(ExprPtr a, std::vector<Value> set);
+  /// rand(bound): uniform in [0, bound); bound must be > 0. Evaluating it
+  /// without an Rng in the context is an EvalError.
+  static ExprPtr random(std::int64_t bound);
+
+  /// Renders the expression in the paper's notation (∧ as "and", etc.).
+  std::string to_string() const;
+};
+
+/// Shorthand factories for the common connective spellings.
+inline ExprPtr operator&&(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinaryOp::And, std::move(a), std::move(b));
+}
+inline ExprPtr operator||(ExprPtr a, ExprPtr b) {
+  return Expr::binary(BinaryOp::Or, std::move(a), std::move(b));
+}
+
+/// Evaluation context: the current message plus attack storage, and the
+/// seeded RNG backing the stochastic extension.
+struct EvalContext {
+  const InFlightMessage* message{nullptr};
+  const DequeStore* storage{nullptr};
+  Rng* rng{nullptr};
+};
+
+/// Evaluates to a Value. Logical results are int64 0/1. Throws EvalError on
+/// type mismatches, missing payload fields, or payload access on an
+/// undecodable/TLS message.
+Value evaluate(const Expr& expr, const EvalContext& ctx);
+
+/// Evaluates as a boolean conditional. A rule whose conditional throws is
+/// treated as non-matching by the executor (and reported to the monitor),
+/// so a FLOW_MOD-field reference simply never matches an ECHO message.
+bool evaluate_bool(const Expr& expr, const EvalContext& ctx);
+
+/// Union of the read capabilities the expression needs (§IV-C).
+model::CapabilitySet required_capabilities(const Expr& expr);
+
+}  // namespace attain::lang

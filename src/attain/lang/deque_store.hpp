@@ -1,0 +1,55 @@
+// The attack language's storage Δ (§V-C): named double-ended queues with
+// the six operations of §V-D (PREPEND, APPEND, EXAMINEFRONT, EXAMINEEND,
+// SHIFT, POP). Deques hold Values, so the same mechanism serves counters,
+// general variables, and message capture for replay/reordering (§VIII-A).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attain/lang/value.hpp"
+
+namespace attain::lang {
+
+class StorageError : public std::runtime_error {
+ public:
+  explicit StorageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class DequeStore {
+ public:
+  /// Declares δ with optional initial contents. Redeclaration throws.
+  void declare(const std::string& name, std::vector<Value> initial = {});
+  bool exists(const std::string& name) const { return deques_.contains(name); }
+
+  // §V-D operations; all throw StorageError on an undeclared deque, and
+  // the examine/remove operations throw on an empty deque (an attack-
+  // description bug the executor surfaces via the monitor).
+  void prepend(const std::string& name, Value value);
+  void append(const std::string& name, Value value);
+  Value examine_front(const std::string& name) const;
+  Value examine_end(const std::string& name) const;
+  Value shift(const std::string& name);
+  Value pop(const std::string& name);
+
+  std::size_t size(const std::string& name) const;
+  bool empty(const std::string& name) const { return size(name) == 0; }
+
+  /// Resets every deque to its declared initial contents (used when an
+  /// attack is re-armed).
+  void reset();
+
+  std::vector<std::string> names() const;
+
+ private:
+  const std::deque<Value>& require(const std::string& name) const;
+  std::deque<Value>& require(const std::string& name);
+
+  std::map<std::string, std::deque<Value>> deques_;
+  std::map<std::string, std::vector<Value>> initial_;
+};
+
+}  // namespace attain::lang

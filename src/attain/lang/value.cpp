@@ -1,0 +1,29 @@
+#include "attain/lang/value.hpp"
+
+namespace attain::lang {
+
+std::string to_string(Direction direction) {
+  return direction == Direction::SwitchToController ? "switch->controller"
+                                                    : "controller->switch";
+}
+
+std::string to_string(const Value& value) {
+  struct Visitor {
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(const std::string& v) const { return "\"" + v + "\""; }
+    std::string operator()(const StoredMessage& v) const {
+      if (!v) return "<null message>";
+      return "<message id=" + std::to_string(v->id) + ">";
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+bool value_equals(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ai = std::get_if<std::int64_t>(&a)) return *ai == std::get<std::int64_t>(b);
+  if (const auto* as = std::get_if<std::string>(&a)) return *as == std::get<std::string>(b);
+  return std::get<StoredMessage>(a) == std::get<StoredMessage>(b);
+}
+
+}  // namespace attain::lang

@@ -1,0 +1,64 @@
+// Runtime values of the attack language: the message-in-flight record the
+// injector evaluates rules against (§V-A message properties), and the Value
+// variant stored in deques and produced by expressions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "ofp/messages.hpp"
+
+namespace attain::lang {
+
+/// Which way a control-plane message is travelling on its connection.
+enum class Direction : std::uint8_t { SwitchToController, ControllerToSwitch };
+
+std::string to_string(Direction direction);
+
+/// A control message as seen by the runtime injector's proxy, carrying the
+/// paper's message properties. Metadata (source, destination, timestamp,
+/// length, id) is always populated; the decoded payload view is populated
+/// only for non-TLS connections (the injector cannot parse ciphertext).
+struct InFlightMessage {
+  ConnectionId connection;
+  Direction direction{Direction::SwitchToController};
+  EntityId source;        // MESSAGESOURCE (∈ C ∪ S)
+  EntityId destination;   // MESSAGEDESTINATION (∈ C ∪ S)
+  SimTime timestamp{0};   // MESSAGETIMESTAMP (arrival time)
+  std::uint64_t id{0};    // MESSAGEID (unique, injector-assigned)
+  Bytes wire;             // raw frame; MESSAGELENGTH = wire.size()
+  /// Decoded payload (MESSAGETYPE + MESSAGETYPEOPTIONS); std::nullopt when
+  /// the connection is TLS-protected or the frame does not parse.
+  std::optional<ofp::Message> payload;
+  bool tls{false};
+
+  std::size_t length() const { return wire.size(); }
+};
+
+/// Encodes an entity id as an expression-comparable integer. Guaranteed
+/// distinct across kinds and indices.
+constexpr std::int64_t entity_value(EntityId id) {
+  return (static_cast<std::int64_t>(id.kind) + 1) * (std::int64_t{1} << 32) +
+         static_cast<std::int64_t>(id.index);
+}
+
+/// A stored message (deques hold snapshots so replay survives the original
+/// leaving the pipeline).
+using StoredMessage = std::shared_ptr<const InFlightMessage>;
+
+/// The language's value domain: integers (counters, addresses, field
+/// values), strings (rare: monitor annotations), and captured messages.
+using Value = std::variant<std::int64_t, std::string, StoredMessage>;
+
+std::string to_string(const Value& value);
+
+/// True iff both are integers/strings and equal, or both reference the
+/// same stored message.
+bool value_equals(const Value& a, const Value& b);
+
+}  // namespace attain::lang

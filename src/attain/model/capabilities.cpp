@@ -1,0 +1,83 @@
+#include "attain/model/capabilities.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace attain::model {
+
+std::string to_string(Capability capability) {
+  switch (capability) {
+    case Capability::DropMessage: return "DropMessage";
+    case Capability::PassMessage: return "PassMessage";
+    case Capability::DelayMessage: return "DelayMessage";
+    case Capability::DuplicateMessage: return "DuplicateMessage";
+    case Capability::ReadMessageMetadata: return "ReadMessageMetadata";
+    case Capability::ModifyMessageMetadata: return "ModifyMessageMetadata";
+    case Capability::FuzzMessage: return "FuzzMessage";
+    case Capability::ReadMessage: return "ReadMessage";
+    case Capability::ModifyMessage: return "ModifyMessage";
+    case Capability::InjectNewMessage: return "InjectNewMessage";
+  }
+  return "?";
+}
+
+std::optional<Capability> capability_from_string(const std::string& text) {
+  std::string key;
+  for (const char c : text) {
+    if (c == '_') continue;  // accept snake_case spellings
+    key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  static const std::pair<const char*, Capability> table[] = {
+      {"dropmessage", Capability::DropMessage},
+      {"passmessage", Capability::PassMessage},
+      {"delaymessage", Capability::DelayMessage},
+      {"duplicatemessage", Capability::DuplicateMessage},
+      {"readmessagemetadata", Capability::ReadMessageMetadata},
+      {"modifymessagemetadata", Capability::ModifyMessageMetadata},
+      {"fuzzmessage", Capability::FuzzMessage},
+      {"readmessage", Capability::ReadMessage},
+      {"modifymessage", Capability::ModifyMessage},
+      {"injectnewmessage", Capability::InjectNewMessage},
+  };
+  for (const auto& [name, cap] : table) {
+    if (key == name) return cap;
+  }
+  return std::nullopt;
+}
+
+std::vector<Capability> CapabilitySet::to_vector() const {
+  std::vector<Capability> caps;
+  for (std::size_t i = 0; i < kCapabilityCount; ++i) {
+    const auto c = static_cast<Capability>(i);
+    if (contains(c)) caps.push_back(c);
+  }
+  return caps;
+}
+
+std::string CapabilitySet::to_string() const {
+  std::string out = "{";
+  const char* sep = "";
+  for (const Capability c : to_vector()) {
+    out += sep;
+    out += model::to_string(c);
+    sep = ",";
+  }
+  out += "}";
+  return out;
+}
+
+void CapabilityMap::grant(ConnectionId connection, CapabilitySet capabilities) {
+  entries_[connection] = entries_[connection] | capabilities;
+}
+
+CapabilitySet CapabilityMap::capabilities_on(ConnectionId connection) const {
+  const auto it = entries_.find(connection);
+  if (it == entries_.end()) return CapabilitySet::none();
+  return it->second;
+}
+
+bool CapabilityMap::allows(ConnectionId connection, CapabilitySet required) const {
+  return capabilities_on(connection).contains_all(required);
+}
+
+}  // namespace attain::model

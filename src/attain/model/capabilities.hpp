@@ -1,0 +1,123 @@
+// The paper's attacker capabilities model (§IV-C, Table I): the set Γ of
+// per-message capabilities, the TLS / NoTLS capability classes, and the map
+// Γ_{N_C} : N_C → P(Γ) assigning a capability set to each control-plane
+// connection.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace attain::model {
+
+/// Table I, in declaration order.
+enum class Capability : std::uint8_t {
+  DropMessage,
+  PassMessage,
+  DelayMessage,
+  DuplicateMessage,
+  ReadMessageMetadata,
+  ModifyMessageMetadata,
+  FuzzMessage,
+  ReadMessage,
+  ModifyMessage,
+  InjectNewMessage,
+};
+
+inline constexpr std::size_t kCapabilityCount = 10;
+
+std::string to_string(Capability capability);
+/// Parses the paper's capability names ("DROPMESSAGE", case-insensitive,
+/// also accepts snake_case "drop_message").
+std::optional<Capability> capability_from_string(const std::string& text);
+
+/// A subset of Γ as a small bitset with set-algebra helpers.
+class CapabilitySet {
+ public:
+  constexpr CapabilitySet() = default;
+  constexpr CapabilitySet(std::initializer_list<Capability> caps) {
+    for (const Capability c : caps) bits_ |= bit(c);
+  }
+
+  /// Γ: every capability (the paper's Γ_NoTLS).
+  static constexpr CapabilitySet all() {
+    CapabilitySet s;
+    s.bits_ = (1u << kCapabilityCount) - 1;
+    return s;
+  }
+  static constexpr CapabilitySet none() { return CapabilitySet{}; }
+
+  /// Γ_NoTLS = Γ (§IV-C1).
+  static constexpr CapabilitySet no_tls() { return all(); }
+
+  /// Γ_TLS = Γ \ {READMESSAGE, MODIFYMESSAGE, FUZZMESSAGE,
+  /// INJECTNEWMESSAGE, MODIFYMESSAGEMETADATA} (§IV-C2): with an
+  /// uncompromised PKI the attacker can neither understand payloads nor
+  /// forge valid messages, but can still act on intercepted ciphertext and
+  /// read metadata.
+  static constexpr CapabilitySet tls() {
+    CapabilitySet s = all();
+    s.bits_ &= ~(bit(Capability::ReadMessage) | bit(Capability::ModifyMessage) |
+                 bit(Capability::FuzzMessage) | bit(Capability::InjectNewMessage) |
+                 bit(Capability::ModifyMessageMetadata));
+    return s;
+  }
+
+  constexpr bool contains(Capability c) const { return (bits_ & bit(c)) != 0; }
+  constexpr bool contains_all(CapabilitySet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr void insert(Capability c) { bits_ |= bit(c); }
+  constexpr void erase(Capability c) { bits_ &= ~bit(c); }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr std::size_t size() const { return static_cast<std::size_t>(__builtin_popcount(bits_)); }
+
+  constexpr CapabilitySet operator|(CapabilitySet other) const {
+    CapabilitySet s;
+    s.bits_ = bits_ | other.bits_;
+    return s;
+  }
+  constexpr CapabilitySet operator&(CapabilitySet other) const {
+    CapabilitySet s;
+    s.bits_ = bits_ & other.bits_;
+    return s;
+  }
+  /// Set difference (Γ \ other).
+  constexpr CapabilitySet operator-(CapabilitySet other) const {
+    CapabilitySet s;
+    s.bits_ = bits_ & ~other.bits_;
+    return s;
+  }
+  friend constexpr bool operator==(CapabilitySet, CapabilitySet) = default;
+
+  std::vector<Capability> to_vector() const;
+  std::string to_string() const;
+
+ private:
+  static constexpr std::uint16_t bit(Capability c) {
+    return static_cast<std::uint16_t>(1u << static_cast<unsigned>(c));
+  }
+  std::uint16_t bits_{0};
+};
+
+/// Γ_{N_C}: the per-connection attacker capability assignment. Connections
+/// not explicitly granted default to CapabilitySet::none() (the attacker
+/// has no presence there).
+class CapabilityMap {
+ public:
+  void grant(ConnectionId connection, CapabilitySet capabilities);
+  CapabilitySet capabilities_on(ConnectionId connection) const;
+  bool allows(ConnectionId connection, CapabilitySet required) const;
+
+  const std::map<ConnectionId, CapabilitySet>& entries() const { return entries_; }
+
+ private:
+  std::map<ConnectionId, CapabilitySet> entries_;
+};
+
+}  // namespace attain::model

@@ -1,0 +1,42 @@
+// Small metric/reporting helpers used by the experiment harness and the
+// benchmark binaries: summary statistics over trial vectors and an aligned
+// text-table renderer for paper-style result tables.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace attain::monitor {
+
+/// Summary statistics over a sample vector (empty-safe).
+struct Summary {
+  std::size_t n{0};
+  double mean{0.0};
+  double min{0.0};
+  double max{0.0};
+  double stddev{0.0};
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+/// Renders aligned columns with a header row, like the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::string to_string() const;
+
+  /// Formats a double with fixed precision.
+  static std::string num(double value, int precision = 2);
+  /// The paper's Fig. 11 convention: "*" for a denial of service
+  /// (throughput zero / latency infinite).
+  static std::string num_or_star(std::optional<double> value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace attain::monitor

@@ -1,0 +1,89 @@
+// Monitors (Fig. 7, §VI-B3): the framework-side recording of control-plane
+// events — every interposed message, rule actuations, state transitions,
+// injections, and SYSCMD invocations. Practitioners read the event log (or
+// its counters) after a run; the experiment harness builds the paper's
+// metrics from it. The monitor is test infrastructure and is not subject
+// to the attacker capability model (which constrains only attack rules).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attain/lang/value.hpp"
+#include "ofp/constants.hpp"
+
+namespace attain::monitor {
+
+enum class EventKind : std::uint8_t {
+  MessageObserved,   // proxy saw a message (before rules)
+  MessageForwarded,  // proxy delivered a message
+  MessageDropped,    // removed from the outgoing list
+  MessageDelayed,
+  MessageDuplicated,
+  MessageModified,
+  MessageFuzzed,
+  MessageInjected,
+  MessageRedirected,
+  RuleMatched,       // a conditional evaluated TRUE
+  StateTransition,   // GoToState took effect
+  ActionExecuted,
+  SysCmd,
+  EvalError,         // a conditional/action raised (treated as no-match)
+  ConnectionAttached,
+};
+
+std::string to_string(EventKind kind);
+
+struct Event {
+  EventKind kind{EventKind::MessageObserved};
+  SimTime time{0};
+  ConnectionId connection;
+  lang::Direction direction{lang::Direction::SwitchToController};
+  std::uint64_t message_id{0};
+  std::optional<ofp::MsgType> message_type;  // absent for TLS/undecodable
+  std::size_t length{0};
+  std::string rule;    // rule name, when applicable
+  std::string state;   // attack state, when applicable
+  std::string detail;  // free-form annotation
+};
+
+class Monitor {
+ public:
+  void record(Event event);
+
+  const std::vector<Event>& events() const { return events_; }
+  void clear();
+
+  /// Number of events of a kind.
+  std::uint64_t count(EventKind kind) const;
+  /// Number of observed messages of an OpenFlow type (across connections).
+  std::uint64_t observed_of_type(ofp::MsgType type) const;
+  /// Observed messages on one connection, one direction.
+  std::uint64_t observed_on(ConnectionId connection, lang::Direction direction) const;
+
+  /// Events matching a predicate (convenience for tests/analysis).
+  std::vector<Event> select(const std::function<bool(const Event&)>& predicate) const;
+
+  /// Keep only counters, not the full event list (for long benchmark runs).
+  void set_counters_only(bool counters_only) { counters_only_ = counters_only; }
+
+  /// Renders the log as text, one event per line.
+  std::string to_text(std::size_t max_events = 0) const;
+
+  /// Renders the log as CSV (header + one row per event) for offline
+  /// analysis — the tcpdump-equivalent artifact of the paper's monitors.
+  std::string to_csv() const;
+
+ private:
+  std::vector<Event> events_;
+  std::map<EventKind, std::uint64_t> kind_counts_;
+  std::map<ofp::MsgType, std::uint64_t> type_counts_;
+  std::map<std::pair<ConnectionId, lang::Direction>, std::uint64_t> conn_counts_;
+  bool counters_only_{false};
+};
+
+}  // namespace attain::monitor

@@ -1,0 +1,112 @@
+#include "common/bytes.hpp"
+
+#include <algorithm>
+
+namespace attain {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::pad(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+void ByteWriter::fixed_string(const std::string& s, std::size_t width) {
+  const std::size_t copy = std::min(s.size(), width);
+  buf_.insert(buf_.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(copy));
+  pad(width - copy);
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) {
+    throw std::out_of_range("ByteWriter::patch_u16 past end");
+  }
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw DecodeError("buffer underrun: need " + std::to_string(n) + " bytes at offset " +
+                      std::to_string(pos_) + ", have " + std::to_string(data_.size() - pos_));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  const std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t hi = u32();
+  return (hi << 32) | u32();
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  require(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+std::string ByteReader::fixed_string(std::size_t width) {
+  require(width);
+  std::string s;
+  for (std::size_t i = 0; i < width; ++i) {
+    const char c = static_cast<char>(data_[pos_ + i]);
+    if (c == '\0') break;
+    s.push_back(c);
+  }
+  pos_ += width;
+  return s;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace attain

@@ -1,0 +1,79 @@
+// Big-endian byte buffer reader/writer used by every wire codec in the
+// repository (OpenFlow 1.0 and the data-plane packet formats are both
+// network byte order).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace attain {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Error thrown when a decoder runs past the end of its buffer or meets a
+/// malformed structure. Codecs never read out of bounds.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian scalar values to a growable byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> data);
+  /// Appends `n` zero bytes (struct padding).
+  void pad(std::size_t n);
+  /// Writes a fixed-width, zero-padded ASCII field (e.g. port names).
+  void fixed_string(const std::string& s, std::size_t width);
+
+  /// Overwrites a previously written big-endian u16 at `offset` — used to
+  /// patch message lengths after the body is known.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads big-endian scalar values from a byte span with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Copies `n` bytes out of the buffer.
+  Bytes raw(std::size_t n);
+  /// Skips `n` padding bytes.
+  void skip(std::size_t n);
+  /// Reads a fixed-width zero-padded ASCII field, trimming trailing NULs.
+  std::string fixed_string(std::size_t width);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+};
+
+/// Renders bytes as lowercase hex, two digits per byte ("dead beef" style,
+/// no separators) — used by logs and fuzz-test diagnostics.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace attain

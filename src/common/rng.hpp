@@ -1,0 +1,31 @@
+// Deterministic pseudo-random number generation. Everything stochastic in
+// the framework (fuzzing, jitter) draws from a seeded Rng so experiments are
+// exactly replayable.
+#pragma once
+
+#include <cstdint>
+
+namespace attain {
+
+/// SplitMix64 generator: tiny, fast, and good enough for fuzzing and
+/// workload jitter. Not cryptographic — this is a testing framework.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace attain

@@ -1,0 +1,52 @@
+// Fundamental identifier and time types shared across the ATTAIN codebase.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace attain {
+
+/// Virtual simulation time in integer microseconds. All timing in the
+/// simulator is expressed in SimTime so experiments are deterministic and
+/// replayable (no wall-clock leakage).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a floating-point second count to SimTime, rounding to the
+/// nearest microsecond.
+constexpr SimTime seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Kind of a system-model entity (paper §IV-A).
+enum class EntityKind : std::uint8_t { Controller, Switch, Host };
+
+/// Identifier for a controller, switch, or host. Entities are compared by
+/// (kind, index); the human-readable name ("c1", "s2", "h3") is kept by the
+/// system model.
+struct EntityId {
+  EntityKind kind{EntityKind::Host};
+  std::uint32_t index{0};
+
+  friend auto operator<=>(const EntityId&, const EntityId&) = default;
+};
+
+/// A control-plane connection n = (controller, switch) in N_C (paper §IV-A5).
+struct ConnectionId {
+  EntityId controller;
+  EntityId sw;
+
+  friend auto operator<=>(const ConnectionId&, const ConnectionId&) = default;
+};
+
+std::string to_string(EntityKind kind);
+
+}  // namespace attain

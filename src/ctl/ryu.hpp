@@ -1,0 +1,34 @@
+// Ryu `simple_switch.py` (OpenFlow 1.0) reproduction. Decision-relevant
+// behaviour copied from the original:
+//   * per-datapath MAC table;
+//   * flows are installed with an L2-only match — in_port + dl_dst (the IP
+//     fields are wildcarded), permanent timeouts, SEND_FLOW_REM set. The
+//     wildcarded nw_src/nw_dst is why rule φ2 of the connection-interruption
+//     attack never fires against Ryu (Table II, "Ryu did not trigger φ2");
+//   * the packet itself is always released by a separate PACKET_OUT that
+//     references the switch buffer — so FLOW_MOD suppression degrades Ryu
+//     (a controller round trip per packet) but does not black-hole it.
+#pragma once
+
+#include <map>
+
+#include "ctl/controller.hpp"
+#include "packet/packet.hpp"
+
+namespace attain::ctl {
+
+class RyuSimpleSwitch : public Controller {
+ public:
+  static constexpr SimTime kDefaultProcessingDelay = 500;  // 0.5 ms
+
+  RyuSimpleSwitch(sim::Scheduler& sched, SimTime processing_delay = kDefaultProcessingDelay)
+      : Controller(sched, "ryu.simple_switch", processing_delay) {}
+
+ protected:
+  void on_packet_in(ConnHandle conn, const ofp::PacketIn& pin) override;
+
+ private:
+  std::map<ConnHandle, std::map<std::uint64_t, std::uint16_t>> tables_;
+};
+
+}  // namespace attain::ctl

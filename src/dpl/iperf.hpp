@@ -1,0 +1,101 @@
+// The `iperf` workload of the paper's experiments: a windowed reliable
+// byte stream (go-back-N over the simulated data plane) whose acknowledged
+// goodput over a fixed duration is the throughput metric of Fig. 11(a).
+//
+// The transport is intentionally TCP-lite: fixed window, per-segment
+// cumulative ACKs, timer-driven go-back-N retransmission. This captures
+// what the experiment measures — how many application bytes survive the
+// forwarding path per unit time — without modelling congestion control,
+// which the 100 Mbps single-bottleneck topology never exercises.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dpl/host.hpp"
+
+namespace attain::dpl {
+
+struct IperfResult {
+  std::uint64_t bytes_acked{0};
+  std::uint64_t segments_sent{0};
+  std::uint64_t retransmissions{0};
+  SimTime duration{0};
+
+  double throughput_bps() const {
+    if (duration <= 0) return 0.0;
+    return static_cast<double>(bytes_acked) * 8.0 / to_seconds(duration);
+  }
+  double throughput_mbps() const { return throughput_bps() / 1e6; }
+};
+
+/// Server side: acknowledges data on a TCP port with cumulative ACKs.
+/// Out-of-order segments are held in a bounded reassembly buffer (like a
+/// real TCP receive window) — necessary because controller-released
+/// (buffered) packets legitimately interleave with fast-path packets
+/// during flow setup.
+class IperfServer {
+ public:
+  IperfServer(Host& host, std::uint16_t port = 5001);
+
+  std::uint64_t bytes_received() const { return expected_; }
+  std::uint64_t segments_discarded() const { return discarded_; }
+
+ private:
+  void on_segment(const pkt::Packet& packet);
+
+  Host& host_;
+  std::uint16_t port_;
+  std::uint32_t expected_{0};  // next expected byte (cumulative)
+  /// seq -> end-of-segment for segments received ahead of `expected_`.
+  std::map<std::uint32_t, std::uint32_t> out_of_order_;
+  std::uint64_t discarded_{0};
+
+  static constexpr std::size_t kReassemblyLimit = 4096;
+};
+
+struct IperfClientConfig {
+  std::uint16_t server_port{5001};
+  std::uint16_t client_port{50000};
+  std::uint32_t window_bytes{64 * 1024};
+  std::uint32_t segment_bytes{1460};
+  SimTime rto{500 * kMillisecond};
+};
+
+/// Client side: pushes a windowed stream for `duration`, measuring acked
+/// goodput.
+class IperfClient {
+ public:
+  using Config = IperfClientConfig;
+
+  IperfClient(Host& host, pkt::Ipv4Address server_ip, Config config = {});
+
+  /// Starts the transfer; it self-terminates after `duration`.
+  void start(SimTime duration);
+
+  bool done() const { return done_; }
+  const IperfResult& result() const { return result_; }
+
+ private:
+  void fill_window();
+  void send_segment(std::uint32_t seq);
+  void on_ack(const pkt::Packet& packet);
+  void on_rto();
+  void arm_timer();
+  void finish();
+
+  Host& host_;
+  pkt::Ipv4Address server_ip_;
+  Config config_;
+
+  std::uint32_t base_{0};  // lowest unacked byte
+  std::uint32_t next_{0};  // next byte to send
+  SimTime started_at_{0};
+  SimTime deadline_{0};
+  sim::EventHandle rto_timer_;
+  bool running_{false};
+  bool done_{false};
+  IperfResult result_;
+};
+
+}  // namespace attain::dpl

@@ -1,0 +1,273 @@
+#include "ofp/actions.hpp"
+
+#include <sstream>
+
+namespace attain::ofp {
+
+ActionType action_type(const Action& action) {
+  struct Visitor {
+    ActionType operator()(const ActionOutput&) const { return ActionType::Output; }
+    ActionType operator()(const ActionSetVlanVid&) const { return ActionType::SetVlanVid; }
+    ActionType operator()(const ActionSetVlanPcp&) const { return ActionType::SetVlanPcp; }
+    ActionType operator()(const ActionStripVlan&) const { return ActionType::StripVlan; }
+    ActionType operator()(const ActionSetDlSrc&) const { return ActionType::SetDlSrc; }
+    ActionType operator()(const ActionSetDlDst&) const { return ActionType::SetDlDst; }
+    ActionType operator()(const ActionSetNwSrc&) const { return ActionType::SetNwSrc; }
+    ActionType operator()(const ActionSetNwDst&) const { return ActionType::SetNwDst; }
+    ActionType operator()(const ActionSetNwTos&) const { return ActionType::SetNwTos; }
+    ActionType operator()(const ActionSetTpSrc&) const { return ActionType::SetTpSrc; }
+    ActionType operator()(const ActionSetTpDst&) const { return ActionType::SetTpDst; }
+    ActionType operator()(const ActionEnqueue&) const { return ActionType::Enqueue; }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+std::size_t action_wire_size(const Action& action) {
+  switch (action_type(action)) {
+    case ActionType::SetDlSrc:
+    case ActionType::SetDlDst:
+    case ActionType::Enqueue:
+      return 16;
+    default:
+      return 8;
+  }
+}
+
+std::size_t actions_wire_size(const ActionList& actions) {
+  std::size_t size = 0;
+  for (const Action& a : actions) size += action_wire_size(a);
+  return size;
+}
+
+void apply_rewrite(const Action& action, pkt::Packet& p) {
+  struct Visitor {
+    pkt::Packet& p;
+    void operator()(const ActionOutput&) const {}
+    void operator()(const ActionEnqueue&) const {}
+    void operator()(const ActionSetVlanVid& a) const { p.eth.vlan_id = a.vlan_vid; }
+    void operator()(const ActionSetVlanPcp& a) const { p.eth.vlan_pcp = a.vlan_pcp; }
+    void operator()(const ActionStripVlan&) const {
+      p.eth.vlan_id = kVlanNone;
+      p.eth.vlan_pcp = 0;
+    }
+    void operator()(const ActionSetDlSrc& a) const { p.eth.src = a.mac; }
+    void operator()(const ActionSetDlDst& a) const { p.eth.dst = a.mac; }
+    void operator()(const ActionSetNwSrc& a) const {
+      if (p.ipv4) p.ipv4->src = a.ip;
+    }
+    void operator()(const ActionSetNwDst& a) const {
+      if (p.ipv4) p.ipv4->dst = a.ip;
+    }
+    void operator()(const ActionSetNwTos& a) const {
+      if (p.ipv4) p.ipv4->tos = a.tos;
+    }
+    void operator()(const ActionSetTpSrc& a) const {
+      if (p.tcp) p.tcp->src_port = a.port;
+      if (p.udp) p.udp->src_port = a.port;
+    }
+    void operator()(const ActionSetTpDst& a) const {
+      if (p.tcp) p.tcp->dst_port = a.port;
+      if (p.udp) p.udp->dst_port = a.port;
+    }
+  };
+  std::visit(Visitor{p}, action);
+}
+
+std::string to_string(const Action& action) {
+  struct Visitor {
+    std::string operator()(const ActionOutput& a) const {
+      switch (static_cast<Port>(a.port)) {
+        case Port::Flood: return "output(FLOOD)";
+        case Port::All: return "output(ALL)";
+        case Port::Controller: return "output(CONTROLLER)";
+        case Port::InPort: return "output(IN_PORT)";
+        case Port::Table: return "output(TABLE)";
+        default: return "output(" + std::to_string(a.port) + ")";
+      }
+    }
+    std::string operator()(const ActionSetVlanVid& a) const {
+      return "set_vlan_vid(" + std::to_string(a.vlan_vid) + ")";
+    }
+    std::string operator()(const ActionSetVlanPcp& a) const {
+      return "set_vlan_pcp(" + std::to_string(a.vlan_pcp) + ")";
+    }
+    std::string operator()(const ActionStripVlan&) const { return "strip_vlan"; }
+    std::string operator()(const ActionSetDlSrc& a) const {
+      return "set_dl_src(" + a.mac.to_string() + ")";
+    }
+    std::string operator()(const ActionSetDlDst& a) const {
+      return "set_dl_dst(" + a.mac.to_string() + ")";
+    }
+    std::string operator()(const ActionSetNwSrc& a) const {
+      return "set_nw_src(" + a.ip.to_string() + ")";
+    }
+    std::string operator()(const ActionSetNwDst& a) const {
+      return "set_nw_dst(" + a.ip.to_string() + ")";
+    }
+    std::string operator()(const ActionSetNwTos& a) const {
+      return "set_nw_tos(" + std::to_string(a.tos) + ")";
+    }
+    std::string operator()(const ActionSetTpSrc& a) const {
+      return "set_tp_src(" + std::to_string(a.port) + ")";
+    }
+    std::string operator()(const ActionSetTpDst& a) const {
+      return "set_tp_dst(" + std::to_string(a.port) + ")";
+    }
+    std::string operator()(const ActionEnqueue& a) const {
+      return "enqueue(" + std::to_string(a.port) + ",q" + std::to_string(a.queue_id) + ")";
+    }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+std::string to_string(const ActionList& actions) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out << ",";
+    out << to_string(actions[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+void encode_action(ByteWriter& w, const Action& action) {
+  w.u16(static_cast<std::uint16_t>(action_type(action)));
+  w.u16(static_cast<std::uint16_t>(action_wire_size(action)));
+  struct Visitor {
+    ByteWriter& w;
+    void operator()(const ActionOutput& a) const {
+      w.u16(a.port);
+      w.u16(a.max_len);
+    }
+    void operator()(const ActionSetVlanVid& a) const {
+      w.u16(a.vlan_vid);
+      w.pad(2);
+    }
+    void operator()(const ActionSetVlanPcp& a) const {
+      w.u8(a.vlan_pcp);
+      w.pad(3);
+    }
+    void operator()(const ActionStripVlan&) const { w.pad(4); }
+    void operator()(const ActionSetDlSrc& a) const {
+      w.raw(a.mac.octets);
+      w.pad(6);
+    }
+    void operator()(const ActionSetDlDst& a) const {
+      w.raw(a.mac.octets);
+      w.pad(6);
+    }
+    void operator()(const ActionSetNwSrc& a) const { w.u32(a.ip.value); }
+    void operator()(const ActionSetNwDst& a) const { w.u32(a.ip.value); }
+    void operator()(const ActionSetNwTos& a) const {
+      w.u8(a.tos);
+      w.pad(3);
+    }
+    void operator()(const ActionSetTpSrc& a) const {
+      w.u16(a.port);
+      w.pad(2);
+    }
+    void operator()(const ActionSetTpDst& a) const {
+      w.u16(a.port);
+      w.pad(2);
+    }
+    void operator()(const ActionEnqueue& a) const {
+      w.u16(a.port);
+      w.pad(6);
+      w.u32(a.queue_id);
+    }
+  };
+  std::visit(Visitor{w}, action);
+}
+
+Action decode_action(ByteReader& r) {
+  const auto type = static_cast<ActionType>(r.u16());
+  const std::uint16_t len = r.u16();
+  if (len < 8) throw DecodeError("action length < 8");
+  switch (type) {
+    case ActionType::Output: {
+      ActionOutput a;
+      a.port = r.u16();
+      a.max_len = r.u16();
+      return a;
+    }
+    case ActionType::SetVlanVid: {
+      ActionSetVlanVid a;
+      a.vlan_vid = r.u16();
+      r.skip(2);
+      return a;
+    }
+    case ActionType::SetVlanPcp: {
+      ActionSetVlanPcp a;
+      a.vlan_pcp = r.u8();
+      r.skip(3);
+      return a;
+    }
+    case ActionType::StripVlan:
+      r.skip(4);
+      return ActionStripVlan{};
+    case ActionType::SetDlSrc: {
+      ActionSetDlSrc a;
+      const Bytes mac = r.raw(6);
+      std::copy(mac.begin(), mac.end(), a.mac.octets.begin());
+      r.skip(6);
+      return a;
+    }
+    case ActionType::SetDlDst: {
+      ActionSetDlDst a;
+      const Bytes mac = r.raw(6);
+      std::copy(mac.begin(), mac.end(), a.mac.octets.begin());
+      r.skip(6);
+      return a;
+    }
+    case ActionType::SetNwSrc:
+      return ActionSetNwSrc{pkt::Ipv4Address{r.u32()}};
+    case ActionType::SetNwDst:
+      return ActionSetNwDst{pkt::Ipv4Address{r.u32()}};
+    case ActionType::SetNwTos: {
+      ActionSetNwTos a;
+      a.tos = r.u8();
+      r.skip(3);
+      return a;
+    }
+    case ActionType::SetTpSrc: {
+      ActionSetTpSrc a;
+      a.port = r.u16();
+      r.skip(2);
+      return a;
+    }
+    case ActionType::SetTpDst: {
+      ActionSetTpDst a;
+      a.port = r.u16();
+      r.skip(2);
+      return a;
+    }
+    case ActionType::Enqueue: {
+      ActionEnqueue a;
+      a.port = r.u16();
+      r.skip(6);
+      a.queue_id = r.u32();
+      return a;
+    }
+  }
+  throw DecodeError("unknown action type " + std::to_string(static_cast<int>(type)));
+}
+
+void encode_actions(ByteWriter& w, const ActionList& actions) {
+  for (const Action& a : actions) encode_action(w, a);
+}
+
+ActionList decode_actions(ByteReader& r, std::size_t len) {
+  const std::size_t end = r.position() + len;
+  ActionList actions;
+  while (r.position() < end) {
+    actions.push_back(decode_action(r));
+  }
+  if (r.position() != end) throw DecodeError("action list overran declared length");
+  return actions;
+}
+
+ActionList output_to(std::uint16_t port) { return {ActionOutput{port, 0xffff}}; }
+ActionList output_to(Port port) { return output_to(static_cast<std::uint16_t>(port)); }
+
+}  // namespace attain::ofp

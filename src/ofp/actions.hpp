@@ -1,0 +1,111 @@
+// OpenFlow 1.0 flow actions (struct ofp_action_*): typed variants, packet
+// application semantics, and wire codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ofp/constants.hpp"
+#include "packet/packet.hpp"
+
+namespace attain::ofp {
+
+/// OFPAT_OUTPUT: forward to a port (possibly a reserved port such as
+/// FLOOD or CONTROLLER). max_len caps bytes sent to the controller.
+struct ActionOutput {
+  std::uint16_t port{0};
+  std::uint16_t max_len{0xffff};
+  friend bool operator==(const ActionOutput&, const ActionOutput&) = default;
+};
+
+struct ActionSetVlanVid {
+  std::uint16_t vlan_vid{0};
+  friend bool operator==(const ActionSetVlanVid&, const ActionSetVlanVid&) = default;
+};
+
+struct ActionSetVlanPcp {
+  std::uint8_t vlan_pcp{0};
+  friend bool operator==(const ActionSetVlanPcp&, const ActionSetVlanPcp&) = default;
+};
+
+struct ActionStripVlan {
+  friend bool operator==(const ActionStripVlan&, const ActionStripVlan&) = default;
+};
+
+struct ActionSetDlSrc {
+  pkt::MacAddress mac;
+  friend bool operator==(const ActionSetDlSrc&, const ActionSetDlSrc&) = default;
+};
+
+struct ActionSetDlDst {
+  pkt::MacAddress mac;
+  friend bool operator==(const ActionSetDlDst&, const ActionSetDlDst&) = default;
+};
+
+struct ActionSetNwSrc {
+  pkt::Ipv4Address ip;
+  friend bool operator==(const ActionSetNwSrc&, const ActionSetNwSrc&) = default;
+};
+
+struct ActionSetNwDst {
+  pkt::Ipv4Address ip;
+  friend bool operator==(const ActionSetNwDst&, const ActionSetNwDst&) = default;
+};
+
+struct ActionSetNwTos {
+  std::uint8_t tos{0};
+  friend bool operator==(const ActionSetNwTos&, const ActionSetNwTos&) = default;
+};
+
+struct ActionSetTpSrc {
+  std::uint16_t port{0};
+  friend bool operator==(const ActionSetTpSrc&, const ActionSetTpSrc&) = default;
+};
+
+struct ActionSetTpDst {
+  std::uint16_t port{0};
+  friend bool operator==(const ActionSetTpDst&, const ActionSetTpDst&) = default;
+};
+
+/// OFPAT_ENQUEUE: output to a port through a specific queue.
+struct ActionEnqueue {
+  std::uint16_t port{0};
+  std::uint32_t queue_id{0};
+  friend bool operator==(const ActionEnqueue&, const ActionEnqueue&) = default;
+};
+
+using Action = std::variant<ActionOutput, ActionSetVlanVid, ActionSetVlanPcp, ActionStripVlan,
+                            ActionSetDlSrc, ActionSetDlDst, ActionSetNwSrc, ActionSetNwDst,
+                            ActionSetNwTos, ActionSetTpSrc, ActionSetTpDst, ActionEnqueue>;
+
+using ActionList = std::vector<Action>;
+
+ActionType action_type(const Action& action);
+
+/// On-wire size of one action (all OF1.0 actions are 8 or 16 bytes).
+std::size_t action_wire_size(const Action& action);
+std::size_t actions_wire_size(const ActionList& actions);
+
+/// Applies a header-rewrite action in place. Output/Enqueue are forwarding
+/// decisions, not rewrites, and are ignored here (the switch pipeline
+/// handles them).
+void apply_rewrite(const Action& action, pkt::Packet& packet);
+
+std::string to_string(const Action& action);
+std::string to_string(const ActionList& actions);
+
+void encode_action(ByteWriter& w, const Action& action);
+Action decode_action(ByteReader& r);
+
+/// Encodes/decodes a packed action list occupying exactly `len` bytes.
+void encode_actions(ByteWriter& w, const ActionList& actions);
+ActionList decode_actions(ByteReader& r, std::size_t len);
+
+/// Convenience: a single-output action list.
+ActionList output_to(std::uint16_t port);
+ActionList output_to(Port port);
+
+}  // namespace attain::ofp

@@ -1,0 +1,238 @@
+#include "ofp/fields.hpp"
+
+namespace attain::ofp {
+
+namespace {
+
+std::optional<FieldValue> get_match_field(const Match& m, std::string_view f) {
+  if (f == "in_port") return m.in_port;
+  if (f == "dl_src") return m.dl_src.to_u64();
+  if (f == "dl_dst") return m.dl_dst.to_u64();
+  if (f == "dl_vlan") return m.dl_vlan;
+  if (f == "dl_vlan_pcp") return m.dl_vlan_pcp;
+  if (f == "dl_type") return m.dl_type;
+  if (f == "nw_tos") return m.nw_tos;
+  if (f == "nw_proto") return m.nw_proto;
+  if (f == "nw_src") return m.nw_src.value;
+  if (f == "nw_dst") return m.nw_dst.value;
+  if (f == "tp_src") return m.tp_src;
+  if (f == "tp_dst") return m.tp_dst;
+  if (f == "wildcards") return m.wildcards;
+  if (f == "nw_src_wild_bits") return m.nw_src_wild_bits();
+  if (f == "nw_dst_wild_bits") return m.nw_dst_wild_bits();
+  return std::nullopt;
+}
+
+bool set_match_field(Match& m, std::string_view f, FieldValue v) {
+  if (f == "in_port") m.in_port = static_cast<std::uint16_t>(v);
+  else if (f == "dl_src") m.dl_src = pkt::MacAddress::from_u64(v);
+  else if (f == "dl_dst") m.dl_dst = pkt::MacAddress::from_u64(v);
+  else if (f == "dl_vlan") m.dl_vlan = static_cast<std::uint16_t>(v);
+  else if (f == "dl_vlan_pcp") m.dl_vlan_pcp = static_cast<std::uint8_t>(v);
+  else if (f == "dl_type") m.dl_type = static_cast<std::uint16_t>(v);
+  else if (f == "nw_tos") m.nw_tos = static_cast<std::uint8_t>(v);
+  else if (f == "nw_proto") m.nw_proto = static_cast<std::uint8_t>(v);
+  else if (f == "nw_src") m.nw_src.value = static_cast<std::uint32_t>(v);
+  else if (f == "nw_dst") m.nw_dst.value = static_cast<std::uint32_t>(v);
+  else if (f == "tp_src") m.tp_src = static_cast<std::uint16_t>(v);
+  else if (f == "tp_dst") m.tp_dst = static_cast<std::uint16_t>(v);
+  else if (f == "wildcards") m.wildcards = static_cast<std::uint32_t>(v);
+  else if (f == "nw_src_wild_bits") m.set_nw_src_wild_bits(static_cast<std::uint32_t>(v));
+  else if (f == "nw_dst_wild_bits") m.set_nw_dst_wild_bits(static_cast<std::uint32_t>(v));
+  else return false;
+  return true;
+}
+
+/// Splits "match.nw_src" into ("match", "nw_src"); no dot yields ("", path).
+std::pair<std::string_view, std::string_view> split_path(std::string_view path) {
+  const std::size_t dot = path.find('.');
+  if (dot == std::string_view::npos) return {"", path};
+  return {path.substr(0, dot), path.substr(dot + 1)};
+}
+
+}  // namespace
+
+std::optional<FieldValue> get_field(const Message& msg, std::string_view path) {
+  if (path == "xid") return msg.xid;
+  const auto [head, tail] = split_path(path);
+
+  if (const auto* m = std::get_if<FlowMod>(&msg.body)) {
+    if (head == "match") return get_match_field(m->match, tail);
+    if (path == "command") return static_cast<FieldValue>(m->command);
+    if (path == "idle_timeout") return m->idle_timeout;
+    if (path == "hard_timeout") return m->hard_timeout;
+    if (path == "priority") return m->priority;
+    if (path == "buffer_id") return m->buffer_id;
+    if (path == "out_port") return m->out_port;
+    if (path == "flags") return m->flags;
+    if (path == "cookie") return m->cookie;
+    if (path == "n_actions") return m->actions.size();
+  } else if (const auto* m = std::get_if<PacketIn>(&msg.body)) {
+    if (path == "buffer_id") return m->buffer_id;
+    if (path == "total_len") return m->total_len;
+    if (path == "in_port") return m->in_port;
+    if (path == "reason") return static_cast<FieldValue>(m->reason);
+  } else if (const auto* m = std::get_if<PacketOut>(&msg.body)) {
+    if (path == "buffer_id") return m->buffer_id;
+    if (path == "in_port") return m->in_port;
+    if (path == "n_actions") return m->actions.size();
+  } else if (const auto* m = std::get_if<FlowRemoved>(&msg.body)) {
+    if (head == "match") return get_match_field(m->match, tail);
+    if (path == "reason") return static_cast<FieldValue>(m->reason);
+    if (path == "priority") return m->priority;
+    if (path == "idle_timeout") return m->idle_timeout;
+    if (path == "packet_count") return m->packet_count;
+    if (path == "byte_count") return m->byte_count;
+    if (path == "duration_sec") return m->duration_sec;
+    if (path == "cookie") return m->cookie;
+  } else if (const auto* m = std::get_if<FeaturesReply>(&msg.body)) {
+    if (path == "datapath_id") return m->datapath_id;
+    if (path == "n_buffers") return m->n_buffers;
+    if (path == "n_tables") return m->n_tables;
+    if (path == "n_ports") return m->ports.size();
+  } else if (const auto* m = std::get_if<SetConfig>(&msg.body)) {
+    if (path == "flags") return m->flags;
+    if (path == "miss_send_len") return m->miss_send_len;
+  } else if (const auto* m = std::get_if<GetConfigReply>(&msg.body)) {
+    if (path == "flags") return m->flags;
+    if (path == "miss_send_len") return m->miss_send_len;
+  } else if (const auto* m = std::get_if<PortStatus>(&msg.body)) {
+    if (path == "reason") return static_cast<FieldValue>(m->reason);
+    if (path == "port_no") return m->desc.port_no;
+  } else if (const auto* m = std::get_if<Error>(&msg.body)) {
+    if (path == "err_type") return static_cast<FieldValue>(m->type);
+    if (path == "err_code") return m->code;
+  } else if (const auto* m = std::get_if<PortMod>(&msg.body)) {
+    if (path == "port_no") return m->port_no;
+    if (path == "config") return m->config;
+    if (path == "mask") return m->mask;
+  } else if (const auto* m = std::get_if<StatsRequest>(&msg.body)) {
+    if (path == "stats_type") return static_cast<FieldValue>(m->stats_type());
+  } else if (const auto* m = std::get_if<StatsReply>(&msg.body)) {
+    if (path == "stats_type") return static_cast<FieldValue>(m->stats_type());
+  } else if (const auto* m = std::get_if<EchoRequest>(&msg.body)) {
+    if (path == "data_len") return m->data.size();
+  } else if (const auto* m = std::get_if<EchoReply>(&msg.body)) {
+    if (path == "data_len") return m->data.size();
+  } else if (const auto* m = std::get_if<Vendor>(&msg.body)) {
+    if (path == "vendor") return m->vendor;
+  }
+  return std::nullopt;
+}
+
+bool set_field(Message& msg, std::string_view path, FieldValue value) {
+  if (path == "xid") {
+    msg.xid = static_cast<std::uint32_t>(value);
+    return true;
+  }
+  const auto [head, tail] = split_path(path);
+
+  if (auto* m = std::get_if<FlowMod>(&msg.body)) {
+    if (head == "match") return set_match_field(m->match, tail, value);
+    if (path == "command") m->command = static_cast<FlowModCommand>(value);
+    else if (path == "idle_timeout") m->idle_timeout = static_cast<std::uint16_t>(value);
+    else if (path == "hard_timeout") m->hard_timeout = static_cast<std::uint16_t>(value);
+    else if (path == "priority") m->priority = static_cast<std::uint16_t>(value);
+    else if (path == "buffer_id") m->buffer_id = static_cast<std::uint32_t>(value);
+    else if (path == "out_port") m->out_port = static_cast<std::uint16_t>(value);
+    else if (path == "flags") m->flags = static_cast<std::uint16_t>(value);
+    else if (path == "cookie") m->cookie = value;
+    else return false;
+    return true;
+  }
+  if (auto* m = std::get_if<PacketIn>(&msg.body)) {
+    if (path == "buffer_id") m->buffer_id = static_cast<std::uint32_t>(value);
+    else if (path == "total_len") m->total_len = static_cast<std::uint16_t>(value);
+    else if (path == "in_port") m->in_port = static_cast<std::uint16_t>(value);
+    else if (path == "reason") m->reason = static_cast<PacketInReason>(value);
+    else return false;
+    return true;
+  }
+  if (auto* m = std::get_if<PacketOut>(&msg.body)) {
+    if (path == "buffer_id") m->buffer_id = static_cast<std::uint32_t>(value);
+    else if (path == "in_port") m->in_port = static_cast<std::uint16_t>(value);
+    else return false;
+    return true;
+  }
+  if (auto* m = std::get_if<SetConfig>(&msg.body)) {
+    if (path == "flags") m->flags = static_cast<std::uint16_t>(value);
+    else if (path == "miss_send_len") m->miss_send_len = static_cast<std::uint16_t>(value);
+    else return false;
+    return true;
+  }
+  if (auto* m = std::get_if<PortMod>(&msg.body)) {
+    if (path == "port_no") m->port_no = static_cast<std::uint16_t>(value);
+    else if (path == "config") m->config = static_cast<std::uint32_t>(value);
+    else if (path == "mask") m->mask = static_cast<std::uint32_t>(value);
+    else return false;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> field_names(MsgType type) {
+  static const std::vector<std::string> match_fields = {
+      "in_port", "dl_src",  "dl_dst", "dl_vlan", "dl_vlan_pcp",
+      "dl_type", "nw_tos",  "nw_proto", "nw_src", "nw_dst",
+      "tp_src",  "tp_dst",  "wildcards", "nw_src_wild_bits", "nw_dst_wild_bits"};
+  std::vector<std::string> names = {"xid"};
+  auto add_match = [&names] {
+    for (const std::string& f : match_fields) names.push_back("match." + f);
+  };
+  switch (type) {
+    case MsgType::FlowMod:
+      for (const char* f : {"command", "idle_timeout", "hard_timeout", "priority", "buffer_id",
+                            "out_port", "flags", "cookie", "n_actions"}) {
+        names.emplace_back(f);
+      }
+      add_match();
+      break;
+    case MsgType::PacketIn:
+      for (const char* f : {"buffer_id", "total_len", "in_port", "reason"}) names.emplace_back(f);
+      break;
+    case MsgType::PacketOut:
+      for (const char* f : {"buffer_id", "in_port", "n_actions"}) names.emplace_back(f);
+      break;
+    case MsgType::FlowRemoved:
+      for (const char* f : {"reason", "priority", "idle_timeout", "packet_count", "byte_count",
+                            "duration_sec", "cookie"}) {
+        names.emplace_back(f);
+      }
+      add_match();
+      break;
+    case MsgType::FeaturesReply:
+      for (const char* f : {"datapath_id", "n_buffers", "n_tables", "n_ports"}) {
+        names.emplace_back(f);
+      }
+      break;
+    case MsgType::SetConfig:
+    case MsgType::GetConfigReply:
+      for (const char* f : {"flags", "miss_send_len"}) names.emplace_back(f);
+      break;
+    case MsgType::PortStatus:
+      for (const char* f : {"reason", "port_no"}) names.emplace_back(f);
+      break;
+    case MsgType::Error:
+      for (const char* f : {"err_type", "err_code"}) names.emplace_back(f);
+      break;
+    case MsgType::PortMod:
+      for (const char* f : {"port_no", "config", "mask"}) names.emplace_back(f);
+      break;
+    case MsgType::StatsRequest:
+    case MsgType::StatsReply:
+      names.emplace_back("stats_type");
+      break;
+    case MsgType::EchoRequest:
+    case MsgType::EchoReply:
+      names.emplace_back("data_len");
+      break;
+    case MsgType::Vendor:
+      names.emplace_back("vendor");
+      break;
+    default:
+      break;
+  }
+  return names;
+}
+
+}  // namespace attain::ofp

@@ -1,0 +1,49 @@
+// Field reflection over OpenFlow messages — the MESSAGE TYPE OPTIONS of the
+// paper's attack language (§V-A). Conditional expressions reference message
+// payload fields by dotted path ("match.nw_src", "buffer_id", ...); the
+// MODIFYMESSAGE action writes them back through set_field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ofp/messages.hpp"
+
+namespace attain::ofp {
+
+/// All reflected fields are numeric (addresses are exposed as their integer
+/// encodings: MACs as 48-bit, IPv4 as 32-bit, enums as their wire values).
+using FieldValue = std::uint64_t;
+
+/// Reads a payload field. Returns std::nullopt if the message type has no
+/// such field. Common paths:
+///   any message:  "xid"
+///   FLOW_MOD:     "command", "idle_timeout", "hard_timeout", "priority",
+///                 "buffer_id", "out_port", "flags", "cookie", "match.*"
+///   PACKET_IN:    "buffer_id", "total_len", "in_port", "reason"
+///   PACKET_OUT:   "buffer_id", "in_port"
+///   FLOW_REMOVED: "reason", "priority", "idle_timeout", "packet_count",
+///                 "byte_count", "duration_sec", "match.*"
+///   FEATURES_REPLY: "datapath_id", "n_buffers", "n_tables"
+///   SET_CONFIG / GET_CONFIG_REPLY: "flags", "miss_send_len"
+///   PORT_STATUS:  "reason", "port_no"
+///   ERROR:        "err_type", "err_code"
+///   STATS_*:      "stats_type"
+/// where "match.*" is one of in_port, dl_src, dl_dst, dl_vlan, dl_vlan_pcp,
+/// dl_type, nw_tos, nw_proto, nw_src, nw_dst, tp_src, tp_dst, wildcards,
+/// nw_src_wild_bits, nw_dst_wild_bits.
+std::optional<FieldValue> get_field(const Message& message, std::string_view path);
+
+/// Writes a payload field; returns false if the path does not exist for the
+/// message's type. Writing keeps the message semantically valid (the
+/// MODIFYMESSAGE capability), unlike fuzzing.
+bool set_field(Message& message, std::string_view path, FieldValue value);
+
+/// The reflected field paths available for a message type (documentation
+/// and DSL diagnostics).
+std::vector<std::string> field_names(MsgType type);
+
+}  // namespace attain::ofp

@@ -1,0 +1,255 @@
+#include "ofp/match.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ofp/constants.hpp"
+
+namespace attain::ofp {
+
+namespace {
+
+/// Mask of IPv4 bits that participate in matching given a wildcard bit
+/// count (0 -> all 32 bits matter; >= 32 -> none do).
+std::uint32_t nw_mask(std::uint32_t wild_bits) {
+  if (wild_bits >= 32) return 0;
+  return ~0u << wild_bits;
+}
+
+bool packet_l4_ports(const pkt::Packet& p, std::uint16_t& src, std::uint16_t& dst) {
+  if (p.tcp) {
+    src = p.tcp->src_port;
+    dst = p.tcp->dst_port;
+    return true;
+  }
+  if (p.udp) {
+    src = p.udp->src_port;
+    dst = p.udp->dst_port;
+    return true;
+  }
+  if (p.icmp) {
+    // OF1.0 reuses tp_src/tp_dst for ICMP type/code.
+    src = static_cast<std::uint16_t>(p.icmp->type);
+    dst = p.icmp->code;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Match::set_nw_src_wild_bits(std::uint32_t bits) {
+  bits = std::min(bits, 63u);
+  wildcards = (wildcards & ~wc::kNwSrcMask) | (bits << wc::kNwSrcShift);
+}
+
+void Match::set_nw_dst_wild_bits(std::uint32_t bits) {
+  bits = std::min(bits, 63u);
+  wildcards = (wildcards & ~wc::kNwDstMask) | (bits << wc::kNwDstShift);
+}
+
+Match Match::from_packet(const pkt::Packet& p, std::uint16_t in_port) {
+  Match m;
+  m.wildcards = 0;
+  m.in_port = in_port;
+  m.dl_src = p.eth.src;
+  m.dl_dst = p.eth.dst;
+  m.dl_vlan = p.eth.vlan_id;
+  m.dl_vlan_pcp = p.eth.vlan_pcp;
+  m.dl_type = p.eth.ether_type;
+  if (p.ipv4) {
+    m.nw_tos = p.ipv4->tos;
+    m.nw_proto = p.ipv4->proto;
+    m.nw_src = p.ipv4->src;
+    m.nw_dst = p.ipv4->dst;
+    std::uint16_t tp_s = 0;
+    std::uint16_t tp_d = 0;
+    if (packet_l4_ports(p, tp_s, tp_d)) {
+      m.tp_src = tp_s;
+      m.tp_dst = tp_d;
+    } else {
+      m.wildcards |= wc::kTpSrc | wc::kTpDst;
+    }
+  } else if (p.arp) {
+    // OF1.0 matches ARP opcode via nw_proto and sender/target IP via
+    // nw_src/nw_dst (spec §3.4).
+    m.nw_proto = static_cast<std::uint8_t>(static_cast<std::uint16_t>(p.arp->op));
+    m.nw_src = p.arp->sender_ip;
+    m.nw_dst = p.arp->target_ip;
+    m.wildcards |= wc::kNwTos | wc::kTpSrc | wc::kTpDst;
+  } else {
+    m.wildcards |= wc::kNwTos | wc::kNwProto | wc::kTpSrc | wc::kTpDst;
+    m.set_nw_src_wild_bits(32);
+    m.set_nw_dst_wild_bits(32);
+  }
+  return m;
+}
+
+Match Match::l2_only(std::uint16_t in_port, pkt::MacAddress dl_src, pkt::MacAddress dl_dst) {
+  Match m;
+  m.wildcards = wc::kAll & ~(wc::kInPort | wc::kDlSrc | wc::kDlDst);
+  m.in_port = in_port;
+  m.dl_src = dl_src;
+  m.dl_dst = dl_dst;
+  return m;
+}
+
+bool Match::matches(const pkt::Packet& p, std::uint16_t port) const {
+  if (!(wildcards & wc::kInPort) && in_port != port) return false;
+  if (!(wildcards & wc::kDlSrc) && dl_src != p.eth.src) return false;
+  if (!(wildcards & wc::kDlDst) && dl_dst != p.eth.dst) return false;
+  if (!(wildcards & wc::kDlVlan) && dl_vlan != p.eth.vlan_id) return false;
+  if (!(wildcards & wc::kDlVlanPcp) && dl_vlan_pcp != p.eth.vlan_pcp) return false;
+  if (!(wildcards & wc::kDlType) && dl_type != p.eth.ether_type) return false;
+
+  std::uint8_t pkt_tos = 0;
+  std::uint8_t pkt_proto = 0;
+  std::uint32_t pkt_nw_src = 0;
+  std::uint32_t pkt_nw_dst = 0;
+  if (p.ipv4) {
+    pkt_tos = p.ipv4->tos;
+    pkt_proto = p.ipv4->proto;
+    pkt_nw_src = p.ipv4->src.value;
+    pkt_nw_dst = p.ipv4->dst.value;
+  } else if (p.arp) {
+    pkt_proto = static_cast<std::uint8_t>(static_cast<std::uint16_t>(p.arp->op));
+    pkt_nw_src = p.arp->sender_ip.value;
+    pkt_nw_dst = p.arp->target_ip.value;
+  }
+  if (!(wildcards & wc::kNwTos) && nw_tos != pkt_tos) return false;
+  if (!(wildcards & wc::kNwProto) && nw_proto != pkt_proto) return false;
+  {
+    const std::uint32_t mask = nw_mask(nw_src_wild_bits());
+    if ((nw_src.value & mask) != (pkt_nw_src & mask)) return false;
+  }
+  {
+    const std::uint32_t mask = nw_mask(nw_dst_wild_bits());
+    if ((nw_dst.value & mask) != (pkt_nw_dst & mask)) return false;
+  }
+
+  std::uint16_t pkt_tp_src = 0;
+  std::uint16_t pkt_tp_dst = 0;
+  packet_l4_ports(p, pkt_tp_src, pkt_tp_dst);
+  if (!(wildcards & wc::kTpSrc) && tp_src != pkt_tp_src) return false;
+  if (!(wildcards & wc::kTpDst) && tp_dst != pkt_tp_dst) return false;
+  return true;
+}
+
+bool Match::subsumes(const Match& other) const {
+  // For every boolean-wildcard field: we must be wildcarded wherever the
+  // other match is, and agree on values where both are exact.
+  struct BoolField {
+    std::uint32_t bit;
+    bool values_equal;
+  };
+  const BoolField fields[] = {
+      {wc::kInPort, in_port == other.in_port},
+      {wc::kDlSrc, dl_src == other.dl_src},
+      {wc::kDlDst, dl_dst == other.dl_dst},
+      {wc::kDlVlan, dl_vlan == other.dl_vlan},
+      {wc::kDlVlanPcp, dl_vlan_pcp == other.dl_vlan_pcp},
+      {wc::kDlType, dl_type == other.dl_type},
+      {wc::kNwTos, nw_tos == other.nw_tos},
+      {wc::kNwProto, nw_proto == other.nw_proto},
+      {wc::kTpSrc, tp_src == other.tp_src},
+      {wc::kTpDst, tp_dst == other.tp_dst},
+  };
+  for (const auto& f : fields) {
+    const bool self_wild = (wildcards & f.bit) != 0;
+    const bool other_wild = (other.wildcards & f.bit) != 0;
+    if (self_wild) continue;
+    if (other_wild) return false;  // other is more general on this field
+    if (!f.values_equal) return false;
+  }
+  // CIDR fields: our prefix must be no longer than theirs and agree.
+  {
+    const std::uint32_t self_bits = nw_src_wild_bits();
+    const std::uint32_t other_bits = other.nw_src_wild_bits();
+    if (self_bits < other_bits) return false;
+    const std::uint32_t mask = nw_mask(self_bits);
+    if ((nw_src.value & mask) != (other.nw_src.value & mask)) return false;
+  }
+  {
+    const std::uint32_t self_bits = nw_dst_wild_bits();
+    const std::uint32_t other_bits = other.nw_dst_wild_bits();
+    if (self_bits < other_bits) return false;
+    const std::uint32_t mask = nw_mask(self_bits);
+    if ((nw_dst.value & mask) != (other.nw_dst.value & mask)) return false;
+  }
+  return true;
+}
+
+bool Match::strictly_equals(const Match& other) const {
+  if (wildcards != other.wildcards) return false;
+  return subsumes(other) && other.subsumes(*this);
+}
+
+std::string Match::to_string() const {
+  if (wildcards == wc::kAll) return "match{*}";
+  std::ostringstream out;
+  out << "match{";
+  const char* sep = "";
+  auto field = [&](bool wild, const std::string& name, const std::string& value) {
+    if (wild) return;
+    out << sep << name << "=" << value;
+    sep = ",";
+  };
+  field((wildcards & wc::kInPort) != 0, "in_port", std::to_string(in_port));
+  field((wildcards & wc::kDlSrc) != 0, "dl_src", dl_src.to_string());
+  field((wildcards & wc::kDlDst) != 0, "dl_dst", dl_dst.to_string());
+  field((wildcards & wc::kDlVlan) != 0, "dl_vlan", std::to_string(dl_vlan));
+  field((wildcards & wc::kDlVlanPcp) != 0, "dl_vlan_pcp", std::to_string(dl_vlan_pcp));
+  field((wildcards & wc::kDlType) != 0, "dl_type", std::to_string(dl_type));
+  field((wildcards & wc::kNwTos) != 0, "nw_tos", std::to_string(nw_tos));
+  field((wildcards & wc::kNwProto) != 0, "nw_proto", std::to_string(nw_proto));
+  field(nw_src_wild_bits() >= 32, "nw_src",
+        nw_src.to_string() + "/" + std::to_string(32 - std::min(nw_src_wild_bits(), 32u)));
+  field(nw_dst_wild_bits() >= 32, "nw_dst",
+        nw_dst.to_string() + "/" + std::to_string(32 - std::min(nw_dst_wild_bits(), 32u)));
+  field((wildcards & wc::kTpSrc) != 0, "tp_src", std::to_string(tp_src));
+  field((wildcards & wc::kTpDst) != 0, "tp_dst", std::to_string(tp_dst));
+  out << "}";
+  return out.str();
+}
+
+void Match::encode(ByteWriter& w) const {
+  w.u32(wildcards);
+  w.u16(in_port);
+  w.raw(dl_src.octets);
+  w.raw(dl_dst.octets);
+  w.u16(dl_vlan);
+  w.u8(dl_vlan_pcp);
+  w.pad(1);
+  w.u16(dl_type);
+  w.u8(nw_tos);
+  w.u8(nw_proto);
+  w.pad(2);
+  w.u32(nw_src.value);
+  w.u32(nw_dst.value);
+  w.u16(tp_src);
+  w.u16(tp_dst);
+}
+
+Match Match::decode(ByteReader& r) {
+  Match m;
+  m.wildcards = r.u32();
+  m.in_port = r.u16();
+  const Bytes src = r.raw(6);
+  std::copy(src.begin(), src.end(), m.dl_src.octets.begin());
+  const Bytes dst = r.raw(6);
+  std::copy(dst.begin(), dst.end(), m.dl_dst.octets.begin());
+  m.dl_vlan = r.u16();
+  m.dl_vlan_pcp = r.u8();
+  r.skip(1);
+  m.dl_type = r.u16();
+  m.nw_tos = r.u8();
+  m.nw_proto = r.u8();
+  r.skip(2);
+  m.nw_src.value = r.u32();
+  m.nw_dst.value = r.u32();
+  m.tp_src = r.u16();
+  m.tp_dst = r.u16();
+  return m;
+}
+
+}  // namespace attain::ofp

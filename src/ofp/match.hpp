@@ -1,0 +1,96 @@
+// OpenFlow 1.0 twelve-tuple flow match (struct ofp_match) with wildcard
+// semantics, including the CIDR-style nw_src/nw_dst wildcard bit counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "ofp/constants.hpp"
+#include "packet/packet.hpp"
+
+namespace attain::ofp {
+
+/// ofp_flow_wildcards bits.
+namespace wc {
+inline constexpr std::uint32_t kInPort = 1 << 0;
+inline constexpr std::uint32_t kDlVlan = 1 << 1;
+inline constexpr std::uint32_t kDlSrc = 1 << 2;
+inline constexpr std::uint32_t kDlDst = 1 << 3;
+inline constexpr std::uint32_t kDlType = 1 << 4;
+inline constexpr std::uint32_t kNwProto = 1 << 5;
+inline constexpr std::uint32_t kTpSrc = 1 << 6;
+inline constexpr std::uint32_t kTpDst = 1 << 7;
+inline constexpr std::uint32_t kNwSrcShift = 8;   // 6-bit count of wildcarded low bits
+inline constexpr std::uint32_t kNwSrcMask = 0x3f << kNwSrcShift;
+inline constexpr std::uint32_t kNwDstShift = 14;
+inline constexpr std::uint32_t kNwDstMask = 0x3f << kNwDstShift;
+inline constexpr std::uint32_t kDlVlanPcp = 1 << 20;
+inline constexpr std::uint32_t kNwTos = 1 << 21;
+/// All fields wildcarded (the spec's OFPFW_ALL).
+inline constexpr std::uint32_t kAll = ((1 << 22) - 1);
+}  // namespace wc
+
+/// struct ofp_match. A field whose wildcard bit is set is ignored during
+/// matching; nw_src/nw_dst use a 6-bit count of ignored low-order bits
+/// (>= 32 means fully wildcarded).
+struct Match {
+  std::uint32_t wildcards{wc::kAll};
+  std::uint16_t in_port{0};
+  pkt::MacAddress dl_src;
+  pkt::MacAddress dl_dst;
+  std::uint16_t dl_vlan{0xffff};
+  std::uint8_t dl_vlan_pcp{0};
+  std::uint16_t dl_type{0};
+  std::uint8_t nw_tos{0};
+  std::uint8_t nw_proto{0};
+  pkt::Ipv4Address nw_src;
+  pkt::Ipv4Address nw_dst;
+  std::uint16_t tp_src{0};
+  std::uint16_t tp_dst{0};
+
+  /// A match with every field wildcarded (matches everything).
+  static Match wildcard_all() { return Match{}; }
+
+  /// Builds the exact-match the POX `ofp_match.from_packet` helper builds:
+  /// every field present in the packet is matched exactly, in_port
+  /// included. This is what `forwarding.l2_learning` installs.
+  static Match from_packet(const pkt::Packet& packet, std::uint16_t in_port);
+
+  /// Builds the L2-only match Ryu's OF1.0 `simple_switch.py` installs:
+  /// in_port + dl_src + dl_dst, everything else wildcarded. The IP fields
+  /// being wildcarded here is exactly why rule φ2 of the connection-
+  /// interruption attack never fires against Ryu (paper §VII-C4).
+  static Match l2_only(std::uint16_t in_port, pkt::MacAddress dl_src, pkt::MacAddress dl_dst);
+
+  /// Number of wildcarded low bits of nw_src/nw_dst (0 = exact, >=32 = any).
+  std::uint32_t nw_src_wild_bits() const { return (wildcards & wc::kNwSrcMask) >> wc::kNwSrcShift; }
+  std::uint32_t nw_dst_wild_bits() const { return (wildcards & wc::kNwDstMask) >> wc::kNwDstShift; }
+  void set_nw_src_wild_bits(std::uint32_t bits);
+  void set_nw_dst_wild_bits(std::uint32_t bits);
+
+  bool is_exact() const { return wildcards == 0; }
+
+  /// True if `packet` arriving on `in_port` matches.
+  bool matches(const pkt::Packet& packet, std::uint16_t in_port) const;
+
+  /// True if every flow matched by `other` is also matched by this match
+  /// (this is equal-or-more-general). Used for non-strict FLOW_MOD
+  /// delete/modify semantics.
+  bool subsumes(const Match& other) const;
+
+  /// Strict equality: same wildcards and same values on non-wildcarded
+  /// fields (used by OFPFC_DELETE_STRICT / MODIFY_STRICT).
+  bool strictly_equals(const Match& other) const;
+
+  /// Field-wise equality (wildcarded field *values* count too; use
+  /// strictly_equals for OF1.0 strict-match semantics).
+  friend bool operator==(const Match&, const Match&) = default;
+
+  std::string to_string() const;
+
+  void encode(ByteWriter& w) const;
+  static Match decode(ByteReader& r);
+};
+
+}  // namespace attain::ofp

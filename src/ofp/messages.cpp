@@ -1,0 +1,110 @@
+#include "ofp/messages.hpp"
+
+#include <sstream>
+
+namespace attain::ofp {
+
+std::string to_string(MsgType type) {
+  switch (type) {
+    case MsgType::Hello: return "HELLO";
+    case MsgType::Error: return "ERROR";
+    case MsgType::EchoRequest: return "ECHO_REQUEST";
+    case MsgType::EchoReply: return "ECHO_REPLY";
+    case MsgType::Vendor: return "VENDOR";
+    case MsgType::FeaturesRequest: return "FEATURES_REQUEST";
+    case MsgType::FeaturesReply: return "FEATURES_REPLY";
+    case MsgType::GetConfigRequest: return "GET_CONFIG_REQUEST";
+    case MsgType::GetConfigReply: return "GET_CONFIG_REPLY";
+    case MsgType::SetConfig: return "SET_CONFIG";
+    case MsgType::PacketIn: return "PACKET_IN";
+    case MsgType::FlowRemoved: return "FLOW_REMOVED";
+    case MsgType::PortStatus: return "PORT_STATUS";
+    case MsgType::PacketOut: return "PACKET_OUT";
+    case MsgType::FlowMod: return "FLOW_MOD";
+    case MsgType::PortMod: return "PORT_MOD";
+    case MsgType::StatsRequest: return "STATS_REQUEST";
+    case MsgType::StatsReply: return "STATS_REPLY";
+    case MsgType::BarrierRequest: return "BARRIER_REQUEST";
+    case MsgType::BarrierReply: return "BARRIER_REPLY";
+  }
+  return "UNKNOWN";
+}
+
+std::string to_string(FlowModCommand command) {
+  switch (command) {
+    case FlowModCommand::Add: return "ADD";
+    case FlowModCommand::Modify: return "MODIFY";
+    case FlowModCommand::ModifyStrict: return "MODIFY_STRICT";
+    case FlowModCommand::Delete: return "DELETE";
+    case FlowModCommand::DeleteStrict: return "DELETE_STRICT";
+  }
+  return "?";
+}
+
+StatsType StatsRequest::stats_type() const {
+  struct Visitor {
+    StatsType operator()(const DescStatsRequest&) const { return StatsType::Desc; }
+    StatsType operator()(const FlowStatsRequest&) const { return StatsType::Flow; }
+    StatsType operator()(const AggregateStatsRequest&) const { return StatsType::Aggregate; }
+    StatsType operator()(const PortStatsRequest&) const { return StatsType::Port; }
+  };
+  return std::visit(Visitor{}, body);
+}
+
+StatsType StatsReply::stats_type() const {
+  struct Visitor {
+    StatsType operator()(const DescStats&) const { return StatsType::Desc; }
+    StatsType operator()(const std::vector<FlowStatsEntry>&) const { return StatsType::Flow; }
+    StatsType operator()(const AggregateStats&) const { return StatsType::Aggregate; }
+    StatsType operator()(const std::vector<PortStatsEntry>&) const { return StatsType::Port; }
+  };
+  return std::visit(Visitor{}, body);
+}
+
+MsgType Message::type() const {
+  struct Visitor {
+    MsgType operator()(const Hello&) const { return MsgType::Hello; }
+    MsgType operator()(const Error&) const { return MsgType::Error; }
+    MsgType operator()(const EchoRequest&) const { return MsgType::EchoRequest; }
+    MsgType operator()(const EchoReply&) const { return MsgType::EchoReply; }
+    MsgType operator()(const Vendor&) const { return MsgType::Vendor; }
+    MsgType operator()(const FeaturesRequest&) const { return MsgType::FeaturesRequest; }
+    MsgType operator()(const FeaturesReply&) const { return MsgType::FeaturesReply; }
+    MsgType operator()(const GetConfigRequest&) const { return MsgType::GetConfigRequest; }
+    MsgType operator()(const GetConfigReply&) const { return MsgType::GetConfigReply; }
+    MsgType operator()(const SetConfig&) const { return MsgType::SetConfig; }
+    MsgType operator()(const PacketIn&) const { return MsgType::PacketIn; }
+    MsgType operator()(const FlowRemoved&) const { return MsgType::FlowRemoved; }
+    MsgType operator()(const PortStatus&) const { return MsgType::PortStatus; }
+    MsgType operator()(const PacketOut&) const { return MsgType::PacketOut; }
+    MsgType operator()(const FlowMod&) const { return MsgType::FlowMod; }
+    MsgType operator()(const PortMod&) const { return MsgType::PortMod; }
+    MsgType operator()(const StatsRequest&) const { return MsgType::StatsRequest; }
+    MsgType operator()(const StatsReply&) const { return MsgType::StatsReply; }
+    MsgType operator()(const BarrierRequest&) const { return MsgType::BarrierRequest; }
+    MsgType operator()(const BarrierReply&) const { return MsgType::BarrierReply; }
+  };
+  return std::visit(Visitor{}, body);
+}
+
+std::string Message::summary() const {
+  std::ostringstream out;
+  out << to_string(type()) << " xid=" << xid;
+  if (const auto* fm = std::get_if<FlowMod>(&body)) {
+    out << " " << to_string(fm->command) << " " << fm->match.to_string() << " actions="
+        << to_string(fm->actions) << " buffer="
+        << (fm->buffer_id == kNoBuffer ? std::string("none") : std::to_string(fm->buffer_id));
+  } else if (const auto* pi = std::get_if<PacketIn>(&body)) {
+    out << " in_port=" << pi->in_port << " buffer="
+        << (pi->buffer_id == kNoBuffer ? std::string("none") : std::to_string(pi->buffer_id))
+        << " total_len=" << pi->total_len;
+  } else if (const auto* po = std::get_if<PacketOut>(&body)) {
+    out << " in_port=" << po->in_port << " actions=" << to_string(po->actions) << " buffer="
+        << (po->buffer_id == kNoBuffer ? std::string("none") : std::to_string(po->buffer_id));
+  } else if (const auto* fr = std::get_if<FlowRemoved>(&body)) {
+    out << " " << fr->match.to_string() << " reason=" << static_cast<int>(fr->reason);
+  }
+  return out.str();
+}
+
+}  // namespace attain::ofp

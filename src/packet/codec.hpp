@@ -1,0 +1,30 @@
+// Wire codec for data-plane packets. OpenFlow PACKET_IN/PACKET_OUT carry
+// raw frame bytes, so the simulator serializes packets to a faithful wire
+// format and parses them back; the injector can therefore inspect, modify,
+// and fuzz the embedded frames exactly as a real interposer would.
+//
+// Encoding notes: standard Ethernet/ARP/IPv4/ICMP/TCP/UDP layouts are used.
+// The simulator's non-materialized payload is encoded as `payload_size`
+// bytes, the first 8 of which carry `payload_tag` (big-endian) when the
+// payload is large enough; checksums are computed but not verified.
+#pragma once
+
+#include <span>
+
+#include "common/bytes.hpp"
+#include "packet/packet.hpp"
+
+namespace attain::pkt {
+
+/// Serializes a packet to wire bytes. The result's size equals
+/// `packet.wire_size()`.
+Bytes encode(const Packet& packet);
+
+/// Parses wire bytes back into a Packet. Throws DecodeError on truncated or
+/// unsupported frames (only EtherTypes/IpProtos modelled above are valid).
+Packet decode(std::span<const std::uint8_t> data);
+
+/// RFC 1071 ones'-complement checksum over `data` (used for IPv4/ICMP).
+std::uint16_t inet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace attain::pkt

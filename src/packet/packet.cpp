@@ -1,0 +1,184 @@
+#include "packet/packet.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace attain::pkt {
+
+namespace {
+
+std::uint8_t parse_hex_byte(const std::string& text, std::size_t pos) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  const int hi = hex(text[pos]);
+  const int lo = hex(text[pos + 1]);
+  if (hi < 0 || lo < 0) throw std::invalid_argument("bad MAC address: " + text);
+  return static_cast<std::uint8_t>(hi * 16 + lo);
+}
+
+}  // namespace
+
+MacAddress MacAddress::parse(const std::string& text) {
+  if (text.size() != 17) throw std::invalid_argument("bad MAC address: " + text);
+  MacAddress mac;
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(i) * 3;
+    if (i < 5 && text[pos + 2] != ':') throw std::invalid_argument("bad MAC address: " + text);
+    mac.octets[static_cast<std::size_t>(i)] = parse_hex_byte(text, pos);
+  }
+  return mac;
+}
+
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t v = 0;
+  for (const std::uint8_t o : octets) v = (v << 8) | o;
+  return v;
+}
+
+MacAddress MacAddress::from_u64(std::uint64_t value) {
+  MacAddress mac;
+  for (int i = 5; i >= 0; --i) {
+    mac.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+  return mac;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1], octets[2],
+                octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+Ipv4Address Ipv4Address::parse(const std::string& text) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (pos >= text.size() || text[pos] != '.') {
+        throw std::invalid_argument("bad IPv4 address: " + text);
+      }
+      ++pos;
+    }
+    unsigned v = 0;
+    const auto [next, ec] = std::from_chars(text.data() + pos, text.data() + text.size(), v);
+    if (ec != std::errc{} || v > 255) throw std::invalid_argument("bad IPv4 address: " + text);
+    pos = static_cast<std::size_t>(next - text.data());
+    value = (value << 8) | v;
+  }
+  if (pos != text.size()) throw std::invalid_argument("bad IPv4 address: " + text);
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::size_t Packet::wire_size() const {
+  std::size_t size = 14;  // Ethernet header
+  if (eth.vlan_id != 0xffff) size += 4;
+  if (arp) size += 28;
+  if (ipv4) size += 20;
+  if (icmp) size += 8;
+  if (tcp) size += 20;
+  if (udp) size += 8;
+  return size + payload_size;
+}
+
+std::string Packet::summary() const {
+  std::ostringstream out;
+  out << eth.src.to_string() << "->" << eth.dst.to_string();
+  if (arp) {
+    out << " ARP " << (arp->op == ArpOp::Request ? "who-has " : "is-at ")
+        << arp->target_ip.to_string();
+  } else if (ipv4) {
+    out << " " << ipv4->src.to_string() << ">" << ipv4->dst.to_string();
+    if (icmp) {
+      out << " ICMP " << (icmp->type == IcmpType::EchoRequest ? "echo-req" : "echo-rep") << " seq="
+          << icmp->seq;
+    } else if (tcp) {
+      out << " TCP " << tcp->src_port << ">" << tcp->dst_port << " seq=" << tcp->seq;
+    } else if (udp) {
+      out << " UDP " << udp->src_port << ">" << udp->dst_port;
+    }
+  }
+  out << " len=" << wire_size();
+  return out.str();
+}
+
+Packet make_arp_request(MacAddress sender_mac, Ipv4Address sender_ip, Ipv4Address target_ip) {
+  Packet p;
+  p.eth.src = sender_mac;
+  p.eth.dst = MacAddress::broadcast();
+  p.eth.ether_type = static_cast<std::uint16_t>(EtherType::Arp);
+  p.arp = ArpHeader{ArpOp::Request, sender_mac, sender_ip, MacAddress{}, target_ip};
+  return p;
+}
+
+Packet make_arp_reply(MacAddress sender_mac, Ipv4Address sender_ip, MacAddress target_mac,
+                      Ipv4Address target_ip) {
+  Packet p;
+  p.eth.src = sender_mac;
+  p.eth.dst = target_mac;
+  p.eth.ether_type = static_cast<std::uint16_t>(EtherType::Arp);
+  p.arp = ArpHeader{ArpOp::Reply, sender_mac, sender_ip, target_mac, target_ip};
+  return p;
+}
+
+Packet make_icmp_echo(MacAddress src_mac, MacAddress dst_mac, Ipv4Address src_ip,
+                      Ipv4Address dst_ip, IcmpType type, std::uint16_t id, std::uint16_t seq,
+                      std::uint64_t tag) {
+  Packet p;
+  p.eth.src = src_mac;
+  p.eth.dst = dst_mac;
+  p.eth.ether_type = static_cast<std::uint16_t>(EtherType::Ipv4);
+  p.ipv4 = Ipv4Header{.tos = 0, .ttl = 64, .proto = static_cast<std::uint8_t>(IpProto::Icmp),
+                      .src = src_ip, .dst = dst_ip};
+  p.icmp = IcmpHeader{type, 0, id, seq};
+  p.payload_size = 56;  // standard ping payload
+  p.payload_tag = tag;
+  return p;
+}
+
+Packet make_lldp(MacAddress src_mac, std::uint64_t dpid, std::uint16_t port) {
+  Packet p;
+  p.eth.src = src_mac;
+  p.eth.dst = MacAddress{{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}};
+  p.eth.ether_type = static_cast<std::uint16_t>(EtherType::Lldp);
+  p.payload_size = 32;  // chassis + port + TTL TLVs, roughly
+  p.payload_tag = (dpid << 16) | port;
+  return p;
+}
+
+bool parse_lldp(const Packet& packet, std::uint64_t& dpid, std::uint16_t& port) {
+  if (packet.eth.ether_type != static_cast<std::uint16_t>(EtherType::Lldp)) return false;
+  dpid = packet.payload_tag >> 16;
+  port = static_cast<std::uint16_t>(packet.payload_tag & 0xffff);
+  return true;
+}
+
+Packet make_tcp(MacAddress src_mac, MacAddress dst_mac, Ipv4Address src_ip, Ipv4Address dst_ip,
+                const TcpHeader& tcp, std::uint32_t payload_size, std::uint64_t tag) {
+  Packet p;
+  p.eth.src = src_mac;
+  p.eth.dst = dst_mac;
+  p.eth.ether_type = static_cast<std::uint16_t>(EtherType::Ipv4);
+  p.ipv4 = Ipv4Header{.tos = 0, .ttl = 64, .proto = static_cast<std::uint8_t>(IpProto::Tcp),
+                      .src = src_ip, .dst = dst_ip};
+  p.tcp = tcp;
+  p.payload_size = payload_size;
+  p.payload_tag = tag;
+  return p;
+}
+
+}  // namespace attain::pkt

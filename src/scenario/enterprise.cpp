@@ -1,0 +1,216 @@
+#include "scenario/enterprise.hpp"
+
+#include <sstream>
+
+#include "packet/codec.hpp"
+
+namespace attain::scenario {
+
+topo::SystemModel make_enterprise_model(const EnterpriseOptions& options) {
+  topo::SystemModel model;
+
+  const EntityId c1 = model.add_controller(
+      topo::ControllerSpec{"c1", pkt::Ipv4Address::parse("10.0.100.1"), 6633});
+
+  auto add_switch = [&](const std::string& name, std::uint64_t dpid, bool fail_secure) {
+    topo::SwitchSpec spec;
+    spec.name = name;
+    spec.dpid = dpid;
+    spec.num_ports = 4;
+    spec.fail_secure = fail_secure;
+    return model.add_switch(std::move(spec));
+  };
+  const EntityId s1 = add_switch("s1", 1, options.others_fail_secure);
+  const EntityId s2 = add_switch("s2", 2, options.s2_fail_secure);
+  const EntityId s3 = add_switch("s3", 3, options.others_fail_secure);
+  const EntityId s4 = add_switch("s4", 4, options.others_fail_secure);
+
+  auto add_host = [&](const std::string& name, unsigned n) {
+    topo::HostSpec spec;
+    spec.name = name;
+    spec.mac = pkt::MacAddress::from_u64(n);
+    spec.ip = pkt::Ipv4Address::parse("10.0.0." + std::to_string(n));
+    return model.add_host(std::move(spec));
+  };
+  const EntityId h1 = add_host("h1", 1);
+  const EntityId h2 = add_host("h2", 2);
+  const EntityId h3 = add_host("h3", 3);
+  const EntityId h4 = add_host("h4", 4);
+  const EntityId h5 = add_host("h5", 5);
+  const EntityId h6 = add_host("h6", 6);
+
+  model.add_link(h1, std::nullopt, s1, 1);
+  model.add_link(h2, std::nullopt, s1, 2);
+  model.add_link(s1, 3, s2, 1);
+  model.add_link(s2, 2, s3, 1);
+  model.add_link(h3, std::nullopt, s3, 2);
+  model.add_link(h4, std::nullopt, s3, 3);
+  model.add_link(s3, 4, s4, 1);
+  model.add_link(h5, std::nullopt, s4, 2);
+  model.add_link(h6, std::nullopt, s4, 3);
+
+  for (const EntityId sw : {s1, s2, s3, s4}) {
+    model.add_control_connection(c1, sw, options.tls);
+  }
+
+  model.validate();
+  return model;
+}
+
+std::string enterprise_model_dsl(const EnterpriseOptions& options) {
+  std::ostringstream out;
+  out << "system {\n";
+  out << "  controller c1 { ip \"10.0.100.1\"; port 6633; }\n";
+  auto sw = [&](const char* name, int dpid, bool secure) {
+    out << "  switch " << name << " { dpid " << dpid << "; ports 4; fail_mode "
+        << (secure ? "secure" : "safe") << "; }\n";
+  };
+  sw("s1", 1, options.others_fail_secure);
+  sw("s2", 2, options.s2_fail_secure);
+  sw("s3", 3, options.others_fail_secure);
+  sw("s4", 4, options.others_fail_secure);
+  for (int n = 1; n <= 6; ++n) {
+    out << "  host h" << n << " { mac \"00:00:00:00:00:0" << n << "\"; ip \"10.0.0." << n
+        << "\"; }\n";
+  }
+  out << "  link h1 -- s1:1;\n  link h2 -- s1:2;\n  link s1:3 -- s2:1;\n";
+  out << "  link s2:2 -- s3:1;\n  link h3 -- s3:2;\n  link h4 -- s3:3;\n";
+  out << "  link s3:4 -- s4:1;\n  link h5 -- s4:2;\n  link h6 -- s4:3;\n";
+  const char* tls = options.tls ? " tls" : "";
+  for (int n = 1; n <= 4; ++n) out << "  connection c1 -> s" << n << tls << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+namespace {
+
+std::string grant_all_block() {
+  return "attacker {\n"
+         "  on (c1, s1) grant no_tls;\n"
+         "  on (c1, s2) grant no_tls;\n"
+         "  on (c1, s3) grant no_tls;\n"
+         "  on (c1, s4) grant no_tls;\n"
+         "}\n";
+}
+
+}  // namespace
+
+std::string flow_mod_suppression_dsl() {
+  std::ostringstream out;
+  out << grant_all_block();
+  out << "attack flow_mod_suppression {\n";
+  out << "  start state sigma1 {\n";
+  for (int n = 1; n <= 4; ++n) {
+    out << "    rule phi" << n << " on (c1, s" << n << ") {\n"
+        << "      requires { ReadMessage, DropMessage };\n"
+        << "      when msg.type == FLOW_MOD;\n"
+        << "      do { drop(msg); }\n"
+        << "    }\n";
+  }
+  out << "  }\n}\n";
+  return out.str();
+}
+
+std::string connection_interruption_dsl() {
+  std::ostringstream out;
+  out << grant_all_block();
+  out << "attack connection_interruption {\n"
+      << "  start state sigma1 {\n"
+      << "    rule phi1 on (c1, s2) {\n"
+      << "      requires { ReadMessage, PassMessage };\n"
+      << "      when msg.type == FEATURES_REPLY;\n"
+      << "      do { pass(msg); goto(sigma2); }\n"
+      << "    }\n"
+      << "  }\n"
+      << "  state sigma2 {\n"
+      << "    rule phi2 on (c1, s2) {\n"
+      << "      requires { ReadMessage, DropMessage };\n"
+      << "      when msg.type == FLOW_MOD and msg.field(\"match.nw_src\") == ip(h2)\n"
+      << "           and msg.field(\"match.nw_dst\") in { ip(h3), ip(h4), ip(h5), ip(h6) };\n"
+      << "      do { drop(msg); goto(sigma3); }\n"
+      << "    }\n"
+      << "  }\n"
+      << "  state sigma3 {\n"
+      << "    rule phi3 on (c1, s2) {\n"
+      << "      requires { ReadMessageMetadata, DropMessage };\n"
+      << "      when msg.length >= 0;\n"
+      << "      do { drop(msg); }\n"
+      << "    }\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string trivial_pass_all_dsl() {
+  return "attack trivial_pass_all {\n"
+         "  start state sigma1;\n"  // a state with no rules: all messages pass
+         "}\n";
+}
+
+LinkFabricationAttack make_link_fabrication_attack(const topo::SystemModel& model,
+                                                   const std::string& sw_a, std::uint16_t port_a,
+                                                   const std::string& sw_b,
+                                                   std::uint16_t port_b) {
+  using namespace lang;
+  const EntityId c1 = model.require("c1");
+  const EntityId a = model.require(sw_a);
+  const EntityId b = model.require(sw_b);
+  const std::uint64_t dpid_a = model.switch_at(a).dpid;
+  const std::uint64_t dpid_b = model.switch_at(b).dpid;
+
+  // The forged PACKET_IN delivered on (c1, target): "an LLDP probe from
+  // (origin_dpid, origin_port) arrived at my port `in_port`".
+  auto forged_packet_in = [](std::uint64_t origin_dpid, std::uint16_t origin_port,
+                             std::uint16_t in_port) {
+    ofp::PacketIn pin;
+    pin.buffer_id = ofp::kNoBuffer;
+    pin.in_port = in_port;
+    pin.reason = ofp::PacketInReason::NoMatch;
+    pin.data = pkt::encode(pkt::make_lldp(
+        pkt::MacAddress::from_u64((origin_dpid << 8) | origin_port), origin_dpid, origin_port));
+    pin.total_len = static_cast<std::uint16_t>(pin.data.size());
+    return ofp::make_message(0, std::move(pin));
+  };
+
+  // One rule per direction, each firing exactly once (guarded by a flag
+  // deque). The trigger is the switch's first ECHO_REQUEST: by then the
+  // handshake is complete, so the controller can attribute the forged
+  // PACKET_IN to the right datapath.
+  auto make_rule = [&](const std::string& name, EntityId sw, const std::string& flag,
+                       ofp::Message forged) {
+    Rule rule;
+    rule.name = name;
+    rule.connection = ConnectionId{c1, sw};
+    rule.conditional = Expr::binary(
+        BinaryOp::And,
+        Expr::binary(BinaryOp::Eq, Expr::prop(Property::Type),
+                     Expr::literal_int(static_cast<std::int64_t>(ofp::MsgType::EchoRequest))),
+        Expr::binary(BinaryOp::Eq, Expr::deque_len(flag), Expr::literal_int(0)));
+    ActInject inject;
+    inject.message = std::move(forged);
+    inject.direction = Direction::SwitchToController;
+    rule.actions.push_back(std::move(inject));
+    rule.actions.push_back(ActAppend{flag, Expr::literal_int(1)});
+    return rule;
+  };
+
+  LinkFabricationAttack result;
+  result.attack.name = "lldp_link_fabrication";
+  result.attack.start_state = "forging";
+  result.attack.deques.emplace_back("done_a", std::vector<Value>{});
+  result.attack.deques.emplace_back("done_b", std::vector<Value>{});
+  AttackState state;
+  state.name = "forging";
+  // Link b -> a is announced via a PACKET_IN on (c1, a), and vice versa.
+  state.rules.push_back(
+      make_rule("forge_on_a", a, "done_a", forged_packet_in(dpid_b, port_b, port_a)));
+  state.rules.push_back(
+      make_rule("forge_on_b", b, "done_b", forged_packet_in(dpid_a, port_a, port_b)));
+  result.attack.states.push_back(std::move(state));
+
+  result.capabilities.grant(ConnectionId{c1, a}, model::CapabilitySet::no_tls());
+  result.capabilities.grant(ConnectionId{c1, b}, model::CapabilitySet::no_tls());
+  return result;
+}
+
+}  // namespace attain::scenario

@@ -1,0 +1,346 @@
+#include "scenario/experiment.hpp"
+
+#include <stdexcept>
+
+#include "attain/dsl/parser.hpp"
+#include "ctl/floodlight.hpp"
+#include "ctl/pox.hpp"
+#include "ctl/ryu.hpp"
+#include "packet/codec.hpp"
+
+namespace attain::scenario {
+
+std::string to_string(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::Floodlight: return "Floodlight";
+    case ControllerKind::Pox: return "POX";
+    case ControllerKind::Ryu: return "Ryu";
+  }
+  return "?";
+}
+
+Testbed::Testbed(topo::SystemModel model, TestbedOptions options)
+    : model_(std::move(model)), options_(options) {
+  build();
+}
+
+dpl::Host& Testbed::host(const std::string& name) {
+  const EntityId id = model_.require(name);
+  if (id.kind != EntityKind::Host) throw std::invalid_argument(name + " is not a host");
+  return *hosts_[id.index];
+}
+
+swsim::OpenFlowSwitch& Testbed::switch_named(const std::string& name) {
+  const EntityId id = model_.require(name);
+  if (id.kind != EntityKind::Switch) throw std::invalid_argument(name + " is not a switch");
+  return *switches_[id.index];
+}
+
+void Testbed::build() {
+  monitor_.set_counters_only(options_.monitor_counters_only);
+
+  // Controller.
+  switch (options_.controller) {
+    case ControllerKind::Floodlight:
+      controller_ = std::make_unique<ctl::FloodlightForwarding>(
+          sched_, options_.controller_processing >= 0
+                      ? options_.controller_processing
+                      : ctl::FloodlightForwarding::kDefaultProcessingDelay);
+      break;
+    case ControllerKind::Pox:
+      controller_ = std::make_unique<ctl::PoxL2Learning>(
+          sched_, options_.controller_processing >= 0
+                      ? options_.controller_processing
+                      : ctl::PoxL2Learning::kDefaultProcessingDelay);
+      break;
+    case ControllerKind::Ryu:
+      controller_ = std::make_unique<ctl::RyuSimpleSwitch>(
+          sched_, options_.controller_processing >= 0
+                      ? options_.controller_processing
+                      : ctl::RyuSimpleSwitch::kDefaultProcessingDelay);
+      break;
+  }
+
+  injector_ = std::make_unique<inject::RuntimeInjector>(sched_, model_, monitor_);
+
+  // Hosts and switches.
+  for (const topo::HostSpec& spec : model_.hosts()) {
+    hosts_.push_back(std::make_unique<dpl::Host>(sched_, spec.name, spec.mac, spec.ip));
+  }
+  for (const topo::SwitchSpec& spec : model_.switches()) {
+    swsim::SwitchConfig config;
+    config.name = spec.name;
+    config.dpid = spec.dpid;
+    config.num_ports = spec.num_ports;
+    config.fail_secure = spec.fail_secure;
+    switches_.push_back(std::make_unique<swsim::OpenFlowSwitch>(sched_, config));
+  }
+
+  // Data-plane links: one pipe per direction per link; switch packet
+  // senders look their output pipe up by (switch index, port).
+  std::map<std::pair<std::uint32_t, std::uint16_t>, sim::Pipe<pkt::Packet>*> switch_out;
+  for (const topo::LinkSpec& link : model_.links()) {
+    auto a_to_b = std::make_unique<sim::Pipe<pkt::Packet>>(sched_, options_.data_link);
+    auto b_to_a = std::make_unique<sim::Pipe<pkt::Packet>>(sched_, options_.data_link);
+
+    auto wire_receiver = [this](EntityId dst, std::optional<std::uint16_t> dst_port,
+                                sim::Pipe<pkt::Packet>& pipe) {
+      if (dst.kind == EntityKind::Host) {
+        dpl::Host* h = hosts_[dst.index].get();
+        pipe.set_receiver([h](pkt::Packet p) { h->on_packet(p); });
+      } else {
+        swsim::OpenFlowSwitch* sw = switches_[dst.index].get();
+        const std::uint16_t port = dst_port.value();
+        pipe.set_receiver([sw, port](pkt::Packet p) { sw->on_packet(port, std::move(p)); });
+      }
+    };
+    wire_receiver(link.b, link.b_port, *a_to_b);
+    wire_receiver(link.a, link.a_port, *b_to_a);
+
+    auto wire_sender = [&](EntityId src, std::optional<std::uint16_t> src_port,
+                           sim::Pipe<pkt::Packet>* pipe) {
+      if (src.kind == EntityKind::Host) {
+        hosts_[src.index]->set_sender(
+            [pipe](pkt::Packet p) { pipe->send(p, p.wire_size()); });
+      } else {
+        switch_out[{src.index, src_port.value()}] = pipe;
+      }
+    };
+    wire_sender(link.a, link.a_port, a_to_b.get());
+    wire_sender(link.b, link.b_port, b_to_a.get());
+
+    data_pipes_.push_back(std::move(a_to_b));
+    data_pipes_.push_back(std::move(b_to_a));
+  }
+  for (std::uint32_t i = 0; i < switches_.size(); ++i) {
+    swsim::OpenFlowSwitch* sw = switches_[i].get();
+    auto lookup = switch_out;  // copy for capture (small)
+    sw->set_packet_sender([i, lookup](std::uint16_t port, pkt::Packet p) {
+      const auto it = lookup.find({i, port});
+      if (it != lookup.end()) it->second->send(p, p.wire_size());
+    });
+  }
+
+  // Control-plane connections: switch <-> proxy <-> controller, each
+  // segment a pipe pair. The switch never talks to the controller
+  // directly — exactly the paper's deployment.
+  for (const topo::ControlConnSpec& conn : model_.control_connections()) {
+    swsim::OpenFlowSwitch* sw = switches_[conn.id.sw.index].get();
+
+    auto sw_to_proxy = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
+    auto proxy_to_sw = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
+    auto proxy_to_ctl = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
+    auto ctl_to_proxy = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
+
+    const ctl::ConnHandle handle = controller_->add_connection(
+        [pipe = ctl_to_proxy.get()](Bytes b) { pipe->send(b, b.size()); });
+
+    injector_->attach_connection(
+        conn.id,
+        /*to_controller=*/[pipe = proxy_to_ctl.get()](Bytes b) { pipe->send(b, b.size()); },
+        /*to_switch=*/[pipe = proxy_to_sw.get()](Bytes b) { pipe->send(b, b.size()); });
+
+    sw_to_proxy->set_receiver(injector_->switch_side_input(conn.id));
+    ctl_to_proxy->set_receiver(injector_->controller_side_input(conn.id));
+    proxy_to_sw->set_receiver([sw](Bytes b) { sw->on_control_bytes(b); });
+    proxy_to_ctl->set_receiver(
+        [this, handle](Bytes b) { controller_->on_bytes(handle, b); });
+
+    sw->set_control_sender([pipe = sw_to_proxy.get()](Bytes b) { pipe->send(b, b.size()); });
+
+    control_pipes_.push_back(std::move(sw_to_proxy));
+    control_pipes_.push_back(std::move(proxy_to_sw));
+    control_pipes_.push_back(std::move(proxy_to_ctl));
+    control_pipes_.push_back(std::move(ctl_to_proxy));
+  }
+}
+
+void Testbed::connect_switches_at(SimTime when) {
+  for (auto& sw : switches_) {
+    sched_.at(when, [s = sw.get()] { s->connect(); });
+  }
+}
+
+dsl::CompiledAttack Testbed::compile_attack(const std::string& dsl_source) {
+  const dsl::Document doc = dsl::parse_document(dsl_source, model_);
+  if (doc.attacks.empty()) throw std::invalid_argument("DSL source declares no attack");
+  return dsl::compile(doc.attacks.front(), model_, doc.capabilities);
+}
+
+void Testbed::arm_attack_at(SimTime when, const std::string& dsl_source) {
+  const dsl::Document doc = dsl::parse_document(dsl_source, model_);
+  if (doc.attacks.empty()) throw std::invalid_argument("DSL source declares no attack");
+  arm_attack_at(when, doc.attacks.front(), doc.capabilities);
+}
+
+void Testbed::arm_attack_at(SimTime when, const lang::Attack& attack,
+                            const model::CapabilityMap& capabilities) {
+  auto armed = std::make_unique<ArmedAttack>();
+  armed->capabilities = capabilities;
+  armed->attack = dsl::compile(attack, model_, armed->capabilities);
+  ArmedAttack* raw = armed.get();
+  armed_.push_back(std::move(armed));
+  sched_.at(when, [this, raw] { injector_->arm(raw->attack, raw->capabilities); });
+}
+
+// ---------------------------------------------------------------------------
+
+std::optional<double> SuppressionResult::mean_throughput_mbps() const {
+  if (iperf_mbps.empty()) return std::nullopt;
+  double sum = 0.0;
+  bool any_nonzero = false;
+  for (const double v : iperf_mbps) {
+    sum += v;
+    if (v > 0.0) any_nonzero = true;
+  }
+  if (!any_nonzero) return std::nullopt;  // the paper's "*": zero throughput
+  return sum / static_cast<double>(iperf_mbps.size());
+}
+
+std::optional<double> SuppressionResult::mean_latency_ms() const {
+  const auto rtt = ping.mean_rtt_seconds();
+  if (!rtt) return std::nullopt;  // "*": latency infinite
+  return *rtt * 1e3;
+}
+
+SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config) {
+  TestbedOptions options;
+  options.controller = config.controller;
+  Testbed bed(make_enterprise_model(), options);
+  auto& sched = bed.scheduler();
+
+  // §VII-B timing: controller at t=0 (always-on here), injector armed to
+  // σ1 at t=5 s, switches connect afterwards so every message is
+  // interposed, ping at t=30 s, iperf afterwards.
+  if (config.attack_enabled) {
+    bed.arm_attack_at(seconds(5), flow_mod_suppression_dsl());
+  }
+  bed.connect_switches_at(seconds(6));
+
+  dpl::Host& h1 = bed.host("h1");
+  dpl::Host& h6 = bed.host("h6");
+
+  auto ping = std::make_unique<dpl::PingApp>(h1, h6.ip(), /*icmp_id=*/100);
+  sched.at(seconds(30), [&ping, &config] { ping->start(config.ping_trials); });
+
+  // iperf trials: server on h6, fresh client per trial (distinct ports so
+  // stragglers from a finished trial cannot ack into the next one).
+  std::vector<std::unique_ptr<dpl::IperfServer>> servers;
+  std::vector<std::unique_ptr<dpl::IperfClient>> clients;
+  const SimTime iperf_start = seconds(30) + static_cast<SimTime>(config.ping_trials) * kSecond +
+                              5 * kSecond;
+  SimTime t = iperf_start;
+  for (unsigned trial = 0; trial < config.iperf_trials; ++trial) {
+    sched.at(t, [&, trial] {
+      dpl::IperfClientConfig cc;
+      cc.server_port = static_cast<std::uint16_t>(5001 + trial);
+      cc.client_port = static_cast<std::uint16_t>(50000 + trial);
+      servers.push_back(std::make_unique<dpl::IperfServer>(bed.host("h6"), cc.server_port));
+      clients.push_back(std::make_unique<dpl::IperfClient>(bed.host("h1"), bed.host("h6").ip(), cc));
+      clients.back()->start(config.iperf_duration);
+    });
+    t += config.iperf_duration + config.iperf_gap;
+  }
+  const SimTime end = t + 2 * kSecond;
+  bed.run_until(end);
+
+  SuppressionResult result;
+  result.controller = config.controller;
+  result.attack_enabled = config.attack_enabled;
+  result.ping = ping->report();
+  for (const auto& client : clients) {
+    result.iperf_mbps.push_back(client->result().throughput_mbps());
+  }
+  const monitor::Monitor& mon = bed.monitor();
+  result.packet_ins = mon.observed_of_type(ofp::MsgType::PacketIn);
+  result.packet_outs = mon.observed_of_type(ofp::MsgType::PacketOut);
+  result.flow_mods_observed = mon.observed_of_type(ofp::MsgType::FlowMod);
+  result.flow_mods_suppressed = mon.count(monitor::EventKind::MessageDropped);
+  for (const topo::HostSpec& spec : bed.model().hosts()) {
+    result.data_packets_delivered += bed.host(spec.name).counters().packets_received;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs `trials` pings from `src` to `dst` starting at `when`; the report
+/// is read after the run. Reachability = at least one answered trial.
+struct ScheduledPing {
+  std::unique_ptr<dpl::PingApp> app;
+};
+
+}  // namespace
+
+InterruptionResult run_connection_interruption(const InterruptionConfig& config) {
+  TestbedOptions options;
+  options.controller = config.controller;
+  EnterpriseOptions enterprise;
+  enterprise.s2_fail_secure = config.s2_fail_secure;
+  Testbed bed(make_enterprise_model(enterprise), options);
+  auto& sched = bed.scheduler();
+
+  // §VII-C timing: fail mode set at t=0 (model construction), controller
+  // at t=5, injector to σ1 at t=10, switches connect at t=12 (through the
+  // armed proxy so σ1 observes the connection setup), probes at
+  // t=30/50/95.
+  bed.arm_attack_at(seconds(10), connection_interruption_dsl());
+  bed.connect_switches_at(seconds(12));
+
+  std::vector<std::unique_ptr<dpl::PingApp>> pings;
+  auto schedule_ping = [&](SimTime when, const char* src, const char* dst, unsigned trials,
+                           std::uint16_t icmp_id, std::size_t slot) {
+    sched.at(when, [&bed, &pings, src, dst, trials, icmp_id, slot] {
+      pings[slot] = std::make_unique<dpl::PingApp>(bed.host(src), bed.host(dst).ip(), icmp_id);
+      pings[slot]->start(trials);
+    });
+  };
+  pings.resize(4);
+  schedule_ping(seconds(30), "h2", "h1", 10, 201, 0);  // external -> external
+  schedule_ping(seconds(30), "h6", "h1", 10, 202, 1);  // internal -> external
+  schedule_ping(seconds(50), "h2", "h3", 60, 203, 2);  // external -> internal
+  schedule_ping(seconds(95), "h6", "h1", 10, 204, 3);  // internal -> external (post)
+
+  bed.run_until(seconds(125));
+
+  InterruptionResult result;
+  result.controller = config.controller;
+  result.s2_fail_secure = config.s2_fail_secure;
+  result.ext_to_ext_t30 = pings[0]->report().received() > 0;
+  result.int_to_ext_t30 = pings[1]->report().received() > 0;
+  result.ext_to_int_t50 = pings[2]->report().received() > 0;
+  result.int_to_ext_t95 = pings[3]->report().received() > 0;
+  result.attack_reached_sigma3 = bed.injector().current_state() == std::optional<std::string>("sigma3");
+  return result;
+}
+
+std::string render_table2(const std::vector<InterruptionResult>& results) {
+  monitor::TextTable table({"question", "Floodlight/safe", "Floodlight/secure", "POX/safe",
+                            "POX/secure", "Ryu/safe", "Ryu/secure"});
+  auto find = [&](ControllerKind kind, bool secure) -> const InterruptionResult* {
+    for (const InterruptionResult& r : results) {
+      if (r.controller == kind && r.s2_fail_secure == secure) return &r;
+    }
+    return nullptr;
+  };
+  auto row = [&](const char* question, auto getter) {
+    std::vector<std::string> cells{question};
+    for (const ControllerKind kind :
+         {ControllerKind::Floodlight, ControllerKind::Pox, ControllerKind::Ryu}) {
+      for (const bool secure : {false, true}) {
+        const InterruptionResult* r = find(kind, secure);
+        cells.push_back(r == nullptr ? "?" : (getter(*r) ? "yes" : "no"));
+      }
+    }
+    table.add_row(std::move(cells));
+  };
+  row("ext->ext reachable (t=30s)", [](const InterruptionResult& r) { return r.ext_to_ext_t30; });
+  row("int->ext reachable (t=30s)", [](const InterruptionResult& r) { return r.int_to_ext_t30; });
+  row("ext->int reachable (t=50s)", [](const InterruptionResult& r) { return r.ext_to_int_t50; });
+  row("int->ext reachable (t=95s)", [](const InterruptionResult& r) { return r.int_to_ext_t95; });
+  return table.to_string();
+}
+
+}  // namespace attain::scenario

@@ -1,0 +1,174 @@
+// The experiment harness: assembles a full testbed (simulated hosts,
+// switches, controller, injector proxy, monitors) from a system model, and
+// runs the paper's two case-study experiments with their §VII timing
+// scripts. The benchmark binaries and integration tests drive everything
+// through this layer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attain/dsl/compiler.hpp"
+#include "attain/inject/proxy.hpp"
+#include "attain/monitor/metrics.hpp"
+#include "attain/monitor/monitor.hpp"
+#include "ctl/controller.hpp"
+#include "dpl/host.hpp"
+#include "dpl/iperf.hpp"
+#include "dpl/ping.hpp"
+#include "scenario/enterprise.hpp"
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+#include "swsim/switch.hpp"
+
+namespace attain::scenario {
+
+enum class ControllerKind { Floodlight, Pox, Ryu };
+
+std::string to_string(ControllerKind kind);
+
+struct TestbedOptions {
+  ControllerKind controller{ControllerKind::Pox};
+  /// Data-plane links: the paper's 100 Mbps GENI links.
+  sim::PipeConfig data_link{100'000'000, 200 * kMicrosecond, 512};
+  /// Control-plane network (a dedicated switch in the paper's deployment);
+  /// two segments per connection (switch↔proxy, proxy↔controller).
+  sim::PipeConfig control_link{1'000'000'000, 150 * kMicrosecond, 0};
+  /// Override the controller's per-message processing delay; negative
+  /// keeps the controller implementation's default.
+  SimTime controller_processing{-1};
+  /// Record only counters in the monitor (full event logs get large under
+  /// the iperf workloads).
+  bool monitor_counters_only{true};
+};
+
+/// A fully wired simulated deployment of one system model. All components
+/// share one Scheduler; every control-plane connection runs through one
+/// RuntimeInjector instance (the paper's centralized, totally-ordered
+/// proxy).
+class Testbed {
+ public:
+  Testbed(topo::SystemModel model, TestbedOptions options = {});
+
+  sim::Scheduler& scheduler() { return sched_; }
+  const topo::SystemModel& model() const { return model_; }
+  dpl::Host& host(const std::string& name);
+  swsim::OpenFlowSwitch& switch_named(const std::string& name);
+  ctl::Controller& controller() { return *controller_; }
+  inject::RuntimeInjector& injector() { return *injector_; }
+  monitor::Monitor& monitor() { return monitor_; }
+
+  /// Schedules every switch's OpenFlow connect() at `when`.
+  void connect_switches_at(SimTime when);
+
+  /// Compiles the DSL source (attacker + attack blocks) against this
+  /// testbed's system model. Throws on parse/compile errors.
+  dsl::CompiledAttack compile_attack(const std::string& dsl_source);
+
+  /// Schedules arming `attack` at `when`. The compiled attack and its
+  /// capability map are kept alive by the testbed.
+  void arm_attack_at(SimTime when, const std::string& dsl_source);
+
+  /// Same, for programmatically built attacks (e.g. the link-fabrication
+  /// attack, whose injected messages carry crafted frames the DSL cannot
+  /// express). The attack is compiled (with full capability checking)
+  /// before scheduling.
+  void arm_attack_at(SimTime when, const lang::Attack& attack,
+                     const model::CapabilityMap& capabilities);
+
+  /// Runs the simulation to `deadline`.
+  void run_until(SimTime deadline) { sched_.run_until(deadline); }
+
+ private:
+  void build();
+
+  topo::SystemModel model_;
+  TestbedOptions options_;
+  sim::Scheduler sched_;
+  monitor::Monitor monitor_;
+
+  std::vector<std::unique_ptr<dpl::Host>> hosts_;
+  std::vector<std::unique_ptr<swsim::OpenFlowSwitch>> switches_;
+  std::unique_ptr<ctl::Controller> controller_;
+  std::unique_ptr<inject::RuntimeInjector> injector_;
+
+  // Data-plane pipes; owned here, looked up by (entity, port) for senders.
+  std::vector<std::unique_ptr<sim::Pipe<pkt::Packet>>> data_pipes_;
+  // Control-plane pipes (bytes), two duplex segments per connection.
+  std::vector<std::unique_ptr<sim::Pipe<Bytes>>> control_pipes_;
+
+  // Armed attacks kept alive (executor holds references).
+  struct ArmedAttack {
+    dsl::CompiledAttack attack;
+    model::CapabilityMap capabilities;
+  };
+  std::vector<std::unique_ptr<ArmedAttack>> armed_;
+};
+
+// ---------------------------------------------------------------------------
+// Experiment 1 (§VII-B, Fig. 11): flow modification suppression.
+// ---------------------------------------------------------------------------
+
+struct SuppressionConfig {
+  ControllerKind controller{ControllerKind::Pox};
+  bool attack_enabled{true};
+  unsigned ping_trials{60};
+  unsigned iperf_trials{5};
+  SimTime iperf_duration{3 * kSecond};
+  SimTime iperf_gap{2 * kSecond};
+};
+
+struct SuppressionResult {
+  ControllerKind controller{ControllerKind::Pox};
+  bool attack_enabled{false};
+
+  dpl::PingReport ping;
+  std::vector<double> iperf_mbps;  // per trial
+
+  // Control-plane accounting for the amplification analysis (E6).
+  std::uint64_t packet_ins{0};
+  std::uint64_t packet_outs{0};
+  std::uint64_t flow_mods_observed{0};
+  std::uint64_t flow_mods_suppressed{0};
+  std::uint64_t data_packets_delivered{0};
+
+  /// Mean throughput; std::nullopt when every trial moved zero bytes (the
+  /// paper's "*", denial of service).
+  std::optional<double> mean_throughput_mbps() const;
+  /// Mean RTT in ms; std::nullopt when no ping was ever answered ("*").
+  std::optional<double> mean_latency_ms() const;
+};
+
+SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config);
+
+// ---------------------------------------------------------------------------
+// Experiment 2 (§VII-C, Table II): connection interruption.
+// ---------------------------------------------------------------------------
+
+struct InterruptionConfig {
+  ControllerKind controller{ControllerKind::Pox};
+  bool s2_fail_secure{false};
+};
+
+struct InterruptionResult {
+  ControllerKind controller{ControllerKind::Pox};
+  bool s2_fail_secure{false};
+
+  // Table II's four questions (✓ = true).
+  bool ext_to_ext_t30{false};   // h2 -> h1
+  bool int_to_ext_t30{false};   // h6 -> h1
+  bool ext_to_int_t50{false};   // h2 -> h3 (true = unauthorized access post-interruption)
+  bool int_to_ext_t95{false};   // h6 -> h1 (false = denial of service)
+
+  bool attack_reached_sigma3{false};  // Ryu: stays false (φ2 never fires)
+};
+
+InterruptionResult run_connection_interruption(const InterruptionConfig& config);
+
+/// Renders Table II from the six (controller × fail-mode) runs.
+std::string render_table2(const std::vector<InterruptionResult>& results);
+
+}  // namespace attain::scenario

@@ -1,0 +1,121 @@
+// Point-to-point link and channel models.
+//
+// Pipe<T> is a unidirectional FIFO transmission pipe with finite bandwidth,
+// propagation delay, and a bounded drop-tail queue. The data plane sends
+// packet::Packet through pairs of pipes; the control plane sends framed
+// OpenFlow byte vectors (with effectively infinite bandwidth but nonzero
+// latency, modelling a healthy management network as in the paper's GENI
+// deployment, where the control network was a separate switch).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace attain::sim {
+
+/// Counters describing a pipe's lifetime behaviour; used by monitors and
+/// the benchmark harness.
+struct PipeStats {
+  std::uint64_t enqueued{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped_overflow{0};
+  std::uint64_t bytes_delivered{0};
+};
+
+/// Configuration for a Pipe. bandwidth_bps == 0 means "infinite" (no
+/// serialization delay); queue_limit == 0 means unbounded.
+struct PipeConfig {
+  std::uint64_t bandwidth_bps{100'000'000};  // paper: 100 Mbps links
+  SimTime propagation_delay{500 * kMicrosecond};
+  std::size_t queue_limit{256};
+};
+
+/// Unidirectional transmission pipe. The receiver is a callback taking the
+/// payload by value; payload sizes are supplied by the caller so the pipe
+/// stays agnostic of the payload type.
+template <typename T>
+class Pipe {
+ public:
+  using Receiver = std::function<void(T)>;
+
+  Pipe(Scheduler& sched, PipeConfig config) : sched_(&sched), config_(config) {}
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  const PipeStats& stats() const { return stats_; }
+  const PipeConfig& config() const { return config_; }
+
+  /// True while the pipe forwards traffic. A severed pipe silently drops
+  /// everything — used to model physical link failure / hard connection
+  /// interruption.
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  /// Submits a payload of `size_bytes` for transmission. Serialization
+  /// occupies the pipe for size*8/bandwidth; payloads queue FIFO behind the
+  /// current transmission and overflow is dropped at the tail.
+  void send(T payload, std::size_t size_bytes) {
+    if (!up_) return;
+    if (config_.queue_limit != 0 && in_flight_ >= config_.queue_limit) {
+      ++stats_.dropped_overflow;
+      return;
+    }
+    ++stats_.enqueued;
+    ++in_flight_;
+    const SimTime serialize =
+        config_.bandwidth_bps == 0
+            ? 0
+            : static_cast<SimTime>(static_cast<__int128>(size_bytes) * 8 * kSecond /
+                                   config_.bandwidth_bps);
+    const SimTime start = std::max(sched_->now(), busy_until_);
+    busy_until_ = start + serialize;
+    const SimTime deliver_at = busy_until_ + config_.propagation_delay;
+    sched_->at(deliver_at, [this, payload = std::move(payload), size_bytes]() mutable {
+      --in_flight_;
+      if (!up_) return;
+      ++stats_.delivered;
+      stats_.bytes_delivered += size_bytes;
+      if (receiver_) receiver_(std::move(payload));
+    });
+  }
+
+ private:
+  Scheduler* sched_;
+  PipeConfig config_;
+  Receiver receiver_;
+  PipeStats stats_;
+  SimTime busy_until_{0};
+  std::size_t in_flight_{0};
+  bool up_{true};
+};
+
+/// A bidirectional link: two independent pipes sharing a configuration.
+template <typename T>
+class Duplex {
+ public:
+  Duplex(Scheduler& sched, PipeConfig config) : a_to_b_(sched, config), b_to_a_(sched, config) {}
+
+  Pipe<T>& a_to_b() { return a_to_b_; }
+  Pipe<T>& b_to_a() { return b_to_a_; }
+
+  void set_up(bool up) {
+    a_to_b_.set_up(up);
+    b_to_a_.set_up(up);
+  }
+
+ private:
+  Pipe<T> a_to_b_;
+  Pipe<T> b_to_a_;
+};
+
+/// Returns the one-way latency a payload of `size_bytes` experiences on an
+/// idle pipe with `config` — used by tests and the analytical models in
+/// EXPERIMENTS.md.
+SimTime idle_pipe_latency(const PipeConfig& config, std::size_t size_bytes);
+
+}  // namespace attain::sim

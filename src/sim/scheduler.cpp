@@ -1,0 +1,61 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace attain::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+Scheduler::Scheduler() {
+  Logger::instance().set_clock([this] { return now_; });
+}
+
+Scheduler::~Scheduler() { Logger::instance().set_clock({}); }
+
+EventHandle Scheduler::at(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler::at: time " + std::to_string(when) +
+                                " is in the past (now=" + std::to_string(now_) + ")");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, seq_++, std::move(fn), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+EventHandle Scheduler::after(SimTime delay, std::function<void()> fn) {
+  return at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::dispatch(Event& ev) {
+  now_ = ev.when;
+  if (!*ev.cancelled) {
+    *ev.cancelled = true;  // marks the handle as no longer pending
+    ++executed_;
+    ev.fn();
+  }
+}
+
+void Scheduler::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace attain::sim

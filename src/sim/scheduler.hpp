@@ -1,0 +1,86 @@
+// Deterministic discrete-event scheduler. All network elements (links,
+// switches, controllers, hosts, the injector) schedule callbacks on a single
+// Scheduler instance; virtual time advances only through run()/run_until().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace attain::sim {
+
+/// Handle for a scheduled event; lets the owner cancel it. Copyable; all
+/// copies refer to the same pending event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not yet fired. Safe to call repeatedly or
+  /// on a default-constructed handle.
+  void cancel();
+
+  bool pending() const;
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Min-heap event loop keyed by (time, sequence). Ties break in insertion
+/// order, which makes runs bit-for-bit reproducible.
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `when` (>= now).
+  EventHandle at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  EventHandle after(SimTime delay, std::function<void()> fn);
+
+  /// Runs events until the queue drains.
+  void run();
+
+  /// Runs events with time <= `deadline`, then sets now() to `deadline`
+  /// (even if the queue drained earlier).
+  void run_until(SimTime deadline);
+
+  /// Number of events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  SimTime now_{0};
+  std::uint64_t seq_{0};
+  std::uint64_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace attain::sim

@@ -1,0 +1,137 @@
+#include "swsim/flow_table.hpp"
+
+#include <algorithm>
+
+namespace attain::swsim {
+
+namespace {
+
+bool out_port_filter(const FlowEntry& entry, std::uint16_t out_port) {
+  if (out_port == static_cast<std::uint16_t>(ofp::Port::None)) return true;
+  return std::any_of(entry.actions.begin(), entry.actions.end(), [&](const ofp::Action& a) {
+    const auto* out = std::get_if<ofp::ActionOutput>(&a);
+    return out != nullptr && out->port == out_port;
+  });
+}
+
+}  // namespace
+
+std::vector<ExpiredEntry> FlowTable::apply(const ofp::FlowMod& mod, SimTime now) {
+  switch (mod.command) {
+    case ofp::FlowModCommand::Add:
+      add(mod, now);
+      return {};
+    case ofp::FlowModCommand::Modify:
+      modify(mod, now, /*strict=*/false);
+      return {};
+    case ofp::FlowModCommand::ModifyStrict:
+      modify(mod, now, /*strict=*/true);
+      return {};
+    case ofp::FlowModCommand::Delete:
+      return erase(mod, /*strict=*/false);
+    case ofp::FlowModCommand::DeleteStrict:
+      return erase(mod, /*strict=*/true);
+  }
+  return {};
+}
+
+void FlowTable::add(const ofp::FlowMod& mod, SimTime now) {
+  // OF1.0: ADD replaces an entry with identical match and priority,
+  // resetting counters.
+  for (FlowEntry& entry : entries_) {
+    if (entry.priority == mod.priority && entry.match.strictly_equals(mod.match)) {
+      entry.cookie = mod.cookie;
+      entry.idle_timeout = mod.idle_timeout;
+      entry.hard_timeout = mod.hard_timeout;
+      entry.flags = mod.flags;
+      entry.actions = mod.actions;
+      entry.installed_at = now;
+      entry.last_used = now;
+      entry.packet_count = 0;
+      entry.byte_count = 0;
+      return;
+    }
+  }
+  FlowEntry entry;
+  entry.match = mod.match;
+  entry.priority = mod.priority;
+  entry.cookie = mod.cookie;
+  entry.idle_timeout = mod.idle_timeout;
+  entry.hard_timeout = mod.hard_timeout;
+  entry.flags = mod.flags;
+  entry.actions = mod.actions;
+  entry.installed_at = now;
+  entry.last_used = now;
+  entries_.push_back(std::move(entry));
+}
+
+void FlowTable::modify(const ofp::FlowMod& mod, SimTime now, bool strict) {
+  bool any = false;
+  for (FlowEntry& entry : entries_) {
+    const bool hit = strict ? entry.priority == mod.priority &&
+                                  entry.match.strictly_equals(mod.match)
+                            : mod.match.subsumes(entry.match);
+    if (hit) {
+      entry.actions = mod.actions;  // counters and timeouts preserved (spec §4.6)
+      any = true;
+    }
+  }
+  if (!any) add(mod, now);  // OF1.0: MODIFY with no match behaves like ADD
+}
+
+std::vector<ExpiredEntry> FlowTable::erase(const ofp::FlowMod& mod, bool strict) {
+  std::vector<ExpiredEntry> removed;
+  std::erase_if(entries_, [&](const FlowEntry& entry) {
+    const bool hit = (strict ? entry.priority == mod.priority &&
+                                   entry.match.strictly_equals(mod.match)
+                             : mod.match.subsumes(entry.match)) &&
+                     out_port_filter(entry, mod.out_port);
+    if (hit) {
+      removed.push_back(ExpiredEntry{entry, ofp::FlowRemovedReason::Delete});
+    }
+    return hit;
+  });
+  return removed;
+}
+
+const FlowEntry* FlowTable::match_packet(const pkt::Packet& packet, std::uint16_t in_port,
+                                         SimTime now, std::size_t wire_size) {
+  FlowEntry* best = nullptr;
+  bool best_exact = false;
+  for (FlowEntry& entry : entries_) {
+    if (!entry.match.matches(packet, in_port)) continue;
+    const bool exact = entry.match.is_exact();
+    if (best == nullptr || (exact && !best_exact) ||
+        (exact == best_exact && entry.priority > best->priority)) {
+      best = &entry;
+      best_exact = exact;
+    }
+  }
+  if (best != nullptr) {
+    best->last_used = now;
+    ++best->packet_count;
+    best->byte_count += wire_size;
+  }
+  return best;
+}
+
+std::vector<ExpiredEntry> FlowTable::expire(SimTime now) {
+  std::vector<ExpiredEntry> expired;
+  std::erase_if(entries_, [&](const FlowEntry& entry) {
+    ofp::FlowRemovedReason reason;
+    if (entry.hard_timeout != 0 &&
+        now - entry.installed_at >= static_cast<SimTime>(entry.hard_timeout) * kSecond) {
+      reason = ofp::FlowRemovedReason::HardTimeout;
+    } else if (entry.idle_timeout != 0 &&
+               now - entry.last_used >= static_cast<SimTime>(entry.idle_timeout) * kSecond) {
+      reason = ofp::FlowRemovedReason::IdleTimeout;
+    } else {
+      return false;
+    }
+    expired.push_back(ExpiredEntry{entry, reason});
+    return true;
+  });
+  return expired;
+}
+
+}  // namespace attain::swsim

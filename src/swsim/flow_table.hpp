@@ -1,0 +1,65 @@
+// OpenFlow 1.0 flow table: priority + wildcard lookup, idle/hard timeout
+// expiry, counters, and the five FLOW_MOD commands with OF1.0 strict /
+// non-strict semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ofp/messages.hpp"
+
+namespace attain::swsim {
+
+struct FlowEntry {
+  ofp::Match match;
+  std::uint16_t priority{0x8000};
+  std::uint64_t cookie{0};
+  std::uint16_t idle_timeout{0};  // seconds; 0 = never
+  std::uint16_t hard_timeout{0};  // seconds; 0 = never
+  std::uint16_t flags{0};
+  ofp::ActionList actions;
+
+  SimTime installed_at{0};
+  SimTime last_used{0};
+  std::uint64_t packet_count{0};
+  std::uint64_t byte_count{0};
+};
+
+/// An entry evicted by expire(), with why it left the table.
+struct ExpiredEntry {
+  FlowEntry entry;
+  ofp::FlowRemovedReason reason{ofp::FlowRemovedReason::IdleTimeout};
+};
+
+class FlowTable {
+ public:
+  /// Applies a FLOW_MOD. Returns entries removed by Delete/DeleteStrict
+  /// (the switch decides whether each warrants a FLOW_REMOVED, based on
+  /// the entry's SEND_FLOW_REM flag).
+  std::vector<ExpiredEntry> apply(const ofp::FlowMod& mod, SimTime now);
+
+  /// Highest-priority matching entry for a packet arriving on `in_port`,
+  /// or nullptr on table miss. Updates the entry's counters and idle
+  /// timestamp. Per OF1.0 §3.4, exact-match entries outrank all wildcard
+  /// entries regardless of priority.
+  const FlowEntry* match_packet(const pkt::Packet& packet, std::uint16_t in_port, SimTime now,
+                                std::size_t wire_size);
+
+  /// Removes entries whose idle or hard timeout has elapsed.
+  std::vector<ExpiredEntry> expire(SimTime now);
+
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  void add(const ofp::FlowMod& mod, SimTime now);
+  void modify(const ofp::FlowMod& mod, SimTime now, bool strict);
+  std::vector<ExpiredEntry> erase(const ofp::FlowMod& mod, bool strict);
+
+  std::vector<FlowEntry> entries_;
+};
+
+}  // namespace attain::swsim

@@ -1,0 +1,254 @@
+#include "topo/system_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace attain::topo {
+
+namespace {
+
+std::string describe(EntityKind kind, std::uint32_t index) {
+  return to_string(kind) + "#" + std::to_string(index);
+}
+
+}  // namespace
+
+void SystemModel::check_new_name(const std::string& name) const {
+  if (find(name)) throw ModelError("duplicate entity name: " + name);
+}
+
+EntityId SystemModel::add_controller(ControllerSpec spec) {
+  check_new_name(spec.name);
+  const EntityId id{EntityKind::Controller, static_cast<std::uint32_t>(controllers_.size())};
+  controllers_.push_back(std::move(spec));
+  return id;
+}
+
+EntityId SystemModel::add_switch(SwitchSpec spec) {
+  check_new_name(spec.name);
+  const EntityId id{EntityKind::Switch, static_cast<std::uint32_t>(switches_.size())};
+  switches_.push_back(std::move(spec));
+  return id;
+}
+
+EntityId SystemModel::add_host(HostSpec spec) {
+  check_new_name(spec.name);
+  const EntityId id{EntityKind::Host, static_cast<std::uint32_t>(hosts_.size())};
+  hosts_.push_back(std::move(spec));
+  return id;
+}
+
+void SystemModel::check_port_free(EntityId sw, std::uint16_t port) const {
+  const SwitchSpec& spec = switch_at(sw);
+  if (port == 0 || port > spec.num_ports) {
+    throw ModelError("port " + std::to_string(port) + " out of range on " + spec.name);
+  }
+  for (const LinkSpec& link : links_) {
+    if ((link.a == sw && link.a_port == port) || (link.b == sw && link.b_port == port)) {
+      throw ModelError("port " + std::to_string(port) + " on " + spec.name + " already wired");
+    }
+  }
+}
+
+void SystemModel::add_link(EntityId a, std::optional<std::uint16_t> a_port, EntityId b,
+                           std::optional<std::uint16_t> b_port) {
+  auto check_endpoint = [this](EntityId id, const std::optional<std::uint16_t>& port) {
+    if (id.kind == EntityKind::Controller) {
+      throw ModelError("controllers are not part of the data plane graph");
+    }
+    if (id.kind == EntityKind::Switch) {
+      if (!port) throw ModelError("switch link endpoints need a port");
+      check_port_free(id, *port);
+    } else {
+      if (port) throw ModelError("host link endpoints take no port (NULL in N_D)");
+      host(id);  // bounds check
+      for (const LinkSpec& link : links_) {
+        if (link.a == id || link.b == id) {
+          throw ModelError("host " + name_of(id) + " is already attached");
+        }
+      }
+    }
+  };
+  check_endpoint(a, a_port);
+  check_endpoint(b, b_port);
+  if (a == b) throw ModelError("self-loop link on " + name_of(a));
+  links_.push_back(LinkSpec{a, a_port, b, b_port});
+}
+
+void SystemModel::add_control_connection(EntityId controller, EntityId sw, bool tls) {
+  if (controller.kind != EntityKind::Controller || sw.kind != EntityKind::Switch) {
+    throw ModelError("control connections are (controller, switch) pairs");
+  }
+  this->controller(controller);  // bounds checks
+  switch_at(sw);
+  const ConnectionId id{controller, sw};
+  if (has_control_connection(id)) {
+    throw ModelError("duplicate control connection (" + name_of(controller) + "," + name_of(sw) +
+                     ")");
+  }
+  control_conns_.push_back(ControlConnSpec{id, tls});
+}
+
+void SystemModel::validate() const {
+  if (controllers_.empty()) throw ModelError("|C| >= 1 violated: no controllers");
+  if (switches_.empty()) throw ModelError("|S| >= 1 violated: no switches");
+  if (hosts_.size() < 2) throw ModelError("|H| >= 2 violated: fewer than two hosts");
+  // Every switch must appear in at least one control connection, else it can
+  // never receive forwarding state.
+  for (std::uint32_t i = 0; i < switches_.size(); ++i) {
+    const EntityId sw{EntityKind::Switch, i};
+    const bool connected =
+        std::any_of(control_conns_.begin(), control_conns_.end(),
+                    [&](const ControlConnSpec& c) { return c.id.sw == sw; });
+    if (!connected) {
+      throw ModelError("switch " + switches_[i].name + " has no control-plane connection");
+    }
+  }
+  // Every host must be attached to exactly one switch.
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    attachment_of(EntityId{EntityKind::Host, i});
+  }
+  // dpids must be unique (they identify switches during the handshake).
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    for (std::size_t j = i + 1; j < switches_.size(); ++j) {
+      if (switches_[i].dpid == switches_[j].dpid) {
+        throw ModelError("duplicate dpid between " + switches_[i].name + " and " +
+                         switches_[j].name);
+      }
+    }
+  }
+}
+
+const ControllerSpec& SystemModel::controller(EntityId id) const {
+  if (id.kind != EntityKind::Controller || id.index >= controllers_.size()) {
+    throw ModelError("no such controller: " + describe(id.kind, id.index));
+  }
+  return controllers_[id.index];
+}
+
+const SwitchSpec& SystemModel::switch_at(EntityId id) const {
+  if (id.kind != EntityKind::Switch || id.index >= switches_.size()) {
+    throw ModelError("no such switch: " + describe(id.kind, id.index));
+  }
+  return switches_[id.index];
+}
+
+const HostSpec& SystemModel::host(EntityId id) const {
+  if (id.kind != EntityKind::Host || id.index >= hosts_.size()) {
+    throw ModelError("no such host: " + describe(id.kind, id.index));
+  }
+  return hosts_[id.index];
+}
+
+std::optional<EntityId> SystemModel::find(const std::string& name) const {
+  for (std::uint32_t i = 0; i < controllers_.size(); ++i) {
+    if (controllers_[i].name == name) return EntityId{EntityKind::Controller, i};
+  }
+  for (std::uint32_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i].name == name) return EntityId{EntityKind::Switch, i};
+  }
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].name == name) return EntityId{EntityKind::Host, i};
+  }
+  return std::nullopt;
+}
+
+EntityId SystemModel::require(const std::string& name) const {
+  const auto id = find(name);
+  if (!id) throw ModelError("unknown entity: " + name);
+  return *id;
+}
+
+const std::string& SystemModel::name_of(EntityId id) const {
+  switch (id.kind) {
+    case EntityKind::Controller: return controller(id).name;
+    case EntityKind::Switch: return switch_at(id).name;
+    case EntityKind::Host: return host(id).name;
+  }
+  throw ModelError("bad entity kind");
+}
+
+std::optional<EntityId> SystemModel::host_by_ip(pkt::Ipv4Address ip) const {
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].ip == ip) return EntityId{EntityKind::Host, i};
+  }
+  return std::nullopt;
+}
+
+std::optional<EntityId> SystemModel::host_by_mac(pkt::MacAddress mac) const {
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].mac == mac) return EntityId{EntityKind::Host, i};
+  }
+  return std::nullopt;
+}
+
+std::pair<EntityId, std::uint16_t> SystemModel::attachment_of(EntityId host_id) const {
+  host(host_id);
+  for (const LinkSpec& link : links_) {
+    if (link.a == host_id && link.b.kind == EntityKind::Switch) {
+      return {link.b, link.b_port.value()};
+    }
+    if (link.b == host_id && link.a.kind == EntityKind::Switch) {
+      return {link.a, link.a_port.value()};
+    }
+  }
+  throw ModelError("host " + name_of(host_id) + " is not attached to any switch");
+}
+
+std::optional<SystemModel::Peer> SystemModel::peer_of(EntityId sw, std::uint16_t port) const {
+  for (const LinkSpec& link : links_) {
+    if (link.a == sw && link.a_port == port) return Peer{link.b, link.b_port};
+    if (link.b == sw && link.b_port == port) return Peer{link.a, link.a_port};
+  }
+  return std::nullopt;
+}
+
+std::vector<PathHop> SystemModel::shortest_path(EntityId src_host, EntityId dst_host) const {
+  const auto [first_sw, first_port] = attachment_of(src_host);
+  const auto [last_sw, last_port] = attachment_of(dst_host);
+
+  // BFS over switches; reconstruct (in_port, out_port) per hop.
+  struct Visit {
+    EntityId prev_sw;
+    std::uint16_t prev_out_port;  // port on prev_sw toward this switch
+    std::uint16_t in_port;        // port on this switch where traffic enters
+  };
+  std::map<EntityId, Visit> visited;
+  visited[first_sw] = Visit{first_sw, 0, first_port};
+  std::deque<EntityId> frontier{first_sw};
+  while (!frontier.empty()) {
+    const EntityId sw = frontier.front();
+    frontier.pop_front();
+    if (sw == last_sw) break;
+    const SwitchSpec& spec = switch_at(sw);
+    for (std::uint16_t port = 1; port <= spec.num_ports; ++port) {
+      const auto peer = peer_of(sw, port);
+      if (!peer || peer->entity.kind != EntityKind::Switch) continue;
+      if (visited.contains(peer->entity)) continue;
+      visited[peer->entity] = Visit{sw, port, peer->port.value()};
+      frontier.push_back(peer->entity);
+    }
+  }
+  if (!visited.contains(last_sw)) return {};
+
+  std::vector<PathHop> path;
+  EntityId sw = last_sw;
+  std::uint16_t out_port = last_port;
+  while (true) {
+    const Visit& v = visited.at(sw);
+    path.push_back(PathHop{sw, v.in_port, out_port});
+    if (sw == first_sw) break;
+    out_port = v.prev_out_port;
+    sw = v.prev_sw;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool SystemModel::has_control_connection(ConnectionId id) const {
+  return std::any_of(control_conns_.begin(), control_conns_.end(),
+                     [&](const ControlConnSpec& c) { return c.id == id; });
+}
+
+}  // namespace attain::topo

@@ -1,0 +1,144 @@
+// The paper's system model (§IV-A): controllers C, switches S, end hosts H,
+// the data-plane graph N_D = (V, E, A) with ingress/egress port attributes,
+// and the control-plane connection relation N_C ⊆ C × S.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace attain::topo {
+
+/// Raised when a system model violates its invariants (|C| ≥ 1, |S| ≥ 1,
+/// |H| ≥ 2, dangling references, duplicate names/ports, ...).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ControllerSpec {
+  std::string name;            // "c1"
+  pkt::Ipv4Address address;    // management address
+  std::uint16_t listen_port{6633};
+};
+
+struct SwitchSpec {
+  std::string name;  // "s1"
+  std::uint64_t dpid{0};
+  std::uint16_t num_ports{4};
+  /// Disconnection policy: fail-secure drops table-miss packets while the
+  /// controller is unreachable; fail-safe falls back to standalone L2
+  /// learning (OVS fail_mode semantics, central to Table II).
+  bool fail_secure{false};
+};
+
+struct HostSpec {
+  std::string name;  // "h1"
+  pkt::MacAddress mac;
+  pkt::Ipv4Address ip;
+};
+
+/// An edge of N_D. Endpoint ports are the edge attributes A_{N_D}; hosts
+/// have no port numbers, represented as std::nullopt (the paper's NULL).
+struct LinkSpec {
+  EntityId a;
+  std::optional<std::uint16_t> a_port;
+  EntityId b;
+  std::optional<std::uint16_t> b_port;
+};
+
+/// An element of N_C: one controller-switch control-plane connection.
+struct ControlConnSpec {
+  ConnectionId id;
+  /// Whether the connection uses TLS; selects Γ_TLS vs Γ_NoTLS in the
+  /// attacker capabilities model (§IV-C).
+  bool tls{false};
+};
+
+/// One hop of a data-plane path through a switch: enter on `in_port`,
+/// leave on `out_port`.
+struct PathHop {
+  EntityId sw;
+  std::uint16_t in_port{0};
+  std::uint16_t out_port{0};
+};
+
+/// Immutable-after-validate description of the SDN under test. Built
+/// programmatically or parsed from a system-model DSL file
+/// (attain/dsl/parser.hpp).
+class SystemModel {
+ public:
+  /// Adders return the assigned EntityId. Names must be unique across all
+  /// entity kinds.
+  EntityId add_controller(ControllerSpec spec);
+  EntityId add_switch(SwitchSpec spec);
+  EntityId add_host(HostSpec spec);
+
+  /// Adds an undirected N_D edge. Ports must be within the switch's range
+  /// and not already occupied; host endpoints take no port.
+  void add_link(EntityId a, std::optional<std::uint16_t> a_port, EntityId b,
+                std::optional<std::uint16_t> b_port);
+
+  /// Adds an N_C connection (controller, switch).
+  void add_control_connection(EntityId controller, EntityId sw, bool tls = false);
+
+  /// Checks all invariants; throws ModelError on violation. Call once the
+  /// model is fully populated.
+  void validate() const;
+
+  // -- lookups --
+  const std::vector<ControllerSpec>& controllers() const { return controllers_; }
+  const std::vector<SwitchSpec>& switches() const { return switches_; }
+  const std::vector<HostSpec>& hosts() const { return hosts_; }
+  const std::vector<LinkSpec>& links() const { return links_; }
+  const std::vector<ControlConnSpec>& control_connections() const { return control_conns_; }
+
+  const ControllerSpec& controller(EntityId id) const;
+  const SwitchSpec& switch_at(EntityId id) const;
+  const HostSpec& host(EntityId id) const;
+
+  /// Resolves a name ("s2") to an id; std::nullopt if unknown.
+  std::optional<EntityId> find(const std::string& name) const;
+  /// Resolves or throws ModelError.
+  EntityId require(const std::string& name) const;
+  const std::string& name_of(EntityId id) const;
+
+  /// Host lookup by address; std::nullopt if no host matches.
+  std::optional<EntityId> host_by_ip(pkt::Ipv4Address ip) const;
+  std::optional<EntityId> host_by_mac(pkt::MacAddress mac) const;
+
+  /// The switch port a host attaches to; throws if the host is unattached.
+  std::pair<EntityId, std::uint16_t> attachment_of(EntityId host) const;
+
+  /// The entity (and its port) on the far side of switch `sw` port `port`;
+  /// std::nullopt if the port is unwired.
+  struct Peer {
+    EntityId entity;
+    std::optional<std::uint16_t> port;
+  };
+  std::optional<Peer> peer_of(EntityId sw, std::uint16_t port) const;
+
+  /// BFS shortest path between two hosts: the switch-hop sequence with
+  /// ingress/egress ports. Empty if unreachable. Used by the
+  /// Floodlight-style controller's topology service.
+  std::vector<PathHop> shortest_path(EntityId src_host, EntityId dst_host) const;
+
+  bool has_control_connection(ConnectionId id) const;
+
+ private:
+  void check_new_name(const std::string& name) const;
+  void check_port_free(EntityId sw, std::uint16_t port) const;
+
+  std::vector<ControllerSpec> controllers_;
+  std::vector<SwitchSpec> switches_;
+  std::vector<HostSpec> hosts_;
+  std::vector<LinkSpec> links_;
+  std::vector<ControlConnSpec> control_conns_;
+};
+
+}  // namespace attain::topo

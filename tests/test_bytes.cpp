@@ -1,0 +1,114 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 15u);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0x34);
+  EXPECT_EQ(b[3], 0xde);
+  EXPECT_EQ(b[6], 0xef);
+  EXPECT_EQ(b[7], 0x01);
+  EXPECT_EQ(b[14], 0x08);
+}
+
+TEST(ByteWriter, PadWritesZeros) {
+  ByteWriter w;
+  w.u8(1);
+  w.pad(3);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[1], 0);
+  EXPECT_EQ(w.bytes()[3], 0);
+}
+
+TEST(ByteWriter, FixedStringTruncatesAndPads) {
+  ByteWriter w;
+  w.fixed_string("ab", 4);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 'a');
+  EXPECT_EQ(w.bytes()[2], 0);
+
+  ByteWriter w2;
+  w2.fixed_string("abcdef", 4);
+  EXPECT_EQ(w2.size(), 4u);
+  EXPECT_EQ(w2.bytes()[3], 'd');
+}
+
+TEST(ByteWriter, PatchU16OverwritesInPlace) {
+  ByteWriter w;
+  w.u16(0);
+  w.u16(0xffff);
+  w.patch_u16(0, 0xbeef);
+  EXPECT_EQ(w.bytes()[0], 0xbe);
+  EXPECT_EQ(w.bytes()[1], 0xef);
+  EXPECT_EQ(w.bytes()[2], 0xff);
+}
+
+TEST(ByteWriter, PatchPastEndThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 1), std::out_of_range);
+}
+
+TEST(ByteReader, RoundTripsScalars) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(300);
+  w.u32(1u << 31);
+  w.u64(0xffffffffffffffffULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 300);
+  EXPECT_EQ(r.u32(), 1u << 31);
+  EXPECT_EQ(r.u64(), 0xffffffffffffffffULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, UnderrunThrowsDecodeError) {
+  const Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(ByteReader, SkipAndRemaining) {
+  const Bytes data{1, 2, 3, 4, 5};
+  ByteReader r(data);
+  r.skip(2);
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.skip(10), DecodeError);
+}
+
+TEST(ByteReader, FixedStringStopsAtNul) {
+  ByteWriter w;
+  w.fixed_string("hi", 8);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.fixed_string(8), "hi");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, RawCopiesExactBytes) {
+  const Bytes data{9, 8, 7};
+  ByteReader r(data);
+  const Bytes copy = r.raw(2);
+  EXPECT_EQ(copy, (Bytes{9, 8}));
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Hex, RendersLowercasePairs) {
+  const Bytes data{0x00, 0xff, 0x1a};
+  EXPECT_EQ(to_hex(data), "00ff1a");
+}
+
+}  // namespace
+}  // namespace attain

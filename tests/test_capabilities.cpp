@@ -1,0 +1,115 @@
+#include "attain/model/capabilities.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::model {
+namespace {
+
+TEST(CapabilitySet, AllHasEveryCapability) {
+  const CapabilitySet all = CapabilitySet::all();
+  EXPECT_EQ(all.size(), kCapabilityCount);
+  for (std::size_t i = 0; i < kCapabilityCount; ++i) {
+    EXPECT_TRUE(all.contains(static_cast<Capability>(i)));
+  }
+}
+
+TEST(CapabilitySet, NoTlsEqualsAll) {
+  // §IV-C1: Γ_NoTLS = Γ.
+  EXPECT_EQ(CapabilitySet::no_tls(), CapabilitySet::all());
+}
+
+TEST(CapabilitySet, TlsExcludesExactlyThePaperFive) {
+  // §IV-C2: Γ_TLS = Γ \ {READMESSAGE, MODIFYMESSAGE, FUZZMESSAGE,
+  // INJECTNEWMESSAGE, MODIFYMESSAGEMETADATA}.
+  const CapabilitySet tls = CapabilitySet::tls();
+  EXPECT_EQ(tls.size(), kCapabilityCount - 5);
+  EXPECT_FALSE(tls.contains(Capability::ReadMessage));
+  EXPECT_FALSE(tls.contains(Capability::ModifyMessage));
+  EXPECT_FALSE(tls.contains(Capability::FuzzMessage));
+  EXPECT_FALSE(tls.contains(Capability::InjectNewMessage));
+  EXPECT_FALSE(tls.contains(Capability::ModifyMessageMetadata));
+  EXPECT_TRUE(tls.contains(Capability::DropMessage));
+  EXPECT_TRUE(tls.contains(Capability::PassMessage));
+  EXPECT_TRUE(tls.contains(Capability::DelayMessage));
+  EXPECT_TRUE(tls.contains(Capability::DuplicateMessage));
+  EXPECT_TRUE(tls.contains(Capability::ReadMessageMetadata));
+}
+
+TEST(CapabilitySet, SetAlgebra) {
+  const CapabilitySet a{Capability::DropMessage, Capability::PassMessage};
+  const CapabilitySet b{Capability::PassMessage, Capability::ReadMessage};
+  EXPECT_EQ((a | b).size(), 3u);
+  EXPECT_EQ((a & b).size(), 1u);
+  EXPECT_TRUE((a & b).contains(Capability::PassMessage));
+  const CapabilitySet diff = a - b;
+  EXPECT_EQ(diff.size(), 1u);
+  EXPECT_TRUE(diff.contains(Capability::DropMessage));
+  EXPECT_TRUE(a.contains_all({Capability::DropMessage}));
+  EXPECT_FALSE(a.contains_all(b));
+  EXPECT_TRUE(CapabilitySet::all().contains_all(a | b));
+}
+
+TEST(CapabilitySet, InsertEraseEmpty) {
+  CapabilitySet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(Capability::FuzzMessage);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.contains(Capability::FuzzMessage));
+  s.erase(Capability::FuzzMessage);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CapabilitySet, ToStringListsNames) {
+  const CapabilitySet s{Capability::DropMessage, Capability::ReadMessage};
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("DropMessage"), std::string::npos);
+  EXPECT_NE(text.find("ReadMessage"), std::string::npos);
+  EXPECT_EQ(text.find("FuzzMessage"), std::string::npos);
+}
+
+TEST(Capability, ParsesPaperAndSnakeCaseNames) {
+  EXPECT_EQ(capability_from_string("DROPMESSAGE"), Capability::DropMessage);
+  EXPECT_EQ(capability_from_string("DropMessage"), Capability::DropMessage);
+  EXPECT_EQ(capability_from_string("drop_message"), Capability::DropMessage);
+  EXPECT_EQ(capability_from_string("READMESSAGEMETADATA"), Capability::ReadMessageMetadata);
+  EXPECT_EQ(capability_from_string("InjectNewMessage"), Capability::InjectNewMessage);
+  EXPECT_FALSE(capability_from_string("EatMessage").has_value());
+}
+
+TEST(Capability, RoundTripAllNames) {
+  for (std::size_t i = 0; i < kCapabilityCount; ++i) {
+    const auto cap = static_cast<Capability>(i);
+    EXPECT_EQ(capability_from_string(to_string(cap)), cap);
+  }
+}
+
+TEST(CapabilityMap, DefaultsToNone) {
+  const CapabilityMap map;
+  const ConnectionId conn{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 0}};
+  EXPECT_TRUE(map.capabilities_on(conn).empty());
+  EXPECT_FALSE(map.allows(conn, {Capability::PassMessage}));
+  EXPECT_TRUE(map.allows(conn, {}));  // empty requirement always allowed
+}
+
+TEST(CapabilityMap, GrantsAccumulate) {
+  CapabilityMap map;
+  const ConnectionId conn{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 1}};
+  map.grant(conn, {Capability::DropMessage});
+  map.grant(conn, {Capability::ReadMessageMetadata});
+  EXPECT_TRUE(map.allows(conn, {Capability::DropMessage, Capability::ReadMessageMetadata}));
+  EXPECT_FALSE(map.allows(conn, {Capability::ReadMessage}));
+}
+
+TEST(CapabilityMap, PerConnectionIsolation) {
+  CapabilityMap map;
+  const ConnectionId a{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 0}};
+  const ConnectionId b{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 1}};
+  map.grant(a, CapabilitySet::no_tls());
+  map.grant(b, CapabilitySet::tls());
+  EXPECT_TRUE(map.allows(a, {Capability::ReadMessage}));
+  EXPECT_FALSE(map.allows(b, {Capability::ReadMessage}));
+  EXPECT_EQ(map.entries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace attain::model

@@ -1,0 +1,100 @@
+#include "attain/dsl/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attain/dsl/parser.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::dsl {
+namespace {
+
+CompiledAttack compiled_interruption(const topo::SystemModel& model) {
+  const Document doc = parse_document(scenario::connection_interruption_dsl(), model);
+  return compile(doc.attacks.at(0), model, doc.capabilities);
+}
+
+TEST(Codegen, ListingShowsPhiTuples) {
+  const topo::SystemModel model = scenario::make_enterprise_model();
+  const CompiledAttack attack = compiled_interruption(model);
+  const std::string listing = generate_listing(attack, model);
+  EXPECT_NE(listing.find("attack connection_interruption"), std::string::npos);
+  EXPECT_NE(listing.find("start state: sigma1"), std::string::npos);
+  EXPECT_NE(listing.find("rule phi2"), std::string::npos);
+  EXPECT_NE(listing.find("n = (c1,s2)"), std::string::npos);
+  EXPECT_NE(listing.find("gamma = "), std::string::npos);
+  EXPECT_NE(listing.find("lambda = "), std::string::npos);
+  EXPECT_NE(listing.find("alpha = ["), std::string::npos);
+  EXPECT_NE(listing.find("DropMessage(msg)"), std::string::npos);
+  // σ3 is absorbing (drops forever), no end states in this attack.
+  EXPECT_NE(listing.find("absorbing states: {sigma3}"), std::string::npos);
+  EXPECT_NE(listing.find("end states: {}"), std::string::npos);
+}
+
+TEST(Codegen, ListingShowsStorage) {
+  const topo::SystemModel model = scenario::make_enterprise_model();
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  deque counter = [0, 5];
+  start state s {
+    rule phi on (c1, s1) { when examine_front(counter) >= 0; do { pass(msg); } }
+  }
+}
+)";
+  const Document doc = parse_document(source, model);
+  const CompiledAttack compiled = compile(doc.attacks.at(0), model, doc.capabilities);
+  const std::string listing = generate_listing(compiled, model);
+  EXPECT_NE(listing.find("deque counter = [0,5]"), std::string::npos);
+}
+
+TEST(Codegen, DotGraphMarksStartAndAbsorbing) {
+  const topo::SystemModel model = scenario::make_enterprise_model();
+  const CompiledAttack attack = compiled_interruption(model);
+  const std::string dot = generate_state_graph_dot(attack);
+  EXPECT_NE(dot.find("digraph \"connection_interruption\""), std::string::npos);
+  EXPECT_NE(dot.find("\"sigma1\" [shape=circle, style=bold]"), std::string::npos);
+  EXPECT_NE(dot.find("\"sigma3\" [shape=circle, peripheries=2]"), std::string::npos);
+  EXPECT_NE(dot.find("\"sigma1\" -> \"sigma2\""), std::string::npos);
+  EXPECT_NE(dot.find("\"sigma2\" -> \"sigma3\""), std::string::npos);
+}
+
+TEST(Codegen, DotEscapesQuotesInLabels) {
+  const topo::SystemModel model = scenario::make_enterprise_model();
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state a {
+    rule phi on (c1, s1) {
+      when 1;
+      do { read_meta(msg, "with \"quotes\""); goto(b); }
+    }
+  }
+  state b;
+}
+)";
+  const Document doc = parse_document(source, model);
+  const CompiledAttack compiled = compile(doc.attacks.at(0), model, doc.capabilities);
+  const std::string dot = generate_state_graph_dot(compiled);
+  EXPECT_EQ(dot.find("\"with \""), std::string::npos);  // raw quote would break DOT
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+TEST(Codegen, EndStateDoubleCircled) {
+  const topo::SystemModel model = scenario::make_enterprise_model();
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state a {
+    rule phi on (c1, s1) { when 1; do { goto(done); } }
+  }
+  state done;
+}
+)";
+  const Document doc = parse_document(source, model);
+  const CompiledAttack compiled = compile(doc.attacks.at(0), model, doc.capabilities);
+  const std::string dot = generate_state_graph_dot(compiled);
+  EXPECT_NE(dot.find("\"done\" [shape=doublecircle]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace attain::dsl

@@ -1,0 +1,160 @@
+#include "attain/dsl/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attain/dsl/parser.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::dsl {
+namespace {
+
+struct Fixture {
+  topo::SystemModel model = scenario::make_enterprise_model();
+
+  Document parse(const std::string& source) { return parse_document(source, model); }
+
+  CompiledAttack compile_first(const std::string& source) {
+    const Document doc = parse(source);
+    return compile(doc.attacks.at(0), model, doc.capabilities);
+  }
+};
+
+TEST(Compiler, CompilesCaseStudyAttacks) {
+  Fixture fx;
+  const CompiledAttack suppression = fx.compile_first(scenario::flow_mod_suppression_dsl());
+  EXPECT_EQ(suppression.name, "flow_mod_suppression");
+  EXPECT_EQ(suppression.states.size(), 1u);
+  EXPECT_EQ(suppression.start_index, 0u);
+  EXPECT_EQ(suppression.states[0].rules.size(), 4u);
+  // Derived requirement: ReadMessage (type conditional) + DropMessage.
+  EXPECT_TRUE(suppression.states[0].rules[0].required.contains(model::Capability::ReadMessage));
+  EXPECT_TRUE(suppression.states[0].rules[0].required.contains(model::Capability::DropMessage));
+
+  const CompiledAttack interruption = fx.compile_first(scenario::connection_interruption_dsl());
+  EXPECT_EQ(interruption.states.size(), 3u);
+  EXPECT_EQ(interruption.state_index("sigma3"), 2u);
+  EXPECT_THROW(interruption.state_index("sigma9"), CompileError);
+}
+
+TEST(Compiler, RejectsMissingCapabilities) {
+  Fixture fx;
+  // Attacker granted only metadata reading; the attack needs DropMessage.
+  const std::string source = R"(
+attacker { on (c1, s1) grant { ReadMessageMetadata, ReadMessage }; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.type == FLOW_MOD; do { drop(msg); } }
+  }
+}
+)";
+  try {
+    fx.compile_first(source);
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& err) {
+    EXPECT_NE(std::string(err.what()).find("DropMessage"), std::string::npos);
+  }
+}
+
+TEST(Compiler, RejectsConditionalCapabilitiesToo) {
+  Fixture fx;
+  // DropMessage granted but the conditional reads the payload (type).
+  const std::string source = R"(
+attacker { on (c1, s1) grant { DropMessage }; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.type == FLOW_MOD; do { drop(msg); } }
+  }
+}
+)";
+  EXPECT_THROW(fx.compile_first(source), CompileError);
+}
+
+TEST(Compiler, MetadataOnlyAttackCompilesUnderTlsGrant) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.length >= 8; do { drop(msg); } }
+  }
+}
+)";
+  EXPECT_NO_THROW(fx.compile_first(source));
+}
+
+TEST(Compiler, PayloadAttackFailsUnderTlsGrant) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.type == FLOW_MOD; do { drop(msg); } }
+  }
+}
+)";
+  EXPECT_THROW(fx.compile_first(source), CompileError);
+}
+
+TEST(Compiler, TlsConnectionRejectsExcessiveGrant) {
+  // The system model marks connections TLS; granting Γ_NoTLS on them is
+  // inconsistent with an uncompromised PKI (§IV-C2).
+  scenario::EnterpriseOptions options;
+  options.tls = true;
+  topo::SystemModel model = scenario::make_enterprise_model(options);
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.length >= 8; do { drop(msg); } }
+  }
+}
+)";
+  const Document doc = parse_document(source, model);
+  EXPECT_THROW(compile(doc.attacks.at(0), model, doc.capabilities), CompileError);
+
+  CompileOptions lax;
+  lax.enforce_tls_consistency = false;
+  EXPECT_NO_THROW(compile(doc.attacks.at(0), model, doc.capabilities, lax));
+}
+
+TEST(Compiler, RejectsRuleOnNonexistentConnection) {
+  // (c1, s1) exists but a hand-built rule can target a non-N_C pair.
+  Fixture fx;
+  const Document doc = fx.parse(scenario::flow_mod_suppression_dsl());
+  lang::Attack attack = doc.attacks.at(0);
+  // Point a rule at a connection with a bogus switch index.
+  attack.states[0].rules[0].connection.sw = EntityId{EntityKind::Switch, 99};
+  EXPECT_THROW(compile(attack, fx.model, doc.capabilities), CompileError);
+}
+
+TEST(Compiler, StructuralErrorsSurfaceAsCompileErrors) {
+  Fixture fx;
+  const Document doc = fx.parse(scenario::flow_mod_suppression_dsl());
+  lang::Attack attack = doc.attacks.at(0);
+  attack.start_state = "missing";
+  EXPECT_THROW(compile(attack, fx.model, doc.capabilities), CompileError);
+}
+
+TEST(Compiler, DequesCarriedIntoCompiledAttack) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  deque counter = [0];
+  deque store;
+  start state s {
+    rule phi on (c1, s1) {
+      when examine_front(counter) < 3;
+      do { prepend(counter, examine_front(counter) + 1); append(store, msg); }
+    }
+  }
+}
+)";
+  const CompiledAttack compiled = fx.compile_first(source);
+  ASSERT_EQ(compiled.deques.size(), 2u);
+  EXPECT_EQ(compiled.deques[0].first, "counter");
+  EXPECT_EQ(compiled.deques[1].first, "store");
+}
+
+}  // namespace
+}  // namespace attain::dsl

@@ -1,0 +1,218 @@
+#include "attain/lang/conditional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ofp/codec.hpp"
+
+namespace attain::lang {
+namespace {
+
+InFlightMessage sample_message(bool tls = false) {
+  InFlightMessage msg;
+  msg.connection = ConnectionId{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 1}};
+  msg.direction = Direction::ControllerToSwitch;
+  msg.source = msg.connection.controller;
+  msg.destination = msg.connection.sw;
+  msg.timestamp = 5 * kSecond;
+  msg.id = 17;
+  ofp::FlowMod mod;
+  mod.match = ofp::Match::wildcard_all();
+  mod.match.nw_src = pkt::Ipv4Address::parse("10.0.0.2");
+  mod.match.set_nw_src_wild_bits(0);
+  mod.buffer_id = 42;
+  const ofp::Message payload = ofp::make_message(9, std::move(mod));
+  msg.wire = ofp::encode(payload);
+  msg.tls = tls;
+  if (!tls) msg.payload = payload;
+  return msg;
+}
+
+EvalContext ctx_for(const InFlightMessage& msg, const DequeStore* store = nullptr) {
+  EvalContext ctx;
+  ctx.message = &msg;
+  ctx.storage = store;
+  return ctx;
+}
+
+TEST(Conditional, MetadataProperties) {
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg);
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Eq, Expr::prop(Property::Source),
+                    Expr::literal_int(entity_value(msg.connection.controller))),
+      ctx));
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Eq, Expr::prop(Property::Id),
+                                          Expr::literal_int(17)),
+                            ctx));
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Eq, Expr::prop(Property::Timestamp),
+                                          Expr::literal_int(5 * kSecond)),
+                            ctx));
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Gt, Expr::prop(Property::Length),
+                                          Expr::literal_int(0)),
+                            ctx));
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Eq, Expr::prop(Property::Direction),
+                                          Expr::literal_int(1)),
+                            ctx));
+}
+
+TEST(Conditional, TypeAndFieldAccess) {
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg);
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Eq, Expr::prop(Property::Type),
+                    Expr::literal_int(static_cast<std::int64_t>(ofp::MsgType::FlowMod))),
+      ctx));
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Eq, Expr::field("buffer_id"), Expr::literal_int(42)), ctx));
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Eq, Expr::field("match.nw_src"),
+                    Expr::literal_int(pkt::Ipv4Address::parse("10.0.0.2").value)),
+      ctx));
+}
+
+TEST(Conditional, LogicalConnectives) {
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg);
+  const ExprPtr t = Expr::literal_int(1);
+  const ExprPtr f = Expr::literal_int(0);
+  EXPECT_TRUE(evaluate_bool(*(t && t), ctx));
+  EXPECT_FALSE(evaluate_bool(*(t && f), ctx));
+  EXPECT_TRUE(evaluate_bool(*(f || t), ctx));
+  EXPECT_FALSE(evaluate_bool(*(f || f), ctx));
+  EXPECT_TRUE(evaluate_bool(*Expr::negate(f), ctx));
+  EXPECT_FALSE(evaluate_bool(*Expr::negate(t), ctx));
+}
+
+TEST(Conditional, ShortCircuitGuardsFieldAccess) {
+  // `msg.type == PACKET_IN and msg.field("in_port") == 1` on a FLOW_MOD:
+  // the left conjunct is false, so the missing field is never evaluated.
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg);
+  const ExprPtr guarded = Expr::binary(
+      BinaryOp::And,
+      Expr::binary(BinaryOp::Eq, Expr::prop(Property::Type),
+                   Expr::literal_int(static_cast<std::int64_t>(ofp::MsgType::PacketIn))),
+      Expr::binary(BinaryOp::Eq, Expr::field("in_port"), Expr::literal_int(1)));
+  EXPECT_FALSE(evaluate_bool(*guarded, ctx));
+
+  // Unguarded access to a missing field throws EvalError.
+  EXPECT_THROW(
+      evaluate_bool(*Expr::binary(BinaryOp::Eq, Expr::field("in_port"), Expr::literal_int(1)),
+                    ctx),
+      EvalError);
+}
+
+TEST(Conditional, InSetMembership) {
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg);
+  const std::int64_t h3 = pkt::Ipv4Address::parse("10.0.0.3").value;
+  const std::int64_t h2 = pkt::Ipv4Address::parse("10.0.0.2").value;
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::in_set(Expr::field("match.nw_src"), {Value{h2}, Value{h3}}), ctx));
+  EXPECT_FALSE(evaluate_bool(*Expr::in_set(Expr::field("match.nw_src"), {Value{h3}}), ctx));
+  EXPECT_FALSE(evaluate_bool(*Expr::in_set(Expr::field("match.nw_src"), {}), ctx));
+}
+
+TEST(Conditional, ArithmeticAndComparisons) {
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg);
+  const ExprPtr sum = Expr::binary(BinaryOp::Add, Expr::literal_int(2), Expr::literal_int(3));
+  EXPECT_EQ(std::get<std::int64_t>(evaluate(*sum, ctx)), 5);
+  const ExprPtr diff = Expr::binary(BinaryOp::Sub, Expr::literal_int(2), Expr::literal_int(3));
+  EXPECT_EQ(std::get<std::int64_t>(evaluate(*diff, ctx)), -1);
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Le, sum, Expr::literal_int(5)), ctx));
+  EXPECT_FALSE(evaluate_bool(*Expr::binary(BinaryOp::Lt, sum, Expr::literal_int(5)), ctx));
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Ge, sum, diff), ctx));
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Ne, sum, diff), ctx));
+}
+
+TEST(Conditional, DequeReads) {
+  DequeStore store;
+  store.declare("counter", {Value{std::int64_t{3}}});
+  store.declare("log", {Value{std::int64_t{1}}, Value{std::int64_t{9}}});
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg, &store);
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Eq, Expr::deque_front("counter"), Expr::literal_int(3)), ctx));
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Eq, Expr::deque_end("log"), Expr::literal_int(9)), ctx));
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Eq, Expr::deque_len("log"), Expr::literal_int(2)), ctx));
+  // Counter threshold idiom from §VIII-B.
+  EXPECT_TRUE(evaluate_bool(
+      *Expr::binary(BinaryOp::Ge, Expr::deque_front("counter"), Expr::literal_int(3)), ctx));
+}
+
+TEST(Conditional, TlsHidesPayload) {
+  const InFlightMessage msg = sample_message(/*tls=*/true);
+  const EvalContext ctx = ctx_for(msg);
+  // Metadata remains visible.
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Gt, Expr::prop(Property::Length),
+                                          Expr::literal_int(0)),
+                            ctx));
+  // Payload access throws.
+  EXPECT_THROW(evaluate(*Expr::prop(Property::Type), ctx), EvalError);
+  EXPECT_THROW(evaluate(*Expr::field("buffer_id"), ctx), EvalError);
+}
+
+TEST(Conditional, TypeMismatchThrows) {
+  const InFlightMessage msg = sample_message();
+  const EvalContext ctx = ctx_for(msg);
+  const ExprPtr bad = Expr::binary(BinaryOp::Add, Expr::literal_int(1),
+                                   Expr::literal_value(Value{std::string("x")}));
+  EXPECT_THROW(evaluate(*bad, ctx), EvalError);
+  // String compares equal/unequal fine.
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Eq,
+                                          Expr::literal_value(Value{std::string("a")}),
+                                          Expr::literal_value(Value{std::string("a")})),
+                            ctx));
+  // A bare string is not a boolean.
+  EXPECT_THROW(evaluate_bool(*Expr::literal_value(Value{std::string("a")}), ctx), EvalError);
+}
+
+TEST(Conditional, RequiredCapabilities) {
+  using model::Capability;
+  // Metadata-only expression.
+  const ExprPtr meta = Expr::binary(BinaryOp::Eq, Expr::prop(Property::Source),
+                                    Expr::literal_int(1));
+  EXPECT_EQ(required_capabilities(*meta), model::CapabilitySet{Capability::ReadMessageMetadata});
+  // Type requires payload reading.
+  const ExprPtr type = Expr::binary(BinaryOp::Eq, Expr::prop(Property::Type),
+                                    Expr::literal_int(14));
+  EXPECT_EQ(required_capabilities(*type), model::CapabilitySet{Capability::ReadMessage});
+  // Mixed expression unions both.
+  const ExprPtr mixed = Expr::binary(BinaryOp::And, meta, Expr::in_set(Expr::field("buffer_id"), {}));
+  const model::CapabilitySet expected{Capability::ReadMessageMetadata, Capability::ReadMessage};
+  EXPECT_EQ(required_capabilities(*mixed), expected);
+  // Pure literals and deque reads need nothing.
+  EXPECT_TRUE(required_capabilities(*Expr::literal_int(1)).empty());
+  EXPECT_TRUE(required_capabilities(*Expr::deque_front("d")).empty());
+  // Not() passes through.
+  EXPECT_EQ(required_capabilities(*Expr::negate(type)),
+            model::CapabilitySet{Capability::ReadMessage});
+}
+
+TEST(Conditional, ToStringRendersStructure) {
+  const ExprPtr e = Expr::binary(
+      BinaryOp::And,
+      Expr::binary(BinaryOp::Eq, Expr::prop(Property::Type), Expr::literal_int(14)),
+      Expr::in_set(Expr::field("match.nw_dst"), {Value{std::int64_t{5}}}));
+  const std::string s = e->to_string();
+  EXPECT_NE(s.find("msg.type"), std::string::npos);
+  EXPECT_NE(s.find("and"), std::string::npos);
+  EXPECT_NE(s.find("match.nw_dst"), std::string::npos);
+  EXPECT_NE(s.find("in {"), std::string::npos);
+}
+
+TEST(Conditional, UndecodablePayloadThrowsOnAccess) {
+  InFlightMessage msg = sample_message();
+  msg.payload.reset();  // e.g. the wire bytes were fuzzed into garbage
+  const EvalContext ctx = ctx_for(msg);
+  EXPECT_THROW(evaluate(*Expr::prop(Property::Type), ctx), EvalError);
+  EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Gt, Expr::prop(Property::Length),
+                                          Expr::literal_int(0)),
+                            ctx));
+}
+
+}  // namespace
+}  // namespace attain::lang

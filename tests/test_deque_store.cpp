@@ -1,0 +1,116 @@
+#include "attain/lang/deque_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::lang {
+namespace {
+
+TEST(DequeStore, DeclareAndBasicOps) {
+  DequeStore store;
+  store.declare("d");
+  EXPECT_TRUE(store.exists("d"));
+  EXPECT_FALSE(store.exists("e"));
+  EXPECT_TRUE(store.empty("d"));
+
+  store.append("d", Value{std::int64_t{1}});
+  store.append("d", Value{std::int64_t{2}});
+  store.prepend("d", Value{std::int64_t{0}});
+  EXPECT_EQ(store.size("d"), 3u);
+  EXPECT_EQ(std::get<std::int64_t>(store.examine_front("d")), 0);
+  EXPECT_EQ(std::get<std::int64_t>(store.examine_end("d")), 2);
+  // examine does not remove.
+  EXPECT_EQ(store.size("d"), 3u);
+}
+
+TEST(DequeStore, ShiftAndPopRemoveFromEnds) {
+  DequeStore store;
+  store.declare("d", {Value{std::int64_t{1}}, Value{std::int64_t{2}}, Value{std::int64_t{3}}});
+  EXPECT_EQ(std::get<std::int64_t>(store.shift("d")), 1);
+  EXPECT_EQ(std::get<std::int64_t>(store.pop("d")), 3);
+  EXPECT_EQ(store.size("d"), 1u);
+}
+
+TEST(DequeStore, QueueDiscipline) {
+  // §VIII-A replay: APPEND + SHIFT = FIFO.
+  DequeStore store;
+  store.declare("q");
+  for (int i = 0; i < 5; ++i) store.append("q", Value{std::int64_t{i}});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::get<std::int64_t>(store.shift("q")), i);
+  }
+}
+
+TEST(DequeStore, StackDiscipline) {
+  // §VIII-A reordering: PREPEND + SHIFT = LIFO.
+  DequeStore store;
+  store.declare("s");
+  for (int i = 0; i < 5; ++i) store.prepend("s", Value{std::int64_t{i}});
+  for (int i = 4; i >= 0; --i) {
+    EXPECT_EQ(std::get<std::int64_t>(store.shift("s")), i);
+  }
+}
+
+TEST(DequeStore, UndeclaredThrows) {
+  DequeStore store;
+  EXPECT_THROW(store.append("nope", Value{std::int64_t{1}}), StorageError);
+  EXPECT_THROW(store.examine_front("nope"), StorageError);
+  EXPECT_THROW(store.size("nope"), StorageError);
+}
+
+TEST(DequeStore, EmptyAccessThrows) {
+  DequeStore store;
+  store.declare("d");
+  EXPECT_THROW(store.examine_front("d"), StorageError);
+  EXPECT_THROW(store.examine_end("d"), StorageError);
+  EXPECT_THROW(store.shift("d"), StorageError);
+  EXPECT_THROW(store.pop("d"), StorageError);
+}
+
+TEST(DequeStore, RedeclareThrows) {
+  DequeStore store;
+  store.declare("d");
+  EXPECT_THROW(store.declare("d"), StorageError);
+}
+
+TEST(DequeStore, ResetRestoresInitialContents) {
+  DequeStore store;
+  store.declare("counter", {Value{std::int64_t{0}}});
+  store.shift("counter");
+  store.append("counter", Value{std::int64_t{42}});
+  store.reset();
+  EXPECT_EQ(store.size("counter"), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(store.examine_front("counter")), 0);
+}
+
+TEST(DequeStore, StoresMessagesAndStrings) {
+  DequeStore store;
+  store.declare("mixed");
+  auto msg = std::make_shared<const InFlightMessage>();
+  store.append("mixed", Value{msg});
+  store.append("mixed", Value{std::string("note")});
+  EXPECT_EQ(std::get<StoredMessage>(store.shift("mixed")), msg);
+  EXPECT_EQ(std::get<std::string>(store.shift("mixed")), "note");
+}
+
+TEST(DequeStore, CounterIdiom) {
+  // §VIII-B: PREPEND(δ, SHIFT(δ) + 1) keeps a counter in O(1) states.
+  DequeStore store;
+  store.declare("counter", {Value{std::int64_t{0}}});
+  for (int i = 0; i < 10; ++i) {
+    const auto v = std::get<std::int64_t>(store.shift("counter"));
+    store.prepend("counter", Value{v + 1});
+  }
+  EXPECT_EQ(std::get<std::int64_t>(store.examine_front("counter")), 10);
+  EXPECT_EQ(store.size("counter"), 1u);
+}
+
+TEST(DequeStore, NamesListsDeclared) {
+  DequeStore store;
+  store.declare("a");
+  store.declare("b");
+  const auto names = store.names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace attain::lang

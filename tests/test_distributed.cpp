@@ -1,0 +1,196 @@
+// Distributed runtime injection (§VIII-C): total-order coordination must be
+// semantically identical to the centralized injector (at a latency cost);
+// local replicas process with no added latency but diverge on attacks whose
+// state spans shards.
+#include "attain/inject/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attain/dsl/parser.hpp"
+#include "ofp/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::inject {
+namespace {
+
+constexpr SimTime kCoordLatency = 2 * kMillisecond;
+
+struct Fixture {
+  sim::Scheduler sched;
+  topo::SystemModel model = scenario::make_enterprise_model();
+  monitor::Monitor monitor;
+  std::unique_ptr<DistributedInjector> injector;
+  std::map<std::string, std::vector<std::pair<SimTime, ofp::Message>>> to_controller;
+  std::vector<std::unique_ptr<std::pair<dsl::CompiledAttack, model::CapabilityMap>>> armed;
+
+  explicit Fixture(Coordination mode, unsigned shards = 2) {
+    injector = std::make_unique<DistributedInjector>(sched, model, monitor, shards, mode,
+                                                     kCoordLatency);
+    for (const auto& conn : model.control_connections()) {
+      const std::string name = model.name_of(conn.id.sw);
+      injector->attach_connection(
+          conn.id,
+          [this, name](Bytes b) { to_controller[name].emplace_back(sched.now(), ofp::decode(b)); },
+          [](Bytes) {});
+    }
+  }
+
+  void arm(const std::string& source) {
+    const dsl::Document doc = dsl::parse_document(source, model);
+    auto holder = std::make_unique<std::pair<dsl::CompiledAttack, model::CapabilityMap>>();
+    holder->second = doc.capabilities;
+    holder->first = dsl::compile(doc.attacks.at(0), model, holder->second);
+    injector->arm(holder->first, holder->second);
+    armed.push_back(std::move(holder));
+  }
+
+  void send_echo(const char* sw, std::uint32_t xid) {
+    const ConnectionId conn{model.require("c1"), model.require(sw)};
+    injector->switch_side_input(conn)(ofp::encode(ofp::make_message(xid, ofp::EchoRequest{})));
+  }
+};
+
+/// Attack whose state is global: drop everything on every connection after
+/// three messages have been seen anywhere.
+std::string global_count_attack() {
+  return R"(
+attacker {
+  on (c1, s1) grant no_tls;
+  on (c1, s2) grant no_tls;
+  on (c1, s3) grant no_tls;
+  on (c1, s4) grant no_tls;
+}
+attack global_gate {
+  deque counter = [0];
+  start state s {
+    rule gate1 on (c1, s1) { when examine_front(counter) >= 3; do { drop(msg); } }
+    rule tally1 on (c1, s1) { when examine_front(counter) < 3; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+    rule gate2 on (c1, s2) { when examine_front(counter) >= 3; do { drop(msg); } }
+    rule tally2 on (c1, s2) { when examine_front(counter) < 3; do { pass(msg); prepend(counter, examine_front(counter) + 1); } }
+  }
+}
+)";
+}
+
+TEST(Distributed, ShardAssignmentPartitionsConnections) {
+  Fixture fx(Coordination::TotalOrder, 2);
+  const ConnectionId s1{fx.model.require("c1"), fx.model.require("s1")};
+  const ConnectionId s2{fx.model.require("c1"), fx.model.require("s2")};
+  const ConnectionId s3{fx.model.require("c1"), fx.model.require("s3")};
+  EXPECT_NE(fx.injector->shard_of(s1), fx.injector->shard_of(s2));
+  EXPECT_EQ(fx.injector->shard_of(s1), fx.injector->shard_of(s3));
+  EXPECT_EQ(fx.injector->shard_count(), 2u);
+}
+
+TEST(Distributed, DisarmedForwardsImmediately) {
+  Fixture fx(Coordination::TotalOrder, 2);
+  fx.send_echo("s1", 1);
+  ASSERT_EQ(fx.to_controller["s1"].size(), 1u);
+  EXPECT_EQ(fx.to_controller["s1"][0].first, 0);  // no coordination when disarmed
+}
+
+TEST(Distributed, TotalOrderAddsCoordinationLatency) {
+  Fixture fx(Coordination::TotalOrder, 2);
+  fx.arm(scenario::trivial_pass_all_dsl());
+  fx.send_echo("s1", 1);
+  EXPECT_TRUE(fx.to_controller["s1"].empty());  // still in coordination
+  fx.sched.run();
+  ASSERT_EQ(fx.to_controller["s1"].size(), 1u);
+  EXPECT_EQ(fx.to_controller["s1"][0].first, 2 * kCoordLatency);
+  EXPECT_EQ(fx.injector->stats().sequencer_round_trips, 1u);
+  EXPECT_EQ(fx.injector->stats().coordination_delay_total, 4 * kMillisecond);
+}
+
+TEST(Distributed, LocalReplicasAddNoLatency) {
+  Fixture fx(Coordination::LocalReplicas, 2);
+  fx.arm(scenario::trivial_pass_all_dsl());
+  fx.send_echo("s1", 1);
+  ASSERT_EQ(fx.to_controller["s1"].size(), 1u);
+  EXPECT_EQ(fx.to_controller["s1"][0].first, 0);
+  EXPECT_EQ(fx.injector->stats().sequencer_round_trips, 0u);
+}
+
+TEST(Distributed, TotalOrderMatchesCentralizedSemantics) {
+  // Global counting attack: with total ordering, exactly 3 messages pass
+  // regardless of which connections carry them — identical to the
+  // centralized injector.
+  Fixture fx(Coordination::TotalOrder, 2);
+  fx.arm(global_count_attack());
+  // Interleave across shards: s1 (shard 1), s2 (shard 0).
+  fx.send_echo("s1", 1);
+  fx.send_echo("s2", 2);
+  fx.send_echo("s1", 3);
+  fx.send_echo("s2", 4);
+  fx.send_echo("s1", 5);
+  fx.send_echo("s2", 6);
+  fx.sched.run();
+  const std::size_t total =
+      fx.to_controller["s1"].size() + fx.to_controller["s2"].size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Distributed, LocalReplicasDivergeOnCrossShardState) {
+  // The §VIII-C hazard: each replica has its own counter, so each shard
+  // passes 3 messages — 6 total instead of 3.
+  Fixture fx(Coordination::LocalReplicas, 2);
+  fx.arm(global_count_attack());
+  for (std::uint32_t i = 1; i <= 6; ++i) fx.send_echo("s1", i);
+  for (std::uint32_t i = 1; i <= 6; ++i) fx.send_echo("s2", i);
+  fx.sched.run();
+  EXPECT_EQ(fx.to_controller["s1"].size(), 3u);
+  EXPECT_EQ(fx.to_controller["s2"].size(), 3u);  // centralized would give 0 here
+}
+
+TEST(Distributed, LocalReplicaStateTransitionsAreIndependent) {
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; on (c1, s2) grant no_tls; }
+attack per_conn_interrupt {
+  start state waiting {
+    rule trig1 on (c1, s1) { when msg.type == ECHO_REQUEST; do { pass(msg); goto(dropping); } }
+    rule trig2 on (c1, s2) { when msg.type == ECHO_REQUEST; do { pass(msg); goto(dropping); } }
+  }
+  state dropping {
+    rule d1 on (c1, s1) { when 1; do { drop(msg); } }
+    rule d2 on (c1, s2) { when 1; do { drop(msg); } }
+  }
+}
+)";
+  Fixture fx(Coordination::LocalReplicas, 2);
+  fx.arm(source);
+  fx.send_echo("s1", 1);  // shard 1 transitions to `dropping`
+  fx.sched.run();
+  EXPECT_EQ(fx.injector->current_state_of_shard(fx.injector->shard_of(
+                ConnectionId{fx.model.require("c1"), fx.model.require("s1")})),
+            std::optional<std::string>("dropping"));
+  EXPECT_EQ(fx.injector->current_state_of_shard(fx.injector->shard_of(
+                ConnectionId{fx.model.require("c1"), fx.model.require("s2")})),
+            std::optional<std::string>("waiting"));
+  // s2's shard still passes; s1's shard drops.
+  fx.send_echo("s2", 2);
+  fx.send_echo("s1", 3);
+  fx.sched.run();
+  EXPECT_EQ(fx.to_controller["s2"].size(), 1u);
+  EXPECT_EQ(fx.to_controller["s1"].size(), 1u);  // only the trigger passed
+}
+
+TEST(Distributed, TotalOrderPreservesPerConnectionOrdering) {
+  Fixture fx(Coordination::TotalOrder, 4);
+  fx.arm(scenario::trivial_pass_all_dsl());
+  for (std::uint32_t i = 1; i <= 10; ++i) fx.send_echo("s3", i);
+  fx.sched.run();
+  ASSERT_EQ(fx.to_controller["s3"].size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(fx.to_controller["s3"][i].second.xid, i + 1);
+  }
+}
+
+TEST(Distributed, SingleShardTotalOrderEqualsSequencerOnly) {
+  Fixture fx(Coordination::TotalOrder, 1);
+  fx.arm(global_count_attack());
+  for (std::uint32_t i = 1; i <= 6; ++i) fx.send_echo("s1", i);
+  fx.sched.run();
+  EXPECT_EQ(fx.to_controller["s1"].size(), 3u);
+}
+
+}  // namespace
+}  // namespace attain::inject

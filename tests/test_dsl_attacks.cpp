@@ -1,0 +1,113 @@
+// Checks that the case-study attack descriptions (Figs. 10 and 12) parse,
+// compile, and carry exactly the structure the paper diagrams.
+#include <gtest/gtest.h>
+
+#include "attain/dsl/codegen.hpp"
+#include "attain/dsl/parser.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::scenario {
+namespace {
+
+struct Fixture {
+  topo::SystemModel model = make_enterprise_model();
+
+  dsl::CompiledAttack compile_dsl(const std::string& source) {
+    const dsl::Document doc = dsl::parse_document(source, model);
+    return dsl::compile(doc.attacks.at(0), model, doc.capabilities);
+  }
+};
+
+TEST(Fig10, SuppressionHasOneStateFourRules) {
+  Fixture fx;
+  const dsl::CompiledAttack attack = fx.compile_dsl(flow_mod_suppression_dsl());
+  ASSERT_EQ(attack.states.size(), 1u);
+  EXPECT_EQ(attack.states[0].name, "sigma1");
+  ASSERT_EQ(attack.states[0].rules.size(), 4u);
+  // One rule per control-plane connection in N_C.
+  std::set<std::string> switches;
+  for (const auto& compiled : attack.states[0].rules) {
+    switches.insert(fx.model.name_of(compiled.rule.connection.sw));
+    EXPECT_EQ(fx.model.name_of(compiled.rule.connection.controller), "c1");
+    ASSERT_EQ(compiled.rule.actions.size(), 1u);
+    EXPECT_TRUE(std::holds_alternative<lang::ActDrop>(compiled.rule.actions[0]));
+  }
+  EXPECT_EQ(switches, (std::set<std::string>{"s1", "s2", "s3", "s4"}));
+  // σ1 is start and absorbing, with no end states (Fig. 10b).
+  EXPECT_EQ(attack.source.absorbing_states(), std::vector<std::string>{"sigma1"});
+  EXPECT_TRUE(attack.source.end_states().empty());
+}
+
+TEST(Fig12, InterruptionHasThreeChainedStates) {
+  Fixture fx;
+  const dsl::CompiledAttack attack = fx.compile_dsl(connection_interruption_dsl());
+  ASSERT_EQ(attack.states.size(), 3u);
+  EXPECT_EQ(attack.states[attack.start_index].name, "sigma1");
+  // Every rule targets (c1, s2): the DMZ chokepoint.
+  for (const auto& state : attack.states) {
+    for (const auto& compiled : state.rules) {
+      EXPECT_EQ(fx.model.name_of(compiled.rule.connection.sw), "s2");
+    }
+  }
+  // Graph: σ1→σ2→σ3, σ3 absorbing.
+  const lang::StateGraph graph = attack.source.graph();
+  ASSERT_EQ(graph.edges.size(), 2u);
+  EXPECT_EQ(graph.edges[0].from, "sigma1");
+  EXPECT_EQ(graph.edges[0].to, "sigma2");
+  EXPECT_EQ(graph.edges[1].from, "sigma2");
+  EXPECT_EQ(graph.edges[1].to, "sigma3");
+  EXPECT_EQ(attack.source.absorbing_states(), std::vector<std::string>{"sigma3"});
+}
+
+TEST(Fig12, Phi2RequiresPayloadCapabilities) {
+  Fixture fx;
+  const dsl::CompiledAttack attack = fx.compile_dsl(connection_interruption_dsl());
+  const auto& phi2 = attack.states[1].rules.at(0);
+  EXPECT_TRUE(phi2.required.contains(model::Capability::ReadMessage));
+  EXPECT_TRUE(phi2.required.contains(model::Capability::DropMessage));
+  // φ3 needs only metadata + drop.
+  const auto& phi3 = attack.states[2].rules.at(0);
+  EXPECT_TRUE(phi3.required.contains(model::Capability::ReadMessageMetadata));
+  EXPECT_FALSE(phi3.required.contains(model::Capability::ReadMessage));
+}
+
+TEST(Fig5, TrivialPassAllIsSingleEndState) {
+  Fixture fx;
+  // The trivial attack needs no attacker grant at all.
+  const dsl::Document doc = dsl::parse_document(trivial_pass_all_dsl(), fx.model);
+  const dsl::CompiledAttack attack =
+      dsl::compile(doc.attacks.at(0), fx.model, doc.capabilities);
+  ASSERT_EQ(attack.states.size(), 1u);
+  EXPECT_TRUE(attack.states[0].rules.empty());
+  EXPECT_EQ(attack.source.end_states(), std::vector<std::string>{"sigma1"});
+}
+
+TEST(CaseStudy, SuppressionCompilesUnderNoTlsButNotTls) {
+  // The suppression attack reads message types (payload), so it must not
+  // compile when the attacker holds only Γ_TLS.
+  Fixture fx;
+  std::string tls_source = flow_mod_suppression_dsl();
+  // Downgrade every grant from no_tls to tls.
+  std::size_t pos = 0;
+  while ((pos = tls_source.find("grant no_tls", pos)) != std::string::npos) {
+    tls_source.replace(pos, 12, "grant tls");
+  }
+  const dsl::Document doc = dsl::parse_document(tls_source, fx.model);
+  EXPECT_THROW(dsl::compile(doc.attacks.at(0), fx.model, doc.capabilities),
+               dsl::CompileError);
+}
+
+TEST(CaseStudy, ListingsGenerateForBothAttacks) {
+  Fixture fx;
+  for (const std::string& source :
+       {flow_mod_suppression_dsl(), connection_interruption_dsl()}) {
+    const dsl::CompiledAttack attack = fx.compile_dsl(source);
+    const std::string listing = dsl::generate_listing(attack, fx.model);
+    EXPECT_NE(listing.find("gamma"), std::string::npos);
+    const std::string dot = dsl::generate_state_graph_dot(attack);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace attain::scenario

@@ -1,0 +1,321 @@
+#include "attain/inject/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attain/dsl/parser.hpp"
+#include "ofp/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::inject {
+namespace {
+
+/// Builds executors from DSL snippets against the enterprise model.
+struct Fixture {
+  topo::SystemModel model = scenario::make_enterprise_model();
+  monitor::Monitor monitor;
+  Rng rng{1};
+  model::CapabilityMap capabilities;
+  std::optional<dsl::CompiledAttack> attack;
+
+  AttackExecutor make(const std::string& source) {
+    const dsl::Document doc = dsl::parse_document(source, model);
+    capabilities = doc.capabilities;
+    attack = dsl::compile(doc.attacks.at(0), model, capabilities);
+    return AttackExecutor(*attack, capabilities, monitor, rng);
+  }
+
+  lang::InFlightMessage message(const char* sw_name, lang::Direction direction,
+                                const ofp::Message& payload) {
+    lang::InFlightMessage msg;
+    msg.connection = ConnectionId{model.require("c1"), model.require(sw_name)};
+    msg.direction = direction;
+    if (direction == lang::Direction::ControllerToSwitch) {
+      msg.source = msg.connection.controller;
+      msg.destination = msg.connection.sw;
+    } else {
+      msg.source = msg.connection.sw;
+      msg.destination = msg.connection.controller;
+    }
+    msg.id = ++next_id;
+    msg.wire = ofp::encode(payload);
+    msg.payload = payload;
+    return msg;
+  }
+
+  ofp::Message flow_mod() {
+    ofp::FlowMod mod;
+    mod.match = ofp::Match::wildcard_all();
+    mod.actions = ofp::output_to(std::uint16_t{2});
+    return ofp::make_message(5, std::move(mod));
+  }
+
+  std::uint64_t next_id{0};
+};
+
+TEST(Executor, StartsAtStartState) {
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::connection_interruption_dsl());
+  EXPECT_EQ(exec.current_state_name(), "sigma1");
+}
+
+TEST(Executor, PassesUnmatchedMessages) {
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::flow_mod_suppression_dsl());
+  const auto msg = fx.message("s1", lang::Direction::SwitchToController,
+                              ofp::make_message(1, ofp::EchoRequest{}));
+  const ExecutionResult result = exec.process(msg);
+  ASSERT_EQ(result.outgoing.size(), 1u);
+  EXPECT_EQ(result.outgoing[0].message.id, msg.id);
+  EXPECT_EQ(exec.stats().rules_matched, 0u);
+}
+
+TEST(Executor, DropsMatchedFlowMods) {
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::flow_mod_suppression_dsl());
+  const auto msg = fx.message("s2", lang::Direction::ControllerToSwitch, fx.flow_mod());
+  const ExecutionResult result = exec.process(msg);
+  EXPECT_TRUE(result.outgoing.empty());
+  EXPECT_EQ(exec.stats().rules_matched, 1u);
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageDropped), 1u);
+}
+
+TEST(Executor, RulesBindToTheirConnection) {
+  // The suppression attack has one rule per connection; a FLOW_MOD on
+  // (c1, s3) must be caught by φ3 only — and a rule for (c1, s1) must not
+  // evaluate against it.
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.type == FLOW_MOD; do { drop(msg); } }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  const auto on_s3 = fx.message("s3", lang::Direction::ControllerToSwitch, fx.flow_mod());
+  const ExecutionResult result = exec.process(on_s3);
+  EXPECT_EQ(result.outgoing.size(), 1u);  // untouched: rule is for (c1, s1)
+  EXPECT_EQ(exec.stats().rules_evaluated, 0u);
+}
+
+TEST(Executor, GoToTransitionsState) {
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::connection_interruption_dsl());
+  // Connection setup on (c1, s2): FEATURES_REPLY.
+  const auto setup = fx.message("s2", lang::Direction::SwitchToController,
+                                ofp::make_message(2, ofp::FeaturesReply{}));
+  const ExecutionResult r1 = exec.process(setup);
+  EXPECT_EQ(r1.outgoing.size(), 1u);  // pass(msg)
+  EXPECT_EQ(exec.current_state_name(), "sigma2");
+  EXPECT_EQ(exec.stats().state_transitions, 1u);
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::StateTransition), 1u);
+}
+
+TEST(Executor, RulesOfArrivalStateApplyEvenAfterTransition) {
+  // Algorithm 1 line 6: σ_previous is saved before processing; the
+  // message is evaluated against the state it arrived in.
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state a {
+    rule go on (c1, s1) { when msg.type == ECHO_REQUEST; do { goto(b); pass(msg); } }
+  }
+  state b {
+    rule dropper on (c1, s1) { when 1; do { drop(msg); } }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  const auto echo = fx.message("s1", lang::Direction::SwitchToController,
+                               ofp::make_message(3, ofp::EchoRequest{}));
+  const ExecutionResult r = exec.process(echo);
+  // The triggering echo is passed (state b's dropper does NOT apply to it).
+  EXPECT_EQ(r.outgoing.size(), 1u);
+  EXPECT_EQ(exec.current_state_name(), "b");
+  // The next message is dropped by state b.
+  const ExecutionResult r2 = exec.process(echo);
+  EXPECT_TRUE(r2.outgoing.empty());
+}
+
+TEST(Executor, InterruptionAttackFullSequence) {
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::connection_interruption_dsl());
+  // 1. Setup message moves σ1 → σ2.
+  exec.process(fx.message("s2", lang::Direction::SwitchToController,
+                          ofp::make_message(2, ofp::FeaturesReply{})));
+  ASSERT_EQ(exec.current_state_name(), "sigma2");
+
+  // 2. An unrelated FLOW_MOD (h6-sourced match) passes and stays in σ2.
+  ofp::FlowMod unrelated;
+  unrelated.match = ofp::Match::wildcard_all();
+  unrelated.match.nw_src = pkt::Ipv4Address::parse("10.0.0.6");
+  unrelated.match.set_nw_src_wild_bits(0);
+  unrelated.match.nw_dst = pkt::Ipv4Address::parse("10.0.0.1");
+  unrelated.match.set_nw_dst_wild_bits(0);
+  const auto r2 = exec.process(fx.message("s2", lang::Direction::ControllerToSwitch,
+                                          ofp::make_message(4, unrelated)));
+  EXPECT_EQ(r2.outgoing.size(), 1u);
+  EXPECT_EQ(exec.current_state_name(), "sigma2");
+
+  // 3. The φ2 trigger: FLOW_MOD whose match is h2 → internal host.
+  ofp::FlowMod trigger;
+  trigger.match = ofp::Match::wildcard_all();
+  trigger.match.nw_src = pkt::Ipv4Address::parse("10.0.0.2");
+  trigger.match.set_nw_src_wild_bits(0);
+  trigger.match.nw_dst = pkt::Ipv4Address::parse("10.0.0.3");
+  trigger.match.set_nw_dst_wild_bits(0);
+  const auto r3 = exec.process(fx.message("s2", lang::Direction::ControllerToSwitch,
+                                          ofp::make_message(5, trigger)));
+  EXPECT_TRUE(r3.outgoing.empty());  // dropped
+  EXPECT_EQ(exec.current_state_name(), "sigma3");
+
+  // 4. σ3 black-holes everything on (c1, s2)...
+  const auto r4 = exec.process(fx.message("s2", lang::Direction::SwitchToController,
+                                          ofp::make_message(6, ofp::EchoRequest{})));
+  EXPECT_TRUE(r4.outgoing.empty());
+  // ...but other connections still pass.
+  const auto r5 = exec.process(fx.message("s1", lang::Direction::SwitchToController,
+                                          ofp::make_message(7, ofp::EchoRequest{})));
+  EXPECT_EQ(r5.outgoing.size(), 1u);
+}
+
+TEST(Executor, RyuStyleFlowModDoesNotTriggerPhi2) {
+  // The Table II explanation: Ryu's match wildcards nw_src/nw_dst, so φ2's
+  // conditional never sees h2's address.
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::connection_interruption_dsl());
+  exec.process(fx.message("s2", lang::Direction::SwitchToController,
+                          ofp::make_message(2, ofp::FeaturesReply{})));
+  ASSERT_EQ(exec.current_state_name(), "sigma2");
+
+  ofp::FlowMod ryu_mod;
+  ryu_mod.match = ofp::Match::l2_only(1, pkt::MacAddress::from_u64(2),
+                                      pkt::MacAddress::from_u64(3));
+  const auto r = exec.process(fx.message("s2", lang::Direction::ControllerToSwitch,
+                                         ofp::make_message(5, ryu_mod)));
+  EXPECT_EQ(r.outgoing.size(), 1u);              // passed through
+  EXPECT_EQ(exec.current_state_name(), "sigma2");  // attack stuck in σ2 forever
+}
+
+TEST(Executor, CounterIdiomAcrossMessages) {
+  // Drop every message after the third (deque-counter threshold, §VIII-B).
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack count_then_drop {
+  deque counter = [0];
+  start state s {
+    rule tally on (c1, s1) {
+      when examine_front(counter) < 3;
+      do { prepend(counter, examine_front(counter) + 1); pass(msg); }
+    }
+    rule dropper on (c1, s1) {
+      when examine_front(counter) >= 3;
+      do { drop(msg); }
+    }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  // Rules within a state share storage and evaluate in definition order:
+  // the message that advances the counter to 3 is immediately caught by
+  // `dropper` in the same pass, so exactly two messages survive.
+  int passed = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto msg = fx.message("s1", lang::Direction::SwitchToController,
+                                ofp::make_message(1, ofp::EchoRequest{}));
+    const ExecutionResult r = exec.process(msg);
+    if (!r.outgoing.empty()) ++passed;
+  }
+  EXPECT_EQ(passed, 2);
+  EXPECT_EQ(std::get<std::int64_t>(exec.storage().examine_front("counter")), 3);
+}
+
+TEST(Executor, SleepAndSysCmdSurfaceInResult) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) {
+      when 1;
+      do { sleep(2 s); syscmd(h6, "iperf -s"); pass(msg); }
+    }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  const auto msg = fx.message("s1", lang::Direction::SwitchToController,
+                              ofp::make_message(1, ofp::EchoRequest{}));
+  const ExecutionResult r = exec.process(msg);
+  EXPECT_EQ(r.sleep, 2 * kSecond);
+  ASSERT_EQ(r.syscmds.size(), 1u);
+  EXPECT_EQ(r.syscmds[0].host, "h6");
+  EXPECT_EQ(r.syscmds[0].command, "iperf -s");
+  EXPECT_EQ(r.outgoing.size(), 1u);
+}
+
+TEST(Executor, EvalErrorTreatedAsNoMatch) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.field("buffer_id") == 1; do { drop(msg); } }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  // ECHO_REQUEST has no buffer_id: conditional raises, message passes.
+  const auto msg = fx.message("s1", lang::Direction::SwitchToController,
+                              ofp::make_message(1, ofp::EchoRequest{}));
+  const ExecutionResult r = exec.process(msg);
+  EXPECT_EQ(r.outgoing.size(), 1u);
+  EXPECT_EQ(exec.stats().eval_errors, 1u);
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::EvalError), 1u);
+}
+
+TEST(Executor, RuntimeCapabilityDefenceInDepth) {
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::flow_mod_suppression_dsl());
+  // Sabotage the capability map after compilation: runtime check refuses.
+  fx.capabilities = model::CapabilityMap{};  // all grants revoked
+  const auto msg = fx.message("s1", lang::Direction::ControllerToSwitch, fx.flow_mod());
+  const ExecutionResult r = exec.process(msg);
+  EXPECT_EQ(r.outgoing.size(), 1u);  // not dropped: rule refused
+  EXPECT_EQ(exec.stats().capability_violations, 1u);
+}
+
+TEST(Executor, ResetRestoresStartStateAndStorage) {
+  Fixture fx;
+  AttackExecutor exec = fx.make(scenario::connection_interruption_dsl());
+  exec.process(fx.message("s2", lang::Direction::SwitchToController,
+                          ofp::make_message(2, ofp::FeaturesReply{})));
+  EXPECT_EQ(exec.current_state_name(), "sigma2");
+  exec.reset();
+  EXPECT_EQ(exec.current_state_name(), "sigma1");
+}
+
+TEST(Executor, DuplicateAppendsCopy) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.type == ECHO_REQUEST; do { duplicate(msg); } }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  const auto msg = fx.message("s1", lang::Direction::SwitchToController,
+                              ofp::make_message(1, ofp::EchoRequest{}));
+  const ExecutionResult r = exec.process(msg);
+  ASSERT_EQ(r.outgoing.size(), 2u);
+  EXPECT_EQ(r.outgoing[0].message.wire, r.outgoing[1].message.wire);
+  EXPECT_NE(r.outgoing[0].message.id, r.outgoing[1].message.id);
+}
+
+}  // namespace
+}  // namespace attain::inject

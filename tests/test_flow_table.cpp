@@ -1,0 +1,182 @@
+#include "swsim/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::swsim {
+namespace {
+
+pkt::Packet sample_packet() {
+  pkt::TcpHeader tcp;
+  tcp.src_port = 1000;
+  tcp.dst_port = 80;
+  return pkt::make_tcp(pkt::MacAddress::from_u64(1), pkt::MacAddress::from_u64(2),
+                       pkt::Ipv4Address::parse("10.0.0.1"), pkt::Ipv4Address::parse("10.0.0.2"),
+                       tcp, 100, 0);
+}
+
+ofp::FlowMod add_mod(ofp::Match match, std::uint16_t priority, std::uint16_t out_port) {
+  ofp::FlowMod mod;
+  mod.match = std::move(match);
+  mod.command = ofp::FlowModCommand::Add;
+  mod.priority = priority;
+  mod.actions = ofp::output_to(out_port);
+  return mod;
+}
+
+std::uint16_t output_port(const FlowEntry& entry) {
+  return std::get<ofp::ActionOutput>(entry.actions.at(0)).port;
+}
+
+TEST(FlowTable, AddAndMatch) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+  const FlowEntry* hit = table.match_packet(p, 1, 10, p.wire_size());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(output_port(*hit), 2);
+  EXPECT_EQ(hit->packet_count, 1u);
+  EXPECT_EQ(hit->byte_count, p.wire_size());
+  EXPECT_EQ(hit->last_used, 10);
+  EXPECT_EQ(table.match_packet(p, 3, 10, p.wire_size()), nullptr);  // wrong in_port
+}
+
+TEST(FlowTable, HigherPriorityWinsAmongWildcards) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::wildcard_all(), 10, 7), 0);
+  ofp::Match l2 = ofp::Match::l2_only(1, p.eth.src, p.eth.dst);
+  table.apply(add_mod(l2, 20, 8), 0);
+  const FlowEntry* hit = table.match_packet(p, 1, 0, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(output_port(*hit), 8);
+}
+
+TEST(FlowTable, ExactMatchOutranksHigherPriorityWildcard) {
+  // OF1.0 §3.4: exact entries have precedence over wildcard entries.
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::wildcard_all(), 0xffff, 7), 0);
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 1, 9), 0);
+  const FlowEntry* hit = table.match_packet(p, 1, 0, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(output_port(*hit), 9);
+}
+
+TEST(FlowTable, AddReplacesIdenticalMatchAndResetsCounters) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+  table.match_packet(p, 1, 5, 100);
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 3), 10);
+  EXPECT_EQ(table.size(), 1u);
+  const FlowEntry* hit = table.match_packet(p, 1, 20, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(output_port(*hit), 3);
+  EXPECT_EQ(hit->packet_count, 1u);  // counters reset by replacement
+}
+
+TEST(FlowTable, ModifyPreservesCounters) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+  table.match_packet(p, 1, 5, 100);
+
+  ofp::FlowMod modify = add_mod(ofp::Match::wildcard_all(), 100, 4);
+  modify.command = ofp::FlowModCommand::Modify;  // non-strict: subsumes all
+  table.apply(modify, 10);
+  const FlowEntry* hit = table.match_packet(p, 1, 20, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(output_port(*hit), 4);
+  EXPECT_EQ(hit->packet_count, 2u);  // counter preserved across modify
+}
+
+TEST(FlowTable, ModifyWithNoMatchBehavesLikeAdd) {
+  FlowTable table;
+  ofp::FlowMod modify = add_mod(ofp::Match::wildcard_all(), 100, 4);
+  modify.command = ofp::FlowModCommand::Modify;
+  table.apply(modify, 0);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, DeleteNonStrictSubsumes) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+  table.apply(add_mod(ofp::Match::l2_only(1, p.eth.src, p.eth.dst), 50, 3), 0);
+  ofp::FlowMod del;
+  del.command = ofp::FlowModCommand::Delete;
+  del.match = ofp::Match::wildcard_all();
+  const auto removed = table.apply(del, 1);
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(removed[0].reason, ofp::FlowRemovedReason::Delete);
+}
+
+TEST(FlowTable, DeleteStrictRequiresExactMatchAndPriority) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+
+  ofp::FlowMod del;
+  del.command = ofp::FlowModCommand::DeleteStrict;
+  del.match = ofp::Match::from_packet(p, 1);
+  del.priority = 99;  // wrong priority
+  table.apply(del, 1);
+  EXPECT_EQ(table.size(), 1u);
+  del.priority = 100;
+  table.apply(del, 1);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, DeleteWithOutPortFilter) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+  table.apply(add_mod(ofp::Match::l2_only(1, p.eth.src, p.eth.dst), 50, 3), 0);
+
+  ofp::FlowMod del;
+  del.command = ofp::FlowModCommand::Delete;
+  del.match = ofp::Match::wildcard_all();
+  del.out_port = 3;
+  table.apply(del, 1);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(output_port(table.entries()[0]), 2);
+}
+
+TEST(FlowTable, IdleTimeoutExpiresUnusedEntries) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  ofp::FlowMod mod = add_mod(ofp::Match::from_packet(p, 1), 100, 2);
+  mod.idle_timeout = 10;
+  table.apply(mod, 0);
+
+  EXPECT_TRUE(table.expire(9 * kSecond).empty());
+  table.match_packet(p, 1, 9 * kSecond, 100);  // refresh idle timer
+  EXPECT_TRUE(table.expire(18 * kSecond).empty());
+  const auto expired = table.expire(19 * kSecond);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].reason, ofp::FlowRemovedReason::IdleTimeout);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, HardTimeoutExpiresRegardlessOfUse) {
+  FlowTable table;
+  const pkt::Packet p = sample_packet();
+  ofp::FlowMod mod = add_mod(ofp::Match::from_packet(p, 1), 100, 2);
+  mod.hard_timeout = 5;
+  table.apply(mod, 0);
+  table.match_packet(p, 1, 4 * kSecond, 100);
+  const auto expired = table.expire(5 * kSecond);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].reason, ofp::FlowRemovedReason::HardTimeout);
+}
+
+TEST(FlowTable, ZeroTimeoutsArePermanent) {
+  FlowTable table;
+  table.apply(add_mod(ofp::Match::wildcard_all(), 1, 2), 0);
+  EXPECT_TRUE(table.expire(1000 * kSecond).empty());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace attain::swsim

@@ -1,0 +1,198 @@
+#include "dpl/host.hpp"
+#include "dpl/iperf.hpp"
+#include "dpl/ping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+
+namespace attain::dpl {
+namespace {
+
+/// Two hosts on a point-to-point duplex link.
+struct Pair {
+  sim::Scheduler sched;
+  Host a{sched, "a", pkt::MacAddress::from_u64(0xa), pkt::Ipv4Address::parse("10.0.0.1")};
+  Host b{sched, "b", pkt::MacAddress::from_u64(0xb), pkt::Ipv4Address::parse("10.0.0.2")};
+  sim::Duplex<pkt::Packet> link{sched, sim::PipeConfig{100'000'000, 100, 4096}};
+
+  Pair() {
+    a.set_sender([this](pkt::Packet p) { link.a_to_b().send(p, p.wire_size()); });
+    b.set_sender([this](pkt::Packet p) { link.b_to_a().send(p, p.wire_size()); });
+    link.a_to_b().set_receiver([this](pkt::Packet p) { b.on_packet(p); });
+    link.b_to_a().set_receiver([this](pkt::Packet p) { a.on_packet(p); });
+  }
+};
+
+TEST(Host, ArpResolutionThenSend) {
+  Pair pair;
+  bool delivered = false;
+  pair.b.register_tcp_port(80, [&](const pkt::Packet&) { delivered = true; });
+  pair.a.send_ip(pair.b.ip(), [&](pkt::MacAddress dst_mac) {
+    pkt::TcpHeader tcp;
+    tcp.dst_port = 80;
+    return pkt::make_tcp(pair.a.mac(), dst_mac, pair.a.ip(), pair.b.ip(), tcp, 10, 0);
+  });
+  pair.sched.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(pair.a.counters().arp_requests_sent, 1u);
+  EXPECT_EQ(pair.b.counters().arp_replies_sent, 1u);
+
+  // Second send uses the cache: no new ARP.
+  pair.a.send_ip(pair.b.ip(), [&](pkt::MacAddress dst_mac) {
+    pkt::TcpHeader tcp;
+    tcp.dst_port = 80;
+    return pkt::make_tcp(pair.a.mac(), dst_mac, pair.a.ip(), pair.b.ip(), tcp, 10, 0);
+  });
+  pair.sched.run();
+  EXPECT_EQ(pair.a.counters().arp_requests_sent, 1u);
+}
+
+TEST(Host, ArpRetriesThenFails) {
+  Pair pair;
+  pair.link.set_up(false);  // nothing gets through
+  pair.a.send_ip(pkt::Ipv4Address::parse("10.0.0.99"), [&](pkt::MacAddress dst_mac) {
+    pkt::TcpHeader tcp;
+    return pkt::make_tcp(pair.a.mac(), dst_mac, pair.a.ip(),
+                         pkt::Ipv4Address::parse("10.0.0.99"), tcp, 10, 0);
+  });
+  pair.sched.run();
+  EXPECT_EQ(pair.a.counters().arp_requests_sent, 3u);  // initial + retries
+  EXPECT_EQ(pair.a.counters().arp_failures, 1u);
+}
+
+TEST(Host, IgnoresUnicastToOtherMac) {
+  Pair pair;
+  // Send b a frame addressed to a third MAC: must be dropped silently.
+  pkt::Packet stray = pkt::make_icmp_echo(pair.a.mac(), pkt::MacAddress::from_u64(0xcc),
+                                          pair.a.ip(), pair.b.ip(), pkt::IcmpType::EchoRequest, 1,
+                                          1, 0);
+  pair.b.on_packet(stray);
+  EXPECT_EQ(pair.b.counters().packets_received, 0u);
+  EXPECT_EQ(pair.b.counters().echo_replies_sent, 0u);
+}
+
+TEST(Host, AnswersEchoRequests) {
+  Pair pair;
+  pair.a.add_arp_entry(pair.b.ip(), pair.b.mac());
+  bool reply_seen = false;
+  pair.a.set_icmp_echo_handler([&](const pkt::Packet& p) {
+    reply_seen = p.icmp && p.icmp->type == pkt::IcmpType::EchoReply;
+  });
+  pair.a.send_ip(pair.b.ip(), [&](pkt::MacAddress dst_mac) {
+    return pkt::make_icmp_echo(pair.a.mac(), dst_mac, pair.a.ip(), pair.b.ip(),
+                               pkt::IcmpType::EchoRequest, 9, 1, 0);
+  });
+  pair.sched.run();
+  EXPECT_TRUE(reply_seen);
+  EXPECT_EQ(pair.b.counters().echo_replies_sent, 1u);
+}
+
+TEST(Ping, MeasuresRttPerTrial) {
+  Pair pair;
+  PingApp ping(pair.a, pair.b.ip());
+  ping.start(5, kSecond, kSecond);
+  pair.sched.run();
+  EXPECT_TRUE(ping.done());
+  const PingReport& report = ping.report();
+  EXPECT_EQ(report.sent(), 5u);
+  EXPECT_EQ(report.received(), 5u);
+  EXPECT_DOUBLE_EQ(report.loss_fraction(), 0.0);
+  ASSERT_TRUE(report.mean_rtt_seconds().has_value());
+  // RTT on an idle 100 Mbps link with 100 us propagation: sub-millisecond.
+  EXPECT_GT(*report.mean_rtt_seconds(), 0.0);
+  EXPECT_LT(*report.mean_rtt_seconds(), 0.01);
+  EXPECT_LE(*report.min_rtt_seconds(), *report.mean_rtt_seconds());
+  EXPECT_GE(*report.max_rtt_seconds(), *report.mean_rtt_seconds());
+}
+
+TEST(Ping, ReportsLossWhenLinkDies) {
+  Pair pair;
+  PingApp ping(pair.a, pair.b.ip());
+  ping.start(6, kSecond, kSecond);
+  // Kill the link after ~2.5 trials.
+  pair.sched.at(seconds(2.5), [&] { pair.link.set_up(false); });
+  pair.sched.run();
+  const PingReport& report = ping.report();
+  EXPECT_EQ(report.sent(), 6u);
+  EXPECT_EQ(report.received(), 3u);
+  EXPECT_NEAR(report.loss_fraction(), 0.5, 0.01);
+}
+
+TEST(Ping, AllLostYieldsNoRtt) {
+  Pair pair;
+  pair.link.set_up(false);
+  PingApp ping(pair.a, pair.b.ip());
+  ping.start(3, kSecond, kSecond);
+  pair.sched.run();
+  EXPECT_EQ(ping.report().received(), 0u);
+  EXPECT_FALSE(ping.report().mean_rtt_seconds().has_value());
+  EXPECT_DOUBLE_EQ(ping.report().loss_fraction(), 1.0);
+}
+
+TEST(Iperf, SaturatesLink) {
+  Pair pair;
+  IperfServer server(pair.b);
+  IperfClient client(pair.a, pair.b.ip());
+  client.start(2 * kSecond);
+  pair.sched.run();
+  ASSERT_TRUE(client.done());
+  const IperfResult& result = client.result();
+  // 100 Mbps link: goodput should be near line rate (> 80 Mbps) and below
+  // the physical limit.
+  EXPECT_GT(result.throughput_mbps(), 80.0);
+  EXPECT_LT(result.throughput_mbps(), 100.0);
+  EXPECT_GT(result.bytes_acked, 0u);
+}
+
+TEST(Iperf, ZeroThroughputOnDeadLink) {
+  Pair pair;
+  pair.link.set_up(false);
+  IperfServer server(pair.b);
+  IperfClient client(pair.a, pair.b.ip());
+  client.start(2 * kSecond);
+  pair.sched.run();
+  EXPECT_TRUE(client.done());
+  EXPECT_EQ(client.result().bytes_acked, 0u);
+  EXPECT_DOUBLE_EQ(client.result().throughput_mbps(), 0.0);
+}
+
+TEST(Iperf, RecoversFromTransientOutage) {
+  Pair pair;
+  IperfServer server(pair.b);
+  IperfClient client(pair.a, pair.b.ip());
+  client.start(3 * kSecond);
+  pair.sched.at(seconds(1.0), [&] { pair.link.set_up(false); });
+  pair.sched.at(seconds(1.5), [&] { pair.link.set_up(true); });
+  pair.sched.run();
+  const IperfResult& result = client.result();
+  EXPECT_GT(result.retransmissions, 0u);
+  // Should still move a meaningful amount of data in the ~2.5 s of uptime.
+  EXPECT_GT(result.throughput_mbps(), 30.0);
+}
+
+TEST(Iperf, ThroughputScalesWithBandwidth) {
+  // Property: doubling link bandwidth roughly doubles goodput while the
+  // window is not the bottleneck.
+  double mbps_50 = 0;
+  double mbps_100 = 0;
+  for (const std::uint64_t bw : {50'000'000ULL, 100'000'000ULL}) {
+    sim::Scheduler sched;
+    Host a(sched, "a", pkt::MacAddress::from_u64(0xa), pkt::Ipv4Address::parse("10.0.0.1"));
+    Host b(sched, "b", pkt::MacAddress::from_u64(0xb), pkt::Ipv4Address::parse("10.0.0.2"));
+    sim::Duplex<pkt::Packet> link(sched, sim::PipeConfig{bw, 100, 4096});
+    a.set_sender([&](pkt::Packet p) { link.a_to_b().send(p, p.wire_size()); });
+    b.set_sender([&](pkt::Packet p) { link.b_to_a().send(p, p.wire_size()); });
+    link.a_to_b().set_receiver([&](pkt::Packet p) { b.on_packet(p); });
+    link.b_to_a().set_receiver([&](pkt::Packet p) { a.on_packet(p); });
+    IperfServer server(b);
+    IperfClient client(a, b.ip());
+    client.start(2 * kSecond);
+    sched.run();
+    (bw == 50'000'000ULL ? mbps_50 : mbps_100) = client.result().throughput_mbps();
+  }
+  EXPECT_NEAR(mbps_100 / mbps_50, 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace attain::dpl

@@ -1,0 +1,165 @@
+// §VIII-A language expressiveness: message reordering and replay/flooding
+// attacks composed purely from deque operations + PASSMESSAGE /
+// DUPLICATEMESSAGE, run through the full parse → compile → inject chain.
+#include <gtest/gtest.h>
+
+#include "attain/dsl/parser.hpp"
+#include "attain/inject/proxy.hpp"
+#include "ofp/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::scenario {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  topo::SystemModel model = make_enterprise_model();
+  monitor::Monitor monitor;
+  inject::RuntimeInjector injector{sched, model, monitor};
+  std::vector<ofp::Message> at_controller;
+  std::vector<std::unique_ptr<std::pair<dsl::CompiledAttack, model::CapabilityMap>>> armed;
+
+  Fixture() {
+    const ConnectionId conn{model.require("c1"), model.require("s1")};
+    injector.attach_connection(
+        conn, [this](Bytes b) { at_controller.push_back(ofp::decode(b)); }, [](Bytes) {});
+  }
+
+  void arm(const std::string& source) {
+    const dsl::Document doc = dsl::parse_document(source, model);
+    auto holder = std::make_unique<std::pair<dsl::CompiledAttack, model::CapabilityMap>>();
+    holder->second = doc.capabilities;
+    holder->first = dsl::compile(doc.attacks.at(0), model, holder->second);
+    injector.arm(holder->first, holder->second);
+    armed.push_back(std::move(holder));
+  }
+
+  void send_echo(std::uint32_t xid) {
+    const ConnectionId conn{model.require("c1"), model.require("s1")};
+    injector.switch_side_input(conn)(
+        ofp::encode(ofp::make_message(xid, ofp::EchoRequest{})));
+  }
+};
+
+TEST(Expressiveness, ReorderReversesMessageBatch) {
+  // Capture 3 ECHO_REQUESTs onto a stack (PREPEND), then on the 4th
+  // message release them with SHIFT+send: reverse order (§VIII-A bullet 1).
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack reorder {
+  deque stack;
+  deque seen = [0];
+  start state collecting {
+    # `release` is declared before `capture`: rules share storage and run
+    # in order, so the message that fills the stack must not release it in
+    # the same pass.
+    rule release on (c1, s1) {
+      when msg.type == ECHO_REQUEST and examine_front(seen) >= 3;
+      do { drop(msg); send_front(stack); send_front(stack); send_front(stack); goto(done); }
+    }
+    rule capture on (c1, s1) {
+      when msg.type == ECHO_REQUEST and examine_front(seen) < 3;
+      do { drop(msg); prepend(stack, msg); prepend(seen, examine_front(seen) + 1); }
+    }
+  }
+  state done;
+}
+)";
+  fx.arm(source);
+  for (std::uint32_t xid = 1; xid <= 4; ++xid) fx.send_echo(xid);
+  ASSERT_EQ(fx.at_controller.size(), 3u);
+  EXPECT_EQ(fx.at_controller[0].xid, 3u);  // newest first: reversed
+  EXPECT_EQ(fx.at_controller[1].xid, 2u);
+  EXPECT_EQ(fx.at_controller[2].xid, 1u);
+  EXPECT_EQ(fx.injector.current_state(), std::optional<std::string>("done"));
+  // After `done` (an end state), messages flow untouched again.
+  fx.send_echo(9);
+  ASSERT_EQ(fx.at_controller.size(), 4u);
+  EXPECT_EQ(fx.at_controller[3].xid, 9u);
+}
+
+TEST(Expressiveness, ReplayResendsFifoOrder) {
+  // Duplicate-and-store two messages, then replay them FIFO on a trigger
+  // (§VIII-A bullet 2: APPEND + SHIFT = queue).
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack replay {
+  deque queue;
+  start state collecting {
+    rule capture on (c1, s1) {
+      when msg.type == ECHO_REQUEST and len(queue) < 2;
+      do { pass(msg); append(queue, msg); }
+    }
+    rule trigger on (c1, s1) {
+      when msg.type == BARRIER_REQUEST;
+      do { drop(msg); send_front(queue); send_front(queue); goto(done); }
+    }
+  }
+  state done;
+}
+)";
+  fx.arm(source);
+  fx.send_echo(1);
+  fx.send_echo(2);
+  const ConnectionId conn{fx.model.require("c1"), fx.model.require("s1")};
+  fx.injector.switch_side_input(conn)(
+      ofp::encode(ofp::make_message(7, ofp::BarrierRequest{})));
+  // Originals passed (xid 1, 2), then replayed in FIFO order (1, 2).
+  ASSERT_EQ(fx.at_controller.size(), 4u);
+  EXPECT_EQ(fx.at_controller[0].xid, 1u);
+  EXPECT_EQ(fx.at_controller[1].xid, 2u);
+  EXPECT_EQ(fx.at_controller[2].xid, 1u);
+  EXPECT_EQ(fx.at_controller[3].xid, 2u);
+}
+
+TEST(Expressiveness, FloodingViaDuplication) {
+  // DUPLICATEMESSAGE amplification: every echo is tripled.
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack flood {
+  start state s {
+    rule amplify on (c1, s1) {
+      when msg.type == ECHO_REQUEST;
+      do { duplicate(msg); duplicate(msg); }
+    }
+  }
+}
+)";
+  fx.arm(source);
+  fx.send_echo(1);
+  EXPECT_EQ(fx.at_controller.size(), 3u);
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageDuplicated), 2u);
+}
+
+TEST(Expressiveness, CounterCondensesStatesPerSection8B) {
+  // One state + a counter deque replaces an n-state chain: pass the first
+  // n=5 messages, drop from the (n+1)th on.
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack count_gate {
+  deque counter = [0];
+  start state s {
+    rule tally on (c1, s1) {
+      when examine_front(counter) < 5;
+      do { prepend(counter, examine_front(counter) + 1); pass(msg); }
+    }
+    rule gate on (c1, s1) {
+      when examine_front(counter) >= 5 and msg.id > 5;
+      do { drop(msg); }
+    }
+  }
+}
+)";
+  fx.arm(source);
+  for (std::uint32_t i = 1; i <= 10; ++i) fx.send_echo(i);
+  EXPECT_EQ(fx.at_controller.size(), 5u);
+  // Exactly one attack state regardless of n (the §VIII-B O(1) claim).
+  EXPECT_EQ(fx.armed.back()->first.states.size(), 1u);
+}
+
+}  // namespace
+}  // namespace attain::scenario

@@ -1,0 +1,94 @@
+// End-to-end reproduction checks for the §VII-C connection interruption
+// experiment (Table II): fail-safe yields unauthorized external→internal
+// access after the interruption; fail-secure yields a denial of service
+// for legitimate internal traffic; Ryu never triggers φ2 because its
+// FLOW_MOD match wildcards the IP fields.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace attain::scenario {
+namespace {
+
+InterruptionResult run(ControllerKind kind, bool fail_secure) {
+  InterruptionConfig config;
+  config.controller = kind;
+  config.s2_fail_secure = fail_secure;
+  return run_connection_interruption(config);
+}
+
+class InterruptionMatrix : public ::testing::TestWithParam<std::tuple<ControllerKind, bool>> {};
+
+TEST_P(InterruptionMatrix, PreAttackProbesAlwaysSucceed) {
+  const auto [kind, secure] = GetParam();
+  const InterruptionResult r = run(kind, secure);
+  EXPECT_TRUE(r.ext_to_ext_t30) << "h2->h1 at t=30 must work";
+  EXPECT_TRUE(r.int_to_ext_t30) << "h6->h1 at t=30 must work";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, InterruptionMatrix,
+    ::testing::Combine(::testing::Values(ControllerKind::Floodlight, ControllerKind::Pox,
+                                         ControllerKind::Ryu),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<ControllerKind, bool>>& info) {
+      return to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_secure" : "_safe");
+    });
+
+TEST(Interruption, FloodlightFailSafeGivesUnauthorizedAccess) {
+  const InterruptionResult r = run(ControllerKind::Floodlight, false);
+  EXPECT_TRUE(r.attack_reached_sigma3);
+  EXPECT_TRUE(r.ext_to_int_t50);   // unauthorized increased access
+  EXPECT_TRUE(r.int_to_ext_t95);   // traffic still flows (standalone mode)
+}
+
+TEST(Interruption, FloodlightFailSecureGivesDoS) {
+  const InterruptionResult r = run(ControllerKind::Floodlight, true);
+  EXPECT_TRUE(r.attack_reached_sigma3);
+  EXPECT_FALSE(r.ext_to_int_t50);  // no unauthorized access...
+  EXPECT_FALSE(r.int_to_ext_t95);  // ...but legitimate traffic denied
+}
+
+TEST(Interruption, PoxFailSafeGivesUnauthorizedAccess) {
+  const InterruptionResult r = run(ControllerKind::Pox, false);
+  EXPECT_TRUE(r.attack_reached_sigma3);
+  EXPECT_TRUE(r.ext_to_int_t50);
+  EXPECT_TRUE(r.int_to_ext_t95);
+}
+
+TEST(Interruption, PoxFailSecureGivesDoS) {
+  const InterruptionResult r = run(ControllerKind::Pox, true);
+  EXPECT_TRUE(r.attack_reached_sigma3);
+  EXPECT_FALSE(r.ext_to_int_t50);
+  EXPECT_FALSE(r.int_to_ext_t95);
+}
+
+TEST(Interruption, RyuNeverTriggersPhi2) {
+  for (const bool secure : {false, true}) {
+    const InterruptionResult r = run(ControllerKind::Ryu, secure);
+    EXPECT_FALSE(r.attack_reached_sigma3) << "secure=" << secure;
+    // No interruption: the network behaves like a plain learning switch —
+    // everything reachable in both fail modes.
+    EXPECT_TRUE(r.ext_to_int_t50) << "secure=" << secure;
+    EXPECT_TRUE(r.int_to_ext_t95) << "secure=" << secure;
+  }
+}
+
+TEST(Interruption, Table2RendersAllCells) {
+  std::vector<InterruptionResult> results;
+  for (const ControllerKind kind :
+       {ControllerKind::Floodlight, ControllerKind::Pox, ControllerKind::Ryu}) {
+    for (const bool secure : {false, true}) {
+      results.push_back(run(kind, secure));
+    }
+  }
+  const std::string table = render_table2(results);
+  EXPECT_NE(table.find("ext->int reachable (t=50s)"), std::string::npos);
+  EXPECT_NE(table.find("Floodlight/safe"), std::string::npos);
+  EXPECT_NE(table.find("Ryu/secure"), std::string::npos);
+  EXPECT_EQ(table.find("?"), std::string::npos);  // every cell resolved
+}
+
+}  // namespace
+}  // namespace attain::scenario

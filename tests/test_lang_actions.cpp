@@ -1,0 +1,67 @@
+#include "attain/lang/actions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::lang {
+namespace {
+
+using model::Capability;
+using model::CapabilitySet;
+
+TEST(Actions, CapabilityDerivedActionsMapToTableI) {
+  EXPECT_EQ(action_capabilities(ActDrop{}), CapabilitySet{Capability::DropMessage});
+  EXPECT_EQ(action_capabilities(ActPass{}), CapabilitySet{Capability::PassMessage});
+  EXPECT_EQ(action_capabilities(ActDelay{kSecond}), CapabilitySet{Capability::DelayMessage});
+  EXPECT_EQ(action_capabilities(ActDuplicate{}), CapabilitySet{Capability::DuplicateMessage});
+  EXPECT_EQ(action_capabilities(ActReadMeta{}), CapabilitySet{Capability::ReadMessageMetadata});
+  EXPECT_EQ(action_capabilities(ActRead{}), CapabilitySet{Capability::ReadMessage});
+  EXPECT_EQ(action_capabilities(ActModifyField{"xid", Expr::literal_int(1)}),
+            CapabilitySet{Capability::ModifyMessage});
+  EXPECT_EQ(action_capabilities(ActModifyMeta{}),
+            CapabilitySet{Capability::ModifyMessageMetadata});
+  EXPECT_EQ(action_capabilities(ActFuzz{}), CapabilitySet{Capability::FuzzMessage});
+  EXPECT_EQ(action_capabilities(ActInject{}), CapabilitySet{Capability::InjectNewMessage});
+}
+
+TEST(Actions, StorageAndFrameworkActionsNeedNoCapability) {
+  EXPECT_TRUE(action_capabilities(ActPrepend{"d", Expr::literal_int(1)}).empty());
+  EXPECT_TRUE(action_capabilities(ActAppend{"d", nullptr}).empty());
+  EXPECT_TRUE(action_capabilities(ActShift{"d"}).empty());
+  EXPECT_TRUE(action_capabilities(ActPop{"d"}).empty());
+  EXPECT_TRUE(action_capabilities(ActGoTo{"s"}).empty());
+  EXPECT_TRUE(action_capabilities(ActSleep{kSecond}).empty());
+  EXPECT_TRUE(action_capabilities(ActSysCmd{"h1", "iperf -s"}).empty());
+}
+
+TEST(Actions, SendStoredComposesFromPassMessage) {
+  // §VIII-A builds replay from POP/SHIFT + PASSMESSAGE.
+  EXPECT_EQ(action_capabilities(ActSendStored{"d", false, true}),
+            CapabilitySet{Capability::PassMessage});
+}
+
+TEST(Actions, TotalCapabilitiesIncludeEmbeddedExpressions) {
+  // modify(msg, "xid", msg.field("buffer_id")) needs ModifyMessage AND
+  // ReadMessage (the value expression reads the payload).
+  const ActionSpec action = ActModifyField{"xid", Expr::field("buffer_id")};
+  const CapabilitySet total = total_action_capabilities(action);
+  EXPECT_TRUE(total.contains(Capability::ModifyMessage));
+  EXPECT_TRUE(total.contains(Capability::ReadMessage));
+
+  const ActionSpec store = ActAppend{"d", Expr::prop(Property::Length)};
+  EXPECT_EQ(total_action_capabilities(store),
+            CapabilitySet{Capability::ReadMessageMetadata});
+}
+
+TEST(Actions, ToStringUsesPaperNames) {
+  EXPECT_EQ(to_string(ActionSpec{ActDrop{}}), "DropMessage(msg)");
+  EXPECT_EQ(to_string(ActionSpec{ActPass{}}), "PassMessage(msg)");
+  EXPECT_EQ(to_string(ActionSpec{ActGoTo{"sigma3"}}), "GoToState(sigma3)");
+  EXPECT_NE(to_string(ActionSpec{ActDelay{2 * kSecond}}).find("DelayMessage"),
+            std::string::npos);
+  EXPECT_NE(to_string(ActionSpec{ActSysCmd{"h6", "iperf -s"}}).find("h6"), std::string::npos);
+  EXPECT_NE(to_string(ActionSpec{ActPrepend{"counter", nullptr}}).find("msg"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace attain::lang

@@ -1,0 +1,105 @@
+#include "attain/dsl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::dsl {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& source) {
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(source)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::End);
+}
+
+TEST(Lexer, IdentifiersAndKeywordsAreIdents) {
+  const auto tokens = lex("attack sigma1 drop_msg _x");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::Ident);
+  EXPECT_EQ(tokens[0].text, "attack");
+  EXPECT_EQ(tokens[3].text, "_x");
+}
+
+TEST(Lexer, IntegersDecimalAndHex) {
+  const auto tokens = lex("42 0x1f 0");
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, 31);
+  EXPECT_EQ(tokens[2].int_value, 0);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Integer);
+}
+
+TEST(Lexer, FloatsRequireDigitsBothSides) {
+  const auto tokens = lex("2.5 10");
+  EXPECT_EQ(tokens[0].kind, TokenKind::Float);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 2.5);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Integer);
+}
+
+TEST(Lexer, DotAfterIntegerWithoutDigitIsSeparate) {
+  // `msg.field` style: `1.x` lexes as Integer Dot Ident.
+  const auto k = kinds("1.x");
+  EXPECT_EQ(k, (std::vector<TokenKind>{TokenKind::Integer, TokenKind::Dot, TokenKind::Ident,
+                                       TokenKind::End}));
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto tokens = lex("\"match.nw_src\" \"a\\\"b\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::String);
+  EXPECT_EQ(tokens[0].text, "match.nw_src");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"oops"), LexError);
+  EXPECT_THROW(lex("\"multi\nline\""), LexError);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  const auto k = kinds("( ) { } [ ] , ; : . -> -- == != <= >= < > = + -");
+  const std::vector<TokenKind> expected{
+      TokenKind::LParen, TokenKind::RParen, TokenKind::LBrace,  TokenKind::RBrace,
+      TokenKind::LBracket, TokenKind::RBracket, TokenKind::Comma, TokenKind::Semicolon,
+      TokenKind::Colon,  TokenKind::Dot,    TokenKind::Arrow,   TokenKind::DashDash,
+      TokenKind::EqEq,   TokenKind::NotEq,  TokenKind::Le,      TokenKind::Ge,
+      TokenKind::Lt,     TokenKind::Gt,     TokenKind::Assign,  TokenKind::Plus,
+      TokenKind::Minus,  TokenKind::End};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, CommentsSkippedToEndOfLine) {
+  const auto tokens = lex("a # comment with \"stuff\" -> ;\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex("a\n  bb");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].column, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterThrowsWithPosition) {
+  try {
+    lex("a\n  @");
+    FAIL() << "expected LexError";
+  } catch (const LexError& err) {
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_EQ(err.column, 3u);
+  }
+}
+
+TEST(Lexer, BangRequiresEquals) {
+  EXPECT_THROW(lex("!x"), LexError);
+  EXPECT_EQ(kinds("!=")[0], TokenKind::NotEq);
+}
+
+}  // namespace
+}  // namespace attain::dsl

@@ -1,0 +1,116 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace attain::sim {
+namespace {
+
+TEST(Pipe, DeliversAfterSerializationAndPropagation) {
+  Scheduler sched;
+  PipeConfig config;
+  config.bandwidth_bps = 8'000'000;  // 1 byte/us
+  config.propagation_delay = 100;
+  Pipe<int> pipe(sched, config);
+  SimTime delivered_at = -1;
+  pipe.set_receiver([&](int) { delivered_at = sched.now(); });
+  pipe.send(1, 500);  // 500 us serialization
+  sched.run();
+  EXPECT_EQ(delivered_at, 600);
+  EXPECT_EQ(idle_pipe_latency(config, 500), 600);
+}
+
+TEST(Pipe, QueuesFifoBehindBusyTransmitter) {
+  Scheduler sched;
+  PipeConfig config;
+  config.bandwidth_bps = 8'000'000;
+  config.propagation_delay = 0;
+  Pipe<int> pipe(sched, config);
+  std::vector<std::pair<int, SimTime>> deliveries;
+  pipe.set_receiver([&](int v) { deliveries.emplace_back(v, sched.now()); });
+  pipe.send(1, 100);
+  pipe.send(2, 100);
+  sched.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], (std::pair<int, SimTime>{1, 100}));
+  EXPECT_EQ(deliveries[1], (std::pair<int, SimTime>{2, 200}));
+}
+
+TEST(Pipe, InfiniteBandwidthSkipsSerialization) {
+  Scheduler sched;
+  PipeConfig config;
+  config.bandwidth_bps = 0;
+  config.propagation_delay = 42;
+  Pipe<std::string> pipe(sched, config);
+  SimTime delivered_at = -1;
+  pipe.set_receiver([&](std::string) { delivered_at = sched.now(); });
+  pipe.send("x", 1'000'000);
+  sched.run();
+  EXPECT_EQ(delivered_at, 42);
+}
+
+TEST(Pipe, DropsTailOnOverflow) {
+  Scheduler sched;
+  PipeConfig config;
+  config.bandwidth_bps = 8'000'000;
+  config.propagation_delay = 0;
+  config.queue_limit = 2;
+  Pipe<int> pipe(sched, config);
+  int received = 0;
+  pipe.set_receiver([&](int) { ++received; });
+  pipe.send(1, 100);
+  pipe.send(2, 100);
+  pipe.send(3, 100);  // dropped
+  sched.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(pipe.stats().dropped_overflow, 1u);
+  EXPECT_EQ(pipe.stats().delivered, 2u);
+}
+
+TEST(Pipe, SeveredPipeDropsEverything) {
+  Scheduler sched;
+  Pipe<int> pipe(sched, PipeConfig{});
+  int received = 0;
+  pipe.set_receiver([&](int) { ++received; });
+  pipe.set_up(false);
+  pipe.send(1, 100);
+  sched.run();
+  EXPECT_EQ(received, 0);
+
+  // Severing mid-flight drops in-flight payloads too.
+  pipe.set_up(true);
+  pipe.send(2, 100);
+  pipe.set_up(false);
+  sched.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Pipe, StatsCountBytes) {
+  Scheduler sched;
+  Pipe<int> pipe(sched, PipeConfig{});
+  pipe.set_receiver([](int) {});
+  pipe.send(1, 100);
+  pipe.send(2, 200);
+  sched.run();
+  EXPECT_EQ(pipe.stats().bytes_delivered, 300u);
+  EXPECT_EQ(pipe.stats().enqueued, 2u);
+}
+
+TEST(Duplex, DirectionsAreIndependent) {
+  Scheduler sched;
+  Duplex<int> duplex(sched, PipeConfig{});
+  int a_got = 0;
+  int b_got = 0;
+  duplex.a_to_b().set_receiver([&](int v) { b_got = v; });
+  duplex.b_to_a().set_receiver([&](int v) { a_got = v; });
+  duplex.a_to_b().send(1, 10);
+  duplex.b_to_a().send(2, 10);
+  sched.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(a_got, 2);
+}
+
+}  // namespace
+}  // namespace attain::sim

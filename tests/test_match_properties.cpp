@@ -1,0 +1,132 @@
+// Property-style sweeps over the OF1.0 match semantics with randomized
+// packets and matches: the invariants the flow table relies on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ofp/match.hpp"
+
+namespace attain::ofp {
+namespace {
+
+pkt::Packet random_packet(Rng& rng) {
+  const std::uint64_t src = 1 + rng.next_below(6);
+  const std::uint64_t dst = 1 + rng.next_below(6);
+  switch (rng.next_below(3)) {
+    case 0:
+      return pkt::make_arp_request(pkt::MacAddress::from_u64(src),
+                                   pkt::Ipv4Address{static_cast<std::uint32_t>(src)},
+                                   pkt::Ipv4Address{static_cast<std::uint32_t>(dst)});
+    case 1:
+      return pkt::make_icmp_echo(pkt::MacAddress::from_u64(src), pkt::MacAddress::from_u64(dst),
+                                 pkt::Ipv4Address{static_cast<std::uint32_t>(src)},
+                                 pkt::Ipv4Address{static_cast<std::uint32_t>(dst)},
+                                 rng.chance(0.5) ? pkt::IcmpType::EchoRequest
+                                                 : pkt::IcmpType::EchoReply,
+                                 1, static_cast<std::uint16_t>(rng.next_below(100)), 0);
+    default: {
+      pkt::TcpHeader tcp;
+      tcp.src_port = static_cast<std::uint16_t>(1024 + rng.next_below(1000));
+      tcp.dst_port = static_cast<std::uint16_t>(rng.next_below(1024));
+      return pkt::make_tcp(pkt::MacAddress::from_u64(src), pkt::MacAddress::from_u64(dst),
+                           pkt::Ipv4Address{static_cast<std::uint32_t>(src)},
+                           pkt::Ipv4Address{static_cast<std::uint32_t>(dst)}, tcp,
+                           static_cast<std::uint32_t>(rng.next_below(1400)), 0);
+    }
+  }
+}
+
+/// Generalizes `m` by wildcarding a random subset of its boolean fields
+/// and widening the CIDR masks.
+Match generalize(Match m, Rng& rng) {
+  const std::uint32_t bool_bits[] = {wc::kInPort, wc::kDlSrc,  wc::kDlDst,  wc::kDlVlan,
+                                     wc::kDlVlanPcp, wc::kDlType, wc::kNwTos, wc::kNwProto,
+                                     wc::kTpSrc,  wc::kTpDst};
+  for (const std::uint32_t bit : bool_bits) {
+    if (rng.chance(0.4)) m.wildcards |= bit;
+  }
+  if (rng.chance(0.4)) {
+    m.set_nw_src_wild_bits(m.nw_src_wild_bits() + static_cast<std::uint32_t>(rng.next_below(33)));
+  }
+  if (rng.chance(0.4)) {
+    m.set_nw_dst_wild_bits(m.nw_dst_wild_bits() + static_cast<std::uint32_t>(rng.next_below(33)));
+  }
+  return m;
+}
+
+TEST(MatchProperty, FromPacketAlwaysMatchesItsPacket) {
+  Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const pkt::Packet p = random_packet(rng);
+    const std::uint16_t in_port = static_cast<std::uint16_t>(1 + rng.next_below(4));
+    const Match m = Match::from_packet(p, in_port);
+    EXPECT_TRUE(m.matches(p, in_port)) << m.to_string() << " vs " << p.summary();
+  }
+}
+
+TEST(MatchProperty, GeneralizationPreservesMatching) {
+  // If m matches (p, port), any generalization of m still matches.
+  Rng rng(202);
+  for (int i = 0; i < 2000; ++i) {
+    const pkt::Packet p = random_packet(rng);
+    const std::uint16_t in_port = static_cast<std::uint16_t>(1 + rng.next_below(4));
+    const Match exact = Match::from_packet(p, in_port);
+    const Match general = generalize(exact, rng);
+    EXPECT_TRUE(general.matches(p, in_port))
+        << general.to_string() << " should subsume " << exact.to_string();
+  }
+}
+
+TEST(MatchProperty, SubsumesImpliesMatchImplication) {
+  // a.subsumes(b) means every packet matching b also matches a.
+  Rng rng(303);
+  int checked = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const pkt::Packet p = random_packet(rng);
+    const std::uint16_t in_port = static_cast<std::uint16_t>(1 + rng.next_below(4));
+    const Match b = generalize(Match::from_packet(p, in_port), rng);
+    const Match a = generalize(b, rng);
+    if (!a.subsumes(b)) continue;  // generalization almost always subsumes; skip rare non-cases
+    ++checked;
+    if (b.matches(p, in_port)) {
+      EXPECT_TRUE(a.matches(p, in_port))
+          << a.to_string() << " subsumes " << b.to_string() << " but missed " << p.summary();
+    }
+  }
+  EXPECT_GT(checked, 2000);
+}
+
+TEST(MatchProperty, SubsumesIsReflexiveAndAntisymmetricOnWildcards) {
+  Rng rng(404);
+  for (int i = 0; i < 1000; ++i) {
+    const Match m = generalize(Match::from_packet(random_packet(rng), 1), rng);
+    EXPECT_TRUE(m.subsumes(m));
+    EXPECT_TRUE(m.strictly_equals(m));
+  }
+}
+
+TEST(MatchProperty, WireRoundTripPreservesSemantics) {
+  Rng rng(505);
+  for (int i = 0; i < 1000; ++i) {
+    const pkt::Packet p = random_packet(rng);
+    const Match original = generalize(Match::from_packet(p, 2), rng);
+    ByteWriter w;
+    original.encode(w);
+    ByteReader r(w.bytes());
+    const Match decoded = Match::decode(r);
+    EXPECT_TRUE(original.strictly_equals(decoded));
+    EXPECT_EQ(decoded.matches(p, 2), original.matches(p, 2));
+  }
+}
+
+TEST(MatchProperty, WildcardAllSubsumesEverything) {
+  Rng rng(606);
+  const Match all = Match::wildcard_all();
+  for (int i = 0; i < 500; ++i) {
+    const Match m = generalize(Match::from_packet(random_packet(rng), 1), rng);
+    EXPECT_TRUE(all.subsumes(m));
+    EXPECT_EQ(m.subsumes(all), m.wildcards == wc::kAll);
+  }
+}
+
+}  // namespace
+}  // namespace attain::ofp

@@ -1,0 +1,66 @@
+#include "attain/monitor/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::monitor {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, ComputesMoments) {
+  const Summary s = summarize({2.0, 4.0, 6.0});
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Summary, SingleSampleHasZeroStddev) {
+  const Summary s = summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"throughput", "94.3"});
+  table.add_row({"x", "1"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("throughput"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(text.find("|---"), std::string::npos);
+  // All rows same width.
+  std::size_t first_len = text.find('\n');
+  std::size_t pos = 0;
+  for (std::string_view rest = text; !rest.empty();) {
+    const std::size_t nl = rest.find('\n');
+    if (nl == std::string_view::npos) break;
+    EXPECT_EQ(nl, first_len) << "row " << pos;
+    rest = rest.substr(nl + 1);
+    ++pos;
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+}
+
+TEST(TextTable, NumOrStarUsesPaperConvention) {
+  EXPECT_EQ(TextTable::num_or_star(std::nullopt), "*");
+  EXPECT_EQ(TextTable::num_or_star(2.5, 1), "2.5");
+}
+
+}  // namespace
+}  // namespace attain::monitor

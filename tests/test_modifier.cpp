@@ -1,0 +1,247 @@
+#include "attain/inject/modifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ofp/codec.hpp"
+
+namespace attain::inject {
+namespace {
+
+struct Fixture {
+  lang::DequeStore storage;
+  Rng rng{7};
+  monitor::Monitor monitor;
+  lang::InFlightMessage original;
+  ModifierContext ctx;
+  std::uint64_t id_counter{100};
+  std::uint32_t xid_counter{200};
+
+  Fixture() {
+    original.connection =
+        ConnectionId{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 0}};
+    original.direction = lang::Direction::ControllerToSwitch;
+    original.source = original.connection.controller;
+    original.destination = original.connection.sw;
+    original.id = 1;
+    ofp::FlowMod mod;
+    mod.match = ofp::Match::wildcard_all();
+    mod.idle_timeout = 10;
+    mod.actions = ofp::output_to(std::uint16_t{2});
+    const ofp::Message payload = ofp::make_message(9, std::move(mod));
+    original.wire = ofp::encode(payload);
+    original.payload = payload;
+
+    ctx.original = &original;
+    ctx.storage = &storage;
+    ctx.rng = &rng;
+    ctx.monitor = &monitor;
+    ctx.next_id = [this] { return ++id_counter; };
+    ctx.next_xid = [this] { return ++xid_counter; };
+  }
+
+  std::vector<OutMessage> out_list() { return {OutMessage{original, 0}}; }
+};
+
+TEST(Modifier, DropClearsList) {
+  Fixture fx;
+  auto out = fx.out_list();
+  EXPECT_TRUE(apply_action(lang::ActDrop{}, out, fx.ctx));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageDropped), 1u);
+}
+
+TEST(Modifier, PassKeepsList) {
+  Fixture fx;
+  auto out = fx.out_list();
+  EXPECT_TRUE(apply_action(lang::ActPass{}, out, fx.ctx));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Modifier, DelayAccumulates) {
+  Fixture fx;
+  auto out = fx.out_list();
+  apply_action(lang::ActDelay{kSecond}, out, fx.ctx);
+  apply_action(lang::ActDelay{2 * kSecond}, out, fx.ctx);
+  EXPECT_EQ(out[0].delay, 3 * kSecond);
+}
+
+TEST(Modifier, DuplicateAddsCopyWithFreshId) {
+  Fixture fx;
+  auto out = fx.out_list();
+  apply_action(lang::ActDuplicate{}, out, fx.ctx);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].message.wire, out[0].message.wire);
+  EXPECT_EQ(out[1].message.id, 101u);
+}
+
+TEST(Modifier, DropThenDuplicateReintroducesOriginal) {
+  // Algorithm 1's list semantics: actions are ordered; duplicating after a
+  // drop appends a fresh copy of msg_in.
+  Fixture fx;
+  auto out = fx.out_list();
+  apply_action(lang::ActDrop{}, out, fx.ctx);
+  apply_action(lang::ActDuplicate{}, out, fx.ctx);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Modifier, ModifyFieldRewritesPayloadAndWire) {
+  Fixture fx;
+  auto out = fx.out_list();
+  EXPECT_TRUE(apply_action(lang::ActModifyField{"idle_timeout", lang::Expr::literal_int(99)},
+                           out, fx.ctx));
+  const ofp::Message decoded = ofp::decode(out[0].message.wire);
+  EXPECT_EQ(decoded.as<ofp::FlowMod>().idle_timeout, 99);
+  EXPECT_EQ(out[0].message.payload->as<ofp::FlowMod>().idle_timeout, 99);
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageModified), 1u);
+}
+
+TEST(Modifier, ModifyFieldValueCanReadMessage) {
+  // modify(msg, "hard_timeout", msg.field("idle_timeout") + 5)
+  Fixture fx;
+  auto out = fx.out_list();
+  const lang::ExprPtr value = lang::Expr::binary(
+      lang::BinaryOp::Add, lang::Expr::field("idle_timeout"), lang::Expr::literal_int(5));
+  EXPECT_TRUE(apply_action(lang::ActModifyField{"hard_timeout", value}, out, fx.ctx));
+  EXPECT_EQ(ofp::decode(out[0].message.wire).as<ofp::FlowMod>().hard_timeout, 15);
+}
+
+TEST(Modifier, ModifyMissingFieldFails) {
+  Fixture fx;
+  auto out = fx.out_list();
+  EXPECT_FALSE(
+      apply_action(lang::ActModifyField{"bogus", lang::Expr::literal_int(1)}, out, fx.ctx));
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::EvalError), 1u);
+}
+
+TEST(Modifier, RedirectRewritesDestination) {
+  Fixture fx;
+  auto out = fx.out_list();
+  lang::ActModifyMeta redirect;
+  redirect.new_destination = EntityId{EntityKind::Switch, 3};
+  apply_action(redirect, out, fx.ctx);
+  EXPECT_EQ(out[0].message.destination, (EntityId{EntityKind::Switch, 3}));
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageRedirected), 1u);
+}
+
+TEST(Modifier, FuzzMutatesWire) {
+  Fixture fx;
+  auto out = fx.out_list();
+  const Bytes before = out[0].message.wire;
+  apply_action(lang::ActFuzz{16}, out, fx.ctx);
+  EXPECT_NE(out[0].message.wire, before);
+  EXPECT_EQ(out[0].message.wire.size(), before.size());
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageFuzzed), 1u);
+}
+
+TEST(Modifier, InjectAppendsFreshMessage) {
+  Fixture fx;
+  auto out = fx.out_list();
+  lang::ActInject inject;
+  inject.message = ofp::make_message(0, ofp::BarrierRequest{});
+  inject.direction = lang::Direction::SwitchToController;
+  apply_action(inject, out, fx.ctx);
+  ASSERT_EQ(out.size(), 2u);
+  const lang::InFlightMessage& injected = out[1].message;
+  EXPECT_EQ(injected.direction, lang::Direction::SwitchToController);
+  EXPECT_EQ(injected.source, fx.original.connection.sw);
+  EXPECT_EQ(injected.destination, fx.original.connection.controller);
+  EXPECT_EQ(injected.payload->type(), ofp::MsgType::BarrierRequest);
+  EXPECT_EQ(injected.payload->xid, 201u);  // fresh xid
+}
+
+TEST(Modifier, StoreAndReplayMessage) {
+  Fixture fx;
+  fx.storage.declare("replay");
+  auto out = fx.out_list();
+  // append(replay, msg): ActAppend with null value stores a snapshot.
+  EXPECT_TRUE(apply_action(lang::ActAppend{"replay", nullptr}, out, fx.ctx));
+  EXPECT_EQ(fx.storage.size("replay"), 1u);
+  // Later: send_front(replay) re-emits it with a new id.
+  auto out2 = fx.out_list();
+  EXPECT_TRUE(apply_action(lang::ActSendStored{"replay", false, true}, out2, fx.ctx));
+  ASSERT_EQ(out2.size(), 2u);
+  EXPECT_EQ(out2[1].message.wire, fx.original.wire);
+  EXPECT_EQ(fx.storage.size("replay"), 0u);  // consumed
+}
+
+TEST(Modifier, ReorderViaPrependShift) {
+  // §VIII-A reversal: PREPEND each message, then SHIFT+send yields reverse
+  // order. Simulate with three stored ids.
+  Fixture fx;
+  fx.storage.declare("stack");
+  for (int i = 0; i < 3; ++i) {
+    lang::InFlightMessage msg = fx.original;
+    msg.id = static_cast<std::uint64_t>(10 + i);
+    fx.ctx.original = &msg;
+    auto out = fx.out_list();
+    apply_action(lang::ActDrop{}, out, fx.ctx);          // hold the original back
+    apply_action(lang::ActPrepend{"stack", nullptr}, out, fx.ctx);
+  }
+  fx.ctx.original = &fx.original;
+  auto out = std::vector<OutMessage>{};
+  for (int i = 0; i < 3; ++i) {
+    apply_action(lang::ActSendStored{"stack", false, true}, out, fx.ctx);
+  }
+  ASSERT_EQ(out.size(), 3u);
+  // Prepend + shift = LIFO: newest (12) first.
+  // (ids are reassigned on send; check payload wire equality + count only)
+  EXPECT_EQ(fx.storage.size("stack"), 0u);
+}
+
+TEST(Modifier, SendStoredFromEmptyDequeFailsGracefully) {
+  Fixture fx;
+  fx.storage.declare("empty");
+  auto out = fx.out_list();
+  EXPECT_FALSE(apply_action(lang::ActSendStored{"empty", false, true}, out, fx.ctx));
+  EXPECT_EQ(out.size(), 1u);  // untouched
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::EvalError), 1u);
+}
+
+TEST(Modifier, SendStoredNonMessageFails) {
+  Fixture fx;
+  fx.storage.declare("numbers", {lang::Value{std::int64_t{5}}});
+  // (declare via DequeStore API so the value is an integer)
+  auto out = fx.out_list();
+  EXPECT_FALSE(apply_action(lang::ActSendStored{"numbers", false, true}, out, fx.ctx));
+}
+
+TEST(Modifier, ShiftPopDiscardResults) {
+  Fixture fx;
+  fx.storage.declare("d", {lang::Value{std::int64_t{1}}, lang::Value{std::int64_t{2}}});
+  auto out = fx.out_list();
+  EXPECT_TRUE(apply_action(lang::ActShift{"d"}, out, fx.ctx));
+  EXPECT_TRUE(apply_action(lang::ActPop{"d"}, out, fx.ctx));
+  EXPECT_EQ(fx.storage.size("d"), 0u);
+  EXPECT_FALSE(apply_action(lang::ActShift{"d"}, out, fx.ctx));  // empty now
+}
+
+TEST(Modifier, PrependEvaluatesExpressions) {
+  Fixture fx;
+  fx.storage.declare("counter", {lang::Value{std::int64_t{4}}});
+  auto out = fx.out_list();
+  const lang::ExprPtr inc = lang::Expr::binary(
+      lang::BinaryOp::Add, lang::Expr::deque_front("counter"), lang::Expr::literal_int(1));
+  EXPECT_TRUE(apply_action(lang::ActPrepend{"counter", inc}, out, fx.ctx));
+  EXPECT_EQ(std::get<std::int64_t>(fx.storage.examine_front("counter")), 5);
+}
+
+TEST(Modifier, ReadActionsRecordToMonitor) {
+  Fixture fx;
+  auto out = fx.out_list();
+  EXPECT_TRUE(apply_action(lang::ActReadMeta{"note-a"}, out, fx.ctx));
+  EXPECT_TRUE(apply_action(lang::ActRead{"note-b"}, out, fx.ctx));
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::ActionExecuted), 2u);
+  // read(msg) on an unreadable payload fails.
+  fx.original.payload.reset();
+  EXPECT_FALSE(apply_action(lang::ActRead{}, out, fx.ctx));
+}
+
+TEST(Modifier, GoToIsNotAModifierAction) {
+  Fixture fx;
+  auto out = fx.out_list();
+  EXPECT_FALSE(apply_action(lang::ActGoTo{"x"}, out, fx.ctx));
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::EvalError), 1u);
+}
+
+}  // namespace
+}  // namespace attain::inject

@@ -1,0 +1,119 @@
+#include "attain/monitor/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::monitor {
+namespace {
+
+Event observed(ofp::MsgType type, ConnectionId conn, lang::Direction dir) {
+  Event e;
+  e.kind = EventKind::MessageObserved;
+  e.connection = conn;
+  e.direction = dir;
+  e.message_type = type;
+  return e;
+}
+
+ConnectionId conn(std::uint32_t sw) {
+  return ConnectionId{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, sw}};
+}
+
+TEST(Monitor, CountsByKind) {
+  Monitor mon;
+  mon.record(observed(ofp::MsgType::FlowMod, conn(0), lang::Direction::ControllerToSwitch));
+  Event drop;
+  drop.kind = EventKind::MessageDropped;
+  mon.record(drop);
+  mon.record(drop);
+  EXPECT_EQ(mon.count(EventKind::MessageObserved), 1u);
+  EXPECT_EQ(mon.count(EventKind::MessageDropped), 2u);
+  EXPECT_EQ(mon.count(EventKind::SysCmd), 0u);
+  EXPECT_EQ(mon.events().size(), 3u);
+}
+
+TEST(Monitor, CountsByTypeAndConnection) {
+  Monitor mon;
+  mon.record(observed(ofp::MsgType::FlowMod, conn(0), lang::Direction::ControllerToSwitch));
+  mon.record(observed(ofp::MsgType::FlowMod, conn(1), lang::Direction::ControllerToSwitch));
+  mon.record(observed(ofp::MsgType::PacketIn, conn(0), lang::Direction::SwitchToController));
+  EXPECT_EQ(mon.observed_of_type(ofp::MsgType::FlowMod), 2u);
+  EXPECT_EQ(mon.observed_of_type(ofp::MsgType::PacketIn), 1u);
+  EXPECT_EQ(mon.observed_of_type(ofp::MsgType::Hello), 0u);
+  EXPECT_EQ(mon.observed_on(conn(0), lang::Direction::ControllerToSwitch), 1u);
+  EXPECT_EQ(mon.observed_on(conn(0), lang::Direction::SwitchToController), 1u);
+  EXPECT_EQ(mon.observed_on(conn(1), lang::Direction::SwitchToController), 0u);
+}
+
+TEST(Monitor, CountersOnlyModeDropsEventBodies) {
+  Monitor mon;
+  mon.set_counters_only(true);
+  mon.record(observed(ofp::MsgType::FlowMod, conn(0), lang::Direction::ControllerToSwitch));
+  EXPECT_TRUE(mon.events().empty());
+  EXPECT_EQ(mon.count(EventKind::MessageObserved), 1u);
+  EXPECT_EQ(mon.observed_of_type(ofp::MsgType::FlowMod), 1u);
+}
+
+TEST(Monitor, SelectFiltersEvents) {
+  Monitor mon;
+  Event rule_hit;
+  rule_hit.kind = EventKind::RuleMatched;
+  rule_hit.rule = "phi1";
+  mon.record(rule_hit);
+  rule_hit.rule = "phi2";
+  mon.record(rule_hit);
+  const auto phi2 = mon.select([](const Event& e) { return e.rule == "phi2"; });
+  ASSERT_EQ(phi2.size(), 1u);
+  EXPECT_EQ(phi2[0].rule, "phi2");
+}
+
+TEST(Monitor, ClearResetsEverything) {
+  Monitor mon;
+  mon.record(observed(ofp::MsgType::FlowMod, conn(0), lang::Direction::ControllerToSwitch));
+  mon.clear();
+  EXPECT_TRUE(mon.events().empty());
+  EXPECT_EQ(mon.count(EventKind::MessageObserved), 0u);
+  EXPECT_EQ(mon.observed_of_type(ofp::MsgType::FlowMod), 0u);
+}
+
+TEST(Monitor, CsvExportEscapesAndEnumerates) {
+  Monitor mon;
+  Event e = observed(ofp::MsgType::FlowMod, conn(2), lang::Direction::ControllerToSwitch);
+  e.message_id = 7;
+  e.length = 80;
+  mon.record(e);
+  Event drop;
+  drop.kind = EventKind::MessageDropped;
+  drop.rule = "phi1";
+  drop.state = "sigma1";
+  drop.detail = "with \"quotes\", and commas";
+  mon.record(drop);
+  const std::string csv = mon.to_csv();
+  // Header + two rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("time_s,kind,"), std::string::npos);
+  EXPECT_NE(csv.find("observed"), std::string::npos);
+  EXPECT_NE(csv.find("FLOW_MOD"), std::string::npos);
+  EXPECT_NE(csv.find("phi1"), std::string::npos);
+  // Quotes doubled, detail quoted (comma-safe).
+  EXPECT_NE(csv.find("\"with \"\"quotes\"\", and commas\""), std::string::npos);
+}
+
+TEST(Monitor, TextRenderingAndTruncation) {
+  Monitor mon;
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.kind = EventKind::StateTransition;
+    e.state = "sigma1";
+    e.detail = "-> sigma2";
+    e.time = i * kSecond;
+    mon.record(e);
+  }
+  const std::string full = mon.to_text();
+  EXPECT_NE(full.find("state-transition"), std::string::npos);
+  EXPECT_NE(full.find("sigma1"), std::string::npos);
+  const std::string truncated = mon.to_text(2);
+  EXPECT_NE(truncated.find("3 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace attain::monitor

@@ -1,0 +1,126 @@
+#include "ofp/actions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace attain::ofp {
+namespace {
+
+std::vector<Action> representative_actions() {
+  return {
+      ActionOutput{3, 0xffff},
+      ActionOutput{static_cast<std::uint16_t>(Port::Flood), 128},
+      ActionSetVlanVid{100},
+      ActionSetVlanPcp{5},
+      ActionStripVlan{},
+      ActionSetDlSrc{pkt::MacAddress::from_u64(0xaabbcc)},
+      ActionSetDlDst{pkt::MacAddress::from_u64(0xddeeff)},
+      ActionSetNwSrc{pkt::Ipv4Address::parse("10.1.2.3")},
+      ActionSetNwDst{pkt::Ipv4Address::parse("10.4.5.6")},
+      ActionSetNwTos{0x2e},
+      ActionSetTpSrc{8080},
+      ActionSetTpDst{443},
+      ActionEnqueue{2, 7},
+  };
+}
+
+class ActionRoundTrip : public ::testing::TestWithParam<Action> {};
+
+TEST_P(ActionRoundTrip, EncodeDecodeIdentity) {
+  const Action& original = GetParam();
+  ByteWriter w;
+  encode_action(w, original);
+  EXPECT_EQ(w.size(), action_wire_size(original));
+  ByteReader r(w.bytes());
+  const Action decoded = decode_action(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST_P(ActionRoundTrip, WireSizeIsEightAligned) {
+  EXPECT_EQ(action_wire_size(GetParam()) % 8, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActionTypes, ActionRoundTrip,
+                         ::testing::ValuesIn(representative_actions()),
+                         [](const ::testing::TestParamInfo<Action>& info) {
+                           return "type" + std::to_string(static_cast<int>(
+                                               action_type(info.param))) +
+                                  "_" + std::to_string(info.index);
+                         });
+
+TEST(Actions, ListRoundTripPreservesOrder) {
+  const ActionList original = representative_actions();
+  ByteWriter w;
+  encode_actions(w, original);
+  EXPECT_EQ(w.size(), actions_wire_size(original));
+  ByteReader r(w.bytes());
+  const ActionList decoded = decode_actions(r, w.size());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Actions, DecodeRejectsBadLengths) {
+  ByteWriter w;
+  w.u16(0);  // type Output
+  w.u16(4);  // length < 8
+  w.u32(0);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(decode_action(r), DecodeError);
+
+  ByteWriter w2;
+  w2.u16(99);  // unknown type
+  w2.u16(8);
+  w2.u32(0);
+  ByteReader r2(w2.bytes());
+  EXPECT_THROW(decode_action(r2), DecodeError);
+}
+
+TEST(Actions, RewritesApplyToPacketHeaders) {
+  pkt::TcpHeader tcp;
+  tcp.src_port = 1000;
+  tcp.dst_port = 80;
+  pkt::Packet p = pkt::make_tcp(pkt::MacAddress::from_u64(1), pkt::MacAddress::from_u64(2),
+                                pkt::Ipv4Address::parse("10.0.0.1"),
+                                pkt::Ipv4Address::parse("10.0.0.2"), tcp, 100, 0);
+  apply_rewrite(ActionSetDlSrc{pkt::MacAddress::from_u64(0x99)}, p);
+  apply_rewrite(ActionSetNwDst{pkt::Ipv4Address::parse("9.9.9.9")}, p);
+  apply_rewrite(ActionSetNwTos{0x10}, p);
+  apply_rewrite(ActionSetTpDst{8443}, p);
+  apply_rewrite(ActionSetVlanVid{42}, p);
+  EXPECT_EQ(p.eth.src, pkt::MacAddress::from_u64(0x99));
+  EXPECT_EQ(p.ipv4->dst.to_string(), "9.9.9.9");
+  EXPECT_EQ(p.ipv4->tos, 0x10);
+  EXPECT_EQ(p.tcp->dst_port, 8443);
+  EXPECT_EQ(p.eth.vlan_id, 42);
+  apply_rewrite(ActionStripVlan{}, p);
+  EXPECT_EQ(p.eth.vlan_id, kVlanNone);
+  // Output/Enqueue are forwarding decisions: no header change.
+  pkt::Packet before = p;
+  apply_rewrite(ActionOutput{1, 0}, p);
+  apply_rewrite(ActionEnqueue{1, 0}, p);
+  EXPECT_EQ(p.eth.src, before.eth.src);
+}
+
+TEST(Actions, RewritesAreNoOpsWithoutMatchingLayer) {
+  // L3/L4 rewrites on an ARP frame must not crash or change anything.
+  pkt::Packet arp = pkt::make_arp_request(pkt::MacAddress::from_u64(1),
+                                          pkt::Ipv4Address::parse("10.0.0.1"),
+                                          pkt::Ipv4Address::parse("10.0.0.2"));
+  apply_rewrite(ActionSetNwSrc{pkt::Ipv4Address::parse("9.9.9.9")}, arp);
+  apply_rewrite(ActionSetTpSrc{1234}, arp);
+  EXPECT_EQ(arp.arp->sender_ip.to_string(), "10.0.0.1");
+}
+
+TEST(Actions, ToStringNamesReservedPorts) {
+  EXPECT_EQ(to_string(Action{ActionOutput{static_cast<std::uint16_t>(Port::Flood), 0}}),
+            "output(FLOOD)");
+  EXPECT_EQ(to_string(Action{ActionOutput{static_cast<std::uint16_t>(Port::Controller), 0}}),
+            "output(CONTROLLER)");
+  EXPECT_EQ(to_string(Action{ActionOutput{7, 0}}), "output(7)");
+  const std::string list = to_string(output_to(std::uint16_t{2}));
+  EXPECT_EQ(list, "[output(2)]");
+}
+
+}  // namespace
+}  // namespace attain::ofp

@@ -1,0 +1,170 @@
+#include "ofp/fields.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::ofp {
+namespace {
+
+FlowMod sample_flow_mod() {
+  FlowMod mod;
+  mod.match = Match::wildcard_all();
+  mod.match.wildcards &= ~(wc::kInPort | wc::kDlType);
+  mod.match.in_port = 3;
+  mod.match.dl_type = 0x0800;
+  mod.match.nw_src = pkt::Ipv4Address::parse("10.0.0.2");
+  mod.match.set_nw_src_wild_bits(0);
+  mod.command = FlowModCommand::Add;
+  mod.idle_timeout = 10;
+  mod.hard_timeout = 30;
+  mod.priority = 5;
+  mod.buffer_id = 42;
+  mod.cookie = 0xc0ffee;
+  mod.actions = output_to(std::uint16_t{2});
+  return mod;
+}
+
+TEST(Fields, FlowModScalarFields) {
+  const Message m = make_message(9, sample_flow_mod());
+  EXPECT_EQ(get_field(m, "xid"), FieldValue{9});
+  EXPECT_EQ(get_field(m, "command"), FieldValue{0});
+  EXPECT_EQ(get_field(m, "idle_timeout"), FieldValue{10});
+  EXPECT_EQ(get_field(m, "hard_timeout"), FieldValue{30});
+  EXPECT_EQ(get_field(m, "priority"), FieldValue{5});
+  EXPECT_EQ(get_field(m, "buffer_id"), FieldValue{42});
+  EXPECT_EQ(get_field(m, "cookie"), FieldValue{0xc0ffee});
+  EXPECT_EQ(get_field(m, "n_actions"), FieldValue{1});
+}
+
+TEST(Fields, FlowModMatchFields) {
+  const Message m = make_message(1, sample_flow_mod());
+  EXPECT_EQ(get_field(m, "match.in_port"), FieldValue{3});
+  EXPECT_EQ(get_field(m, "match.dl_type"), FieldValue{0x0800});
+  EXPECT_EQ(get_field(m, "match.nw_src"),
+            FieldValue{pkt::Ipv4Address::parse("10.0.0.2").value});
+  EXPECT_EQ(get_field(m, "match.nw_src_wild_bits"), FieldValue{0});
+}
+
+TEST(Fields, MissingFieldReturnsNullopt) {
+  const Message m = make_message(1, sample_flow_mod());
+  EXPECT_FALSE(get_field(m, "no_such_field").has_value());
+  EXPECT_FALSE(get_field(m, "match.bogus").has_value());
+  const Message hello = make_message(1, Hello{});
+  EXPECT_FALSE(get_field(hello, "buffer_id").has_value());
+  EXPECT_TRUE(get_field(hello, "xid").has_value());
+}
+
+TEST(Fields, PacketInFields) {
+  PacketIn pin;
+  pin.buffer_id = 7;
+  pin.total_len = 128;
+  pin.in_port = 2;
+  pin.reason = PacketInReason::Action;
+  const Message m = make_message(1, std::move(pin));
+  EXPECT_EQ(get_field(m, "buffer_id"), FieldValue{7});
+  EXPECT_EQ(get_field(m, "total_len"), FieldValue{128});
+  EXPECT_EQ(get_field(m, "in_port"), FieldValue{2});
+  EXPECT_EQ(get_field(m, "reason"), FieldValue{1});
+}
+
+TEST(Fields, FlowRemovedAndStatsFields) {
+  FlowRemoved removed;
+  removed.reason = FlowRemovedReason::HardTimeout;
+  removed.packet_count = 55;
+  const Message m = make_message(1, std::move(removed));
+  EXPECT_EQ(get_field(m, "reason"), FieldValue{1});
+  EXPECT_EQ(get_field(m, "packet_count"), FieldValue{55});
+
+  const Message stats = make_message(2, StatsRequest{0, DescStatsRequest{}});
+  EXPECT_EQ(get_field(stats, "stats_type"), FieldValue{0});
+}
+
+TEST(Fields, SetFieldRewritesFlowMod) {
+  Message m = make_message(1, sample_flow_mod());
+  EXPECT_TRUE(set_field(m, "idle_timeout", 99));
+  EXPECT_EQ(m.as<FlowMod>().idle_timeout, 99);
+  EXPECT_TRUE(set_field(m, "match.nw_src", pkt::Ipv4Address::parse("1.1.1.1").value));
+  EXPECT_EQ(m.as<FlowMod>().match.nw_src.to_string(), "1.1.1.1");
+  EXPECT_TRUE(set_field(m, "command", 3));
+  EXPECT_EQ(m.as<FlowMod>().command, FlowModCommand::Delete);
+  EXPECT_FALSE(set_field(m, "bogus", 1));
+}
+
+TEST(Fields, SetFieldOnPacketInAndOut) {
+  Message pin = make_message(1, PacketIn{});
+  EXPECT_TRUE(set_field(pin, "in_port", 9));
+  EXPECT_EQ(pin.as<PacketIn>().in_port, 9);
+
+  Message out = make_message(1, PacketOut{});
+  EXPECT_TRUE(set_field(out, "buffer_id", 1234));
+  EXPECT_EQ(out.as<PacketOut>().buffer_id, 1234u);
+  EXPECT_FALSE(set_field(out, "reason", 1));
+}
+
+TEST(Fields, SetXidWorksForAnyType) {
+  Message m = make_message(1, BarrierRequest{});
+  EXPECT_TRUE(set_field(m, "xid", 777));
+  EXPECT_EQ(m.xid, 777u);
+}
+
+TEST(Fields, FieldNamesEnumerateReflectedPaths) {
+  const auto names = field_names(MsgType::FlowMod);
+  EXPECT_NE(std::find(names.begin(), names.end(), "command"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "match.nw_dst"), names.end());
+  // Every advertised FLOW_MOD field must actually resolve.
+  const Message m = make_message(1, sample_flow_mod());
+  for (const std::string& name : names) {
+    EXPECT_TRUE(get_field(m, name).has_value()) << name;
+  }
+}
+
+/// Property: for every message type, each advertised field path resolves on
+/// a default-constructed instance of that type.
+class FieldNamesProperty : public ::testing::TestWithParam<MsgType> {};
+
+Message default_message(MsgType type) {
+  switch (type) {
+    case MsgType::Hello: return make_message(1, Hello{});
+    case MsgType::Error: return make_message(1, Error{});
+    case MsgType::EchoRequest: return make_message(1, EchoRequest{});
+    case MsgType::EchoReply: return make_message(1, EchoReply{});
+    case MsgType::Vendor: return make_message(1, Vendor{});
+    case MsgType::FeaturesRequest: return make_message(1, FeaturesRequest{});
+    case MsgType::FeaturesReply: return make_message(1, FeaturesReply{});
+    case MsgType::GetConfigRequest: return make_message(1, GetConfigRequest{});
+    case MsgType::GetConfigReply: return make_message(1, GetConfigReply{});
+    case MsgType::SetConfig: return make_message(1, SetConfig{});
+    case MsgType::PacketIn: return make_message(1, PacketIn{});
+    case MsgType::FlowRemoved: return make_message(1, FlowRemoved{});
+    case MsgType::PortStatus: return make_message(1, PortStatus{});
+    case MsgType::PacketOut: return make_message(1, PacketOut{});
+    case MsgType::FlowMod: return make_message(1, FlowMod{});
+    case MsgType::PortMod: return make_message(1, PortMod{});
+    case MsgType::StatsRequest: return make_message(1, StatsRequest{0, DescStatsRequest{}});
+    case MsgType::StatsReply: return make_message(1, StatsReply{0, DescStats{}});
+    case MsgType::BarrierRequest: return make_message(1, BarrierRequest{});
+    case MsgType::BarrierReply: return make_message(1, BarrierReply{});
+  }
+  return make_message(1, Hello{});
+}
+
+TEST_P(FieldNamesProperty, AdvertisedFieldsResolve) {
+  const MsgType type = GetParam();
+  const Message m = default_message(type);
+  for (const std::string& name : field_names(type)) {
+    EXPECT_TRUE(get_field(m, name).has_value()) << to_string(type) << "." << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, FieldNamesProperty,
+    ::testing::Values(MsgType::Hello, MsgType::Error, MsgType::EchoRequest, MsgType::EchoReply,
+                      MsgType::Vendor, MsgType::FeaturesRequest, MsgType::FeaturesReply,
+                      MsgType::GetConfigRequest, MsgType::GetConfigReply, MsgType::SetConfig,
+                      MsgType::PacketIn, MsgType::FlowRemoved, MsgType::PortStatus,
+                      MsgType::PacketOut, MsgType::FlowMod, MsgType::PortMod,
+                      MsgType::StatsRequest, MsgType::StatsReply, MsgType::BarrierRequest,
+                      MsgType::BarrierReply),
+    [](const ::testing::TestParamInfo<MsgType>& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace attain::ofp

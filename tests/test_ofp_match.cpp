@@ -1,0 +1,138 @@
+#include "ofp/match.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace attain::ofp {
+namespace {
+
+pkt::Packet sample_icmp() {
+  return pkt::make_icmp_echo(pkt::MacAddress::from_u64(0x2), pkt::MacAddress::from_u64(0x3),
+                             pkt::Ipv4Address::parse("10.0.0.2"),
+                             pkt::Ipv4Address::parse("10.0.0.3"), pkt::IcmpType::EchoRequest, 1, 1,
+                             0);
+}
+
+pkt::Packet sample_tcp() {
+  pkt::TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 80;
+  return pkt::make_tcp(pkt::MacAddress::from_u64(0x1), pkt::MacAddress::from_u64(0x6),
+                       pkt::Ipv4Address::parse("10.0.0.1"), pkt::Ipv4Address::parse("10.0.0.6"),
+                       tcp, 100, 0);
+}
+
+TEST(Match, WildcardAllMatchesEverything) {
+  const Match m = Match::wildcard_all();
+  EXPECT_TRUE(m.matches(sample_icmp(), 1));
+  EXPECT_TRUE(m.matches(sample_tcp(), 7));
+  EXPECT_FALSE(m.is_exact());
+}
+
+TEST(Match, FromPacketIsExactAndMatchesSource) {
+  const pkt::Packet p = sample_tcp();
+  const Match m = Match::from_packet(p, 3);
+  EXPECT_TRUE(m.is_exact());
+  EXPECT_TRUE(m.matches(p, 3));
+  EXPECT_FALSE(m.matches(p, 4));  // different in_port
+  pkt::Packet other = p;
+  other.tcp->dst_port = 81;
+  EXPECT_FALSE(m.matches(other, 3));
+  other = p;
+  other.ipv4->src = pkt::Ipv4Address::parse("10.0.0.9");
+  EXPECT_FALSE(m.matches(other, 3));
+}
+
+TEST(Match, FromPacketOnArpUsesOpcodeAndIps) {
+  const pkt::Packet arp = pkt::make_arp_request(pkt::MacAddress::from_u64(2),
+                                                pkt::Ipv4Address::parse("10.0.0.2"),
+                                                pkt::Ipv4Address::parse("10.0.0.3"));
+  const Match m = Match::from_packet(arp, 1);
+  EXPECT_EQ(m.nw_proto, 1);  // ARP request opcode
+  EXPECT_EQ(m.nw_src.to_string(), "10.0.0.2");
+  EXPECT_EQ(m.nw_dst.to_string(), "10.0.0.3");
+  EXPECT_TRUE(m.matches(arp, 1));
+}
+
+TEST(Match, L2OnlyWildcardsIpFields) {
+  // Ryu simple_switch's match shape: IP fields invisible.
+  const pkt::Packet p = sample_tcp();
+  const Match m = Match::l2_only(3, p.eth.src, p.eth.dst);
+  EXPECT_TRUE(m.matches(p, 3));
+  pkt::Packet different_ips = p;
+  different_ips.ipv4->src = pkt::Ipv4Address::parse("192.168.9.9");
+  different_ips.tcp->dst_port = 9999;
+  EXPECT_TRUE(m.matches(different_ips, 3));  // L2 match ignores L3/L4
+  EXPECT_GE(m.nw_src_wild_bits(), 32u);
+  EXPECT_GE(m.nw_dst_wild_bits(), 32u);
+}
+
+TEST(Match, CidrWildcardBitsMaskLowBits) {
+  Match m = Match::wildcard_all();
+  m.wildcards &= ~wc::kDlType;
+  m.dl_type = 0x0800;
+  m.nw_dst = pkt::Ipv4Address::parse("10.0.0.0");
+  m.set_nw_dst_wild_bits(8);  // /24 prefix
+  pkt::Packet p = sample_tcp();
+  p.ipv4->dst = pkt::Ipv4Address::parse("10.0.0.77");
+  EXPECT_TRUE(m.matches(p, 1));
+  p.ipv4->dst = pkt::Ipv4Address::parse("10.0.1.77");
+  EXPECT_FALSE(m.matches(p, 1));
+}
+
+TEST(Match, SubsumesGeneralOverSpecific) {
+  const pkt::Packet p = sample_tcp();
+  const Match exact = Match::from_packet(p, 3);
+  const Match l2 = Match::l2_only(3, p.eth.src, p.eth.dst);
+  const Match all = Match::wildcard_all();
+  EXPECT_TRUE(all.subsumes(exact));
+  EXPECT_TRUE(all.subsumes(l2));
+  EXPECT_TRUE(l2.subsumes(exact));
+  EXPECT_FALSE(exact.subsumes(l2));
+  EXPECT_FALSE(exact.subsumes(all));
+  EXPECT_TRUE(exact.subsumes(exact));
+}
+
+TEST(Match, StrictEqualityRequiresSameWildcards) {
+  const pkt::Packet p = sample_tcp();
+  const Match a = Match::from_packet(p, 3);
+  Match b = a;
+  EXPECT_TRUE(a.strictly_equals(b));
+  b.wildcards |= wc::kTpDst;
+  EXPECT_FALSE(a.strictly_equals(b));
+}
+
+TEST(Match, WireRoundTrip) {
+  const Match original = Match::from_packet(sample_tcp(), 3);
+  ByteWriter w;
+  original.encode(w);
+  EXPECT_EQ(w.size(), kMatchSize);
+  ByteReader r(w.bytes());
+  const Match decoded = Match::decode(r);
+  EXPECT_TRUE(original.strictly_equals(decoded));
+  EXPECT_EQ(decoded.wildcards, original.wildcards);
+  EXPECT_EQ(decoded.nw_src, original.nw_src);
+}
+
+TEST(Match, ToStringShowsOnlyConcreteFields) {
+  EXPECT_EQ(Match::wildcard_all().to_string(), "match{*}");
+  const Match m = Match::l2_only(3, pkt::MacAddress::from_u64(1), pkt::MacAddress::from_u64(2));
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("in_port=3"), std::string::npos);
+  EXPECT_EQ(s.find("nw_src"), std::string::npos);
+}
+
+TEST(Match, IcmpTypeCodeInTpPorts) {
+  const pkt::Packet p = sample_icmp();
+  const Match m = Match::from_packet(p, 2);
+  EXPECT_EQ(m.tp_src, static_cast<std::uint16_t>(pkt::IcmpType::EchoRequest));
+  EXPECT_EQ(m.tp_dst, 0);
+  EXPECT_TRUE(m.matches(p, 2));
+  pkt::Packet reply = p;
+  reply.icmp->type = pkt::IcmpType::EchoReply;
+  EXPECT_FALSE(m.matches(reply, 2));  // different ICMP type
+}
+
+}  // namespace
+}  // namespace attain::ofp

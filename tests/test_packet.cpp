@@ -1,0 +1,173 @@
+#include "packet/codec.hpp"
+#include "packet/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace attain::pkt {
+namespace {
+
+TEST(MacAddress, ParsesAndFormats) {
+  const MacAddress mac = MacAddress::parse("00:1a:2B:3c:4D:5e");
+  EXPECT_EQ(mac.to_string(), "00:1a:2b:3c:4d:5e");
+  EXPECT_EQ(mac.to_u64(), 0x001a2b3c4d5eULL);
+  EXPECT_EQ(MacAddress::from_u64(0x001a2b3c4d5eULL), mac);
+}
+
+TEST(MacAddress, RejectsMalformed) {
+  EXPECT_THROW(MacAddress::parse("00:11:22:33:44"), std::invalid_argument);
+  EXPECT_THROW(MacAddress::parse("00-11-22-33-44-55"), std::invalid_argument);
+  EXPECT_THROW(MacAddress::parse("zz:11:22:33:44:55"), std::invalid_argument);
+}
+
+TEST(MacAddress, BroadcastAndMulticast) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  EXPECT_TRUE(MacAddress::parse("01:00:5e:00:00:01").is_multicast());
+  EXPECT_FALSE(MacAddress::parse("00:00:00:00:00:01").is_multicast());
+}
+
+TEST(Ipv4Address, ParsesAndFormats) {
+  const Ipv4Address ip = Ipv4Address::parse("10.0.1.255");
+  EXPECT_EQ(ip.value, 0x0a0001ffu);
+  EXPECT_EQ(ip.to_string(), "10.0.1.255");
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_THROW(Ipv4Address::parse("10.0.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("10.0.1.256"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("10.0.1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(Packet, WireSizeAccountsForHeaders) {
+  Packet arp = make_arp_request(MacAddress::from_u64(1), Ipv4Address{1}, Ipv4Address{2});
+  EXPECT_EQ(arp.wire_size(), 14u + 28u);
+
+  Packet icmp = make_icmp_echo(MacAddress::from_u64(1), MacAddress::from_u64(2), Ipv4Address{1},
+                               Ipv4Address{2}, IcmpType::EchoRequest, 1, 1, 0);
+  EXPECT_EQ(icmp.wire_size(), 14u + 20u + 8u + 56u);
+
+  TcpHeader tcp;
+  Packet seg = make_tcp(MacAddress::from_u64(1), MacAddress::from_u64(2), Ipv4Address{1},
+                        Ipv4Address{2}, tcp, 1460, 0);
+  EXPECT_EQ(seg.wire_size(), 14u + 20u + 20u + 1460u);
+}
+
+TEST(Codec, EncodedSizeMatchesWireSize) {
+  Packet icmp = make_icmp_echo(MacAddress::from_u64(1), MacAddress::from_u64(2), Ipv4Address{1},
+                               Ipv4Address{2}, IcmpType::EchoRequest, 7, 9, 1234);
+  EXPECT_EQ(encode(icmp).size(), icmp.wire_size());
+}
+
+TEST(Codec, ArpRoundTrip) {
+  const Packet original = make_arp_reply(MacAddress::parse("00:00:00:00:00:03"),
+                                         Ipv4Address::parse("10.0.0.3"),
+                                         MacAddress::parse("00:00:00:00:00:02"),
+                                         Ipv4Address::parse("10.0.0.2"));
+  const Packet decoded = decode(encode(original));
+  ASSERT_TRUE(decoded.arp.has_value());
+  EXPECT_EQ(decoded.arp->op, ArpOp::Reply);
+  EXPECT_EQ(decoded.arp->sender_ip.to_string(), "10.0.0.3");
+  EXPECT_EQ(decoded.arp->target_mac.to_string(), "00:00:00:00:00:02");
+  EXPECT_EQ(decoded.eth.src, original.eth.src);
+}
+
+TEST(Codec, IcmpRoundTripPreservesTag) {
+  const Packet original =
+      make_icmp_echo(MacAddress::from_u64(0x111111), MacAddress::from_u64(0x222222),
+                     Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("10.0.0.6"),
+                     IcmpType::EchoReply, 42, 17, 0xfeedface12345678ULL);
+  const Packet decoded = decode(encode(original));
+  ASSERT_TRUE(decoded.icmp.has_value());
+  EXPECT_EQ(decoded.icmp->type, IcmpType::EchoReply);
+  EXPECT_EQ(decoded.icmp->id, 42);
+  EXPECT_EQ(decoded.icmp->seq, 17);
+  EXPECT_EQ(decoded.payload_size, 56u);
+  EXPECT_EQ(decoded.payload_tag, 0xfeedface12345678ULL);
+  ASSERT_TRUE(decoded.ipv4.has_value());
+  EXPECT_EQ(decoded.ipv4->proto, static_cast<std::uint8_t>(IpProto::Icmp));
+}
+
+TEST(Codec, TcpRoundTrip) {
+  TcpHeader tcp;
+  tcp.src_port = 50000;
+  tcp.dst_port = 5001;
+  tcp.seq = 123456;
+  tcp.ack = 654321;
+  tcp.flags = kTcpPsh | kTcpAck;
+  tcp.window = 0xbeef;
+  const Packet original = make_tcp(MacAddress::from_u64(1), MacAddress::from_u64(6),
+                                   Ipv4Address::parse("10.0.0.1"),
+                                   Ipv4Address::parse("10.0.0.6"), tcp, 1460, 99);
+  const Packet decoded = decode(encode(original));
+  ASSERT_TRUE(decoded.tcp.has_value());
+  EXPECT_EQ(decoded.tcp->src_port, 50000);
+  EXPECT_EQ(decoded.tcp->dst_port, 5001);
+  EXPECT_EQ(decoded.tcp->seq, 123456u);
+  EXPECT_EQ(decoded.tcp->ack, 654321u);
+  EXPECT_EQ(decoded.tcp->flags, kTcpPsh | kTcpAck);
+  EXPECT_EQ(decoded.payload_size, 1460u);
+  EXPECT_EQ(decoded.payload_tag, 99u);
+}
+
+TEST(Codec, VlanTagRoundTrip) {
+  Packet p = make_icmp_echo(MacAddress::from_u64(1), MacAddress::from_u64(2), Ipv4Address{1},
+                            Ipv4Address{2}, IcmpType::EchoRequest, 1, 1, 0);
+  p.eth.vlan_id = 100;
+  p.eth.vlan_pcp = 5;
+  const Packet decoded = decode(encode(p));
+  EXPECT_EQ(decoded.eth.vlan_id, 100);
+  EXPECT_EQ(decoded.eth.vlan_pcp, 5);
+  EXPECT_EQ(decoded.eth.ether_type, static_cast<std::uint16_t>(EtherType::Ipv4));
+}
+
+TEST(Codec, TruncatedFrameThrows) {
+  const Packet p = make_icmp_echo(MacAddress::from_u64(1), MacAddress::from_u64(2), Ipv4Address{1},
+                                  Ipv4Address{2}, IcmpType::EchoRequest, 1, 1, 0);
+  Bytes wire = encode(p);
+  wire.resize(10);
+  EXPECT_THROW(decode(wire), DecodeError);
+}
+
+TEST(Codec, TruncatedPayloadStillParsesHeaders) {
+  // PACKET_IN data is truncated to miss_send_len; headers must survive.
+  const Packet p = make_icmp_echo(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                                  Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("10.0.0.2"),
+                                  IcmpType::EchoRequest, 3, 4, 77);
+  Bytes wire = encode(p);
+  wire.resize(60);  // eth+ip+icmp = 42 bytes; keep some payload
+  const Packet decoded = decode(wire);
+  ASSERT_TRUE(decoded.icmp.has_value());
+  EXPECT_EQ(decoded.icmp->seq, 4);
+  EXPECT_EQ(decoded.ipv4->src.to_string(), "10.0.0.1");
+  EXPECT_LT(decoded.payload_size, 56u);
+}
+
+TEST(Codec, InetChecksumMatchesKnownVector) {
+  // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(inet_checksum(data), 0x220d);
+}
+
+TEST(Codec, Ipv4HeaderChecksumValidates) {
+  const Packet p = make_icmp_echo(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                                  Ipv4Address::parse("10.1.2.3"), Ipv4Address::parse("10.4.5.6"),
+                                  IcmpType::EchoRequest, 1, 1, 0);
+  const Bytes wire = encode(p);
+  // IPv4 header starts after 14-byte Ethernet header; checksum over the
+  // header including its checksum field must be zero.
+  EXPECT_EQ(inet_checksum(std::span(wire).subspan(14, 20)), 0);
+}
+
+TEST(Summary, MentionsProtocolAndEndpoints) {
+  const Packet p = make_icmp_echo(MacAddress::from_u64(1), MacAddress::from_u64(2),
+                                  Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("10.0.0.6"),
+                                  IcmpType::EchoRequest, 1, 5, 0);
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("ICMP"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.6"), std::string::npos);
+  EXPECT_NE(s.find("seq=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace attain::pkt

@@ -1,0 +1,102 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace attain::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(30, [&] { order.push_back(3); });
+  sched.at(10, [&] { order.push_back(1); });
+  sched.at(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakInInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.at(100, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, AfterSchedulesRelativeToNow) {
+  Scheduler sched;
+  SimTime fired_at = -1;
+  sched.at(50, [&] {
+    sched.after(25, [&] { fired_at = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(Scheduler, PastTimeThrows) {
+  Scheduler sched;
+  sched.at(10, [&] {
+    EXPECT_THROW(sched.at(5, [] {}), std::invalid_argument);
+  });
+  sched.run();
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle handle = sched.at(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, HandleNotPendingAfterFire) {
+  Scheduler sched;
+  EventHandle handle = sched.at(10, [] {});
+  sched.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // safe no-op
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  std::vector<SimTime> fired;
+  sched.at(10, [&] { fired.push_back(10); });
+  sched.at(20, [&] { fired.push_back(20); });
+  sched.at(30, [&] { fired.push_back(30); });
+  sched.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sched.now(), 20);
+  sched.run_until(100);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sched.now(), 100);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sched.after(1, chain);
+  };
+  sched.after(1, chain);
+  sched.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sched.now(), 10);
+  EXPECT_EQ(sched.events_executed(), 10u);
+}
+
+TEST(Scheduler, SecondsHelperConverts) {
+  EXPECT_EQ(seconds(1.0), kSecond);
+  EXPECT_EQ(seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond * 3), 3.0);
+}
+
+}  // namespace
+}  // namespace attain::sim

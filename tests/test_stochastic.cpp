@@ -1,0 +1,138 @@
+// The stochastic extension (rand() expressions) the paper lists as future
+// work in §VIII-A: deterministic replayability from the seeded RNG, correct
+// distribution, and end-to-end behaviour of probabilistic drop rules.
+#include <gtest/gtest.h>
+
+#include "attain/dsl/parser.hpp"
+#include "attain/dsl/templates.hpp"
+#include "attain/inject/proxy.hpp"
+#include "ofp/codec.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::lang {
+namespace {
+
+TEST(Random, UniformWithinBound) {
+  Rng rng(5);
+  EvalContext ctx;
+  ctx.rng = &rng;
+  const ExprPtr e = Expr::random(10);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = std::get<std::int64_t>(evaluate(*e, ctx));
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(Random, RequiresRngInContext) {
+  EvalContext ctx;  // no RNG
+  EXPECT_THROW(evaluate(*Expr::random(10), ctx), EvalError);
+}
+
+TEST(Random, DeterministicAcrossRuns) {
+  std::vector<std::int64_t> a;
+  std::vector<std::int64_t> b;
+  for (auto* out : {&a, &b}) {
+    Rng rng(42);
+    EvalContext ctx;
+    ctx.rng = &rng;
+    const ExprPtr e = Expr::random(1000);
+    for (int i = 0; i < 50; ++i) {
+      out->push_back(std::get<std::int64_t>(evaluate(*e, ctx)));
+    }
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Random, NeedsNoCapabilities) {
+  EXPECT_TRUE(required_capabilities(*Expr::random(100)).empty());
+}
+
+TEST(Random, ToStringShowsBound) {
+  EXPECT_EQ(Expr::random(100)->to_string(), "rand(100)");
+}
+
+}  // namespace
+}  // namespace attain::lang
+
+namespace attain::scenario {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  topo::SystemModel model = make_enterprise_model();
+  monitor::Monitor monitor;
+  inject::RuntimeInjector injector{sched, model, monitor};
+  std::size_t delivered{0};
+  std::vector<std::unique_ptr<std::pair<dsl::CompiledAttack, model::CapabilityMap>>> armed;
+
+  Fixture() {
+    const ConnectionId conn{model.require("c1"), model.require("s1")};
+    injector.attach_connection(conn, [this](Bytes) { ++delivered; }, [](Bytes) {});
+  }
+
+  void arm(const std::string& source) {
+    const dsl::Document doc = dsl::parse_document(source, model);
+    auto holder = std::make_unique<std::pair<dsl::CompiledAttack, model::CapabilityMap>>();
+    holder->second = doc.capabilities;
+    holder->first = dsl::compile(doc.attacks.at(0), model, holder->second);
+    injector.arm(holder->first, holder->second);
+    armed.push_back(std::move(holder));
+  }
+
+  void send_n_echoes(unsigned n) {
+    const ConnectionId conn{model.require("c1"), model.require("s1")};
+    auto input = injector.switch_side_input(conn);
+    for (unsigned i = 0; i < n; ++i) {
+      input(ofp::encode(ofp::make_message(i + 1, ofp::EchoRequest{})));
+    }
+  }
+};
+
+TEST(Stochastic, DropRateApproximatesProbability) {
+  Fixture fx;
+  fx.arm(dsl::templates::stochastic_drop({"c1", "s1"}, 30));
+  fx.send_n_echoes(2000);
+  const double drop_rate = 1.0 - static_cast<double>(fx.delivered) / 2000.0;
+  EXPECT_NEAR(drop_rate, 0.30, 0.04);
+}
+
+TEST(Stochastic, ZeroAndFullProbabilityEdges) {
+  {
+    Fixture fx;
+    fx.arm(dsl::templates::stochastic_drop({"c1", "s1"}, 0));
+    fx.send_n_echoes(200);
+    EXPECT_EQ(fx.delivered, 200u);  // rand(100) < 0 never true
+  }
+  {
+    Fixture fx;
+    fx.arm(dsl::templates::stochastic_drop({"c1", "s1"}, 100));
+    fx.send_n_echoes(200);
+    EXPECT_EQ(fx.delivered, 0u);  // rand(100) < 100 always true
+  }
+}
+
+TEST(Stochastic, RandParsesInDsl) {
+  const topo::SystemModel model = make_enterprise_model();
+  const std::string source = R"(
+attacker { on (c1, s1) grant tls; }
+attack coin {
+  start state s {
+    rule flip on (c1, s1) { when rand(2) == 1; do { drop(msg); } }
+  }
+}
+)";
+  const dsl::Document doc = dsl::parse_document(source, model);
+  EXPECT_NO_THROW(dsl::compile(doc.attacks.at(0), model, doc.capabilities));
+  // Non-positive bound rejected at parse time.
+  const std::string bad = R"(
+attacker { on (c1, s1) grant tls; }
+attack broken {
+  start state s { rule r on (c1, s1) { when rand(0) == 0; do { drop(msg); } } }
+}
+)";
+  EXPECT_THROW(dsl::parse_document(bad, model), dsl::ParseError);
+}
+
+}  // namespace
+}  // namespace attain::scenario

@@ -1,0 +1,125 @@
+// Attack state-graph templates (§X future work): every template must emit
+// DSL that parses, compiles against the enterprise model, and has the
+// advertised structure.
+#include "attain/dsl/templates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attain/dsl/compiler.hpp"
+#include "attain/dsl/parser.hpp"
+#include "scenario/enterprise.hpp"
+
+namespace attain::dsl::templates {
+namespace {
+
+struct Fixture {
+  topo::SystemModel model = scenario::make_enterprise_model();
+
+  CompiledAttack compile_template(const std::string& source) {
+    const Document doc = parse_document(source, model);
+    return compile(doc.attacks.at(0), model, doc.capabilities);
+  }
+};
+
+TEST(Templates, SuppressTypeGeneratesFig10Shape) {
+  Fixture fx;
+  const std::string source = suppress_type(
+      {{"c1", "s1"}, {"c1", "s2"}, {"c1", "s3"}, {"c1", "s4"}}, "FLOW_MOD");
+  const CompiledAttack attack = fx.compile_template(source);
+  ASSERT_EQ(attack.states.size(), 1u);
+  EXPECT_EQ(attack.states[0].rules.size(), 4u);
+  EXPECT_EQ(attack.source.absorbing_states().size(), 1u);
+  // Matches the hand-written Fig. 10 description rule-for-rule.
+  const Document hand = parse_document(scenario::flow_mod_suppression_dsl(), fx.model);
+  EXPECT_EQ(hand.attacks[0].states[0].rules.size(), attack.states[0].rules.size());
+}
+
+TEST(Templates, SuppressTypeForOtherMessageTypes) {
+  Fixture fx;
+  for (const char* type : {"PACKET_IN", "PACKET_OUT", "ECHO_REQUEST", "BARRIER_REQUEST"}) {
+    const CompiledAttack attack = fx.compile_template(suppress_type({{"c1", "s1"}}, type));
+    EXPECT_EQ(attack.states[0].rules.size(), 1u) << type;
+  }
+}
+
+TEST(Templates, CountGateHasSingleStateAndCounter) {
+  Fixture fx;
+  const CompiledAttack attack =
+      fx.compile_template(count_gate({"c1", "s2"}, "FLOW_MOD", 7));
+  EXPECT_EQ(attack.states.size(), 1u);
+  ASSERT_EQ(attack.deques.size(), 1u);
+  EXPECT_EQ(attack.deques[0].first, "counter");
+  EXPECT_EQ(attack.states[0].rules.size(), 2u);
+}
+
+TEST(Templates, DelayAllCompilesUnderTlsGrant) {
+  // The template grants only Γ_TLS — delaying needs no payload access.
+  Fixture fx;
+  const CompiledAttack attack =
+      fx.compile_template(delay_all({{"c1", "s1"}, {"c1", "s3"}}, 0.25));
+  EXPECT_EQ(attack.states[0].rules.size(), 2u);
+  const auto& rule = attack.states[0].rules[0].rule;
+  const auto* delay = std::get_if<lang::ActDelay>(&rule.actions.at(0));
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->delay, seconds(0.25));
+  EXPECT_FALSE(attack.states[0].rules[0].required.contains(model::Capability::ReadMessage));
+}
+
+TEST(Templates, InterruptAfterGeneratesFig12Shape) {
+  Fixture fx;
+  const CompiledAttack attack =
+      fx.compile_template(interrupt_after({"c1", "s2"}, "FLOW_MOD"));
+  ASSERT_EQ(attack.states.size(), 3u);
+  const lang::StateGraph graph = attack.source.graph();
+  EXPECT_EQ(graph.edges.size(), 2u);
+  EXPECT_EQ(attack.source.absorbing_states(), std::vector<std::string>{"sigma3"});
+}
+
+TEST(Templates, StochasticDropUsesRandAndTlsGrant) {
+  Fixture fx;
+  const CompiledAttack attack = fx.compile_template(stochastic_drop({"c1", "s1"}, 30));
+  ASSERT_EQ(attack.states.size(), 1u);
+  const std::string rendered = attack.states[0].rules[0].rule.conditional->to_string();
+  EXPECT_NE(rendered.find("rand(100)"), std::string::npos);
+  EXPECT_NE(rendered.find("30"), std::string::npos);
+}
+
+TEST(Templates, FuzzTypeRequiresFuzzCapability) {
+  Fixture fx;
+  const CompiledAttack attack = fx.compile_template(fuzz_type({"c1", "s1"}, "FLOW_MOD", 12));
+  const auto& rule = attack.states[0].rules.at(0);
+  EXPECT_TRUE(rule.required.contains(model::Capability::FuzzMessage));
+  const auto* fuzz = std::get_if<lang::ActFuzz>(&rule.rule.actions.at(0));
+  ASSERT_NE(fuzz, nullptr);
+  EXPECT_EQ(fuzz->bit_flips, 12u);
+}
+
+TEST(Templates, ReplayAmplifierUnrollsReplayCount) {
+  Fixture fx;
+  const CompiledAttack attack =
+      fx.compile_template(replay_amplifier({"c1", "s1"}, "ECHO_REQUEST", 3));
+  ASSERT_EQ(attack.states.size(), 1u);
+  // amplify rule: pass + 3 peek-sends.
+  const auto& amplify = attack.states[0].rules.at(0).rule;
+  EXPECT_EQ(amplify.actions.size(), 4u);
+  unsigned peeks = 0;
+  for (const auto& action : amplify.actions) {
+    if (const auto* send = std::get_if<lang::ActSendStored>(&action)) {
+      EXPECT_FALSE(send->remove);  // peek variants keep the batch stored
+      ++peeks;
+    }
+  }
+  EXPECT_EQ(peeks, 3u);
+}
+
+TEST(Templates, GeneratedSourcesAreReadableDsl) {
+  // Every template's output should be printable, commented DSL a human can
+  // audit — check a couple of markers rather than exact text.
+  const std::string source = count_gate({"c1", "s2"}, "FLOW_MOD", 5);
+  EXPECT_NE(source.find("attacker {"), std::string::npos);
+  EXPECT_NE(source.find("attack count_gate_5"), std::string::npos);
+  EXPECT_NE(source.find("deque counter = [0];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace attain::dsl::templates

@@ -1,0 +1,176 @@
+#include "topo/system_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/enterprise.hpp"
+
+namespace attain::topo {
+namespace {
+
+SystemModel tiny_model() {
+  SystemModel model;
+  model.add_controller(ControllerSpec{"c1", pkt::Ipv4Address::parse("10.0.100.1"), 6633});
+  model.add_switch(SwitchSpec{"s1", 1, 4, false});
+  model.add_switch(SwitchSpec{"s2", 2, 4, false});
+  model.add_host(HostSpec{"h1", pkt::MacAddress::from_u64(1), pkt::Ipv4Address::parse("10.0.0.1")});
+  model.add_host(HostSpec{"h2", pkt::MacAddress::from_u64(2), pkt::Ipv4Address::parse("10.0.0.2")});
+  model.add_link(model.require("h1"), std::nullopt, model.require("s1"), 1);
+  model.add_link(model.require("s1"), 3, model.require("s2"), 1);
+  model.add_link(model.require("h2"), std::nullopt, model.require("s2"), 2);
+  model.add_control_connection(model.require("c1"), model.require("s1"));
+  model.add_control_connection(model.require("c1"), model.require("s2"));
+  return model;
+}
+
+TEST(SystemModel, ValidModelValidates) {
+  EXPECT_NO_THROW(tiny_model().validate());
+}
+
+TEST(SystemModel, RequiresAtLeastOneController) {
+  SystemModel model;
+  model.add_switch(SwitchSpec{"s1", 1, 4, false});
+  model.add_host(HostSpec{"h1", pkt::MacAddress::from_u64(1), pkt::Ipv4Address{1}});
+  model.add_host(HostSpec{"h2", pkt::MacAddress::from_u64(2), pkt::Ipv4Address{2}});
+  EXPECT_THROW(model.validate(), ModelError);
+}
+
+TEST(SystemModel, RequiresTwoHosts) {
+  SystemModel model;
+  model.add_controller(ControllerSpec{"c1", pkt::Ipv4Address{1}, 6633});
+  model.add_switch(SwitchSpec{"s1", 1, 4, false});
+  model.add_host(HostSpec{"h1", pkt::MacAddress::from_u64(1), pkt::Ipv4Address{1}});
+  EXPECT_THROW(model.validate(), ModelError);
+}
+
+TEST(SystemModel, RejectsDuplicateNames) {
+  SystemModel model;
+  model.add_controller(ControllerSpec{"c1", pkt::Ipv4Address{1}, 6633});
+  EXPECT_THROW(model.add_switch(SwitchSpec{"c1", 1, 4, false}), ModelError);
+}
+
+TEST(SystemModel, RejectsDuplicateDpids) {
+  SystemModel model = tiny_model();
+  model.add_switch(SwitchSpec{"s3", 1, 4, false});  // dpid 1 again
+  model.add_control_connection(model.require("c1"), model.require("s3"));
+  EXPECT_THROW(model.validate(), ModelError);
+}
+
+TEST(SystemModel, RejectsPortConflicts) {
+  SystemModel model = tiny_model();
+  EXPECT_THROW(model.add_link(model.require("s1"), 1, model.require("s2"), 3), ModelError);
+  EXPECT_THROW(model.add_link(model.require("s1"), 9, model.require("s2"), 3), ModelError);
+}
+
+TEST(SystemModel, RejectsHostWithPortOrDoubleAttach) {
+  SystemModel model = tiny_model();
+  model.add_host(HostSpec{"h3", pkt::MacAddress::from_u64(3), pkt::Ipv4Address{3}});
+  EXPECT_THROW(model.add_link(model.require("h3"), 1, model.require("s1"), 2), ModelError);
+  EXPECT_THROW(model.add_link(model.require("h1"), std::nullopt, model.require("s1"), 2),
+               ModelError);
+}
+
+TEST(SystemModel, RejectsControllerInDataPlane) {
+  SystemModel model = tiny_model();
+  EXPECT_THROW(model.add_link(model.require("c1"), std::nullopt, model.require("s1"), 2),
+               ModelError);
+}
+
+TEST(SystemModel, RejectsUnconnectedSwitch) {
+  SystemModel model = tiny_model();
+  model.add_switch(SwitchSpec{"s9", 9, 4, false});
+  EXPECT_THROW(model.validate(), ModelError);
+}
+
+TEST(SystemModel, RejectsDuplicateControlConnection) {
+  SystemModel model = tiny_model();
+  EXPECT_THROW(model.add_control_connection(model.require("c1"), model.require("s1")),
+               ModelError);
+}
+
+TEST(SystemModel, LookupsResolveNamesAndAddresses) {
+  const SystemModel model = tiny_model();
+  EXPECT_EQ(model.require("s2").kind, EntityKind::Switch);
+  EXPECT_FALSE(model.find("nope").has_value());
+  EXPECT_THROW(model.require("nope"), ModelError);
+  EXPECT_EQ(model.name_of(model.require("h2")), "h2");
+  EXPECT_EQ(model.host_by_ip(pkt::Ipv4Address::parse("10.0.0.2")), model.find("h2"));
+  EXPECT_EQ(model.host_by_mac(pkt::MacAddress::from_u64(1)), model.find("h1"));
+  EXPECT_FALSE(model.host_by_ip(pkt::Ipv4Address::parse("9.9.9.9")).has_value());
+}
+
+TEST(SystemModel, AttachmentAndPeers) {
+  const SystemModel model = tiny_model();
+  const auto [sw, port] = model.attachment_of(model.require("h1"));
+  EXPECT_EQ(model.name_of(sw), "s1");
+  EXPECT_EQ(port, 1);
+  const auto peer = model.peer_of(model.require("s1"), 3);
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(model.name_of(peer->entity), "s2");
+  EXPECT_EQ(peer->port, 1);
+  EXPECT_FALSE(model.peer_of(model.require("s1"), 4).has_value());
+}
+
+TEST(SystemModel, ShortestPathAcrossSwitches) {
+  const SystemModel model = tiny_model();
+  const auto path = model.shortest_path(model.require("h1"), model.require("h2"));
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(model.name_of(path[0].sw), "s1");
+  EXPECT_EQ(path[0].in_port, 1);
+  EXPECT_EQ(path[0].out_port, 3);
+  EXPECT_EQ(model.name_of(path[1].sw), "s2");
+  EXPECT_EQ(path[1].in_port, 1);
+  EXPECT_EQ(path[1].out_port, 2);
+}
+
+TEST(SystemModel, EnterpriseModelMatchesFig8) {
+  const SystemModel model = scenario::make_enterprise_model();
+  EXPECT_EQ(model.controllers().size(), 1u);
+  EXPECT_EQ(model.switches().size(), 4u);
+  EXPECT_EQ(model.hosts().size(), 6u);
+  EXPECT_EQ(model.control_connections().size(), 4u);
+
+  // h1 -> h6 must traverse all four switches (s1, s2, s3, s4).
+  const auto path = model.shortest_path(model.require("h1"), model.require("h6"));
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(model.name_of(path[0].sw), "s1");
+  EXPECT_EQ(model.name_of(path[1].sw), "s2");
+  EXPECT_EQ(model.name_of(path[2].sw), "s3");
+  EXPECT_EQ(model.name_of(path[3].sw), "s4");
+
+  // h2 -> h1 stays on s1 (the Table II "external to external" probe).
+  const auto short_path = model.shortest_path(model.require("h2"), model.require("h1"));
+  ASSERT_EQ(short_path.size(), 1u);
+  EXPECT_EQ(model.name_of(short_path[0].sw), "s1");
+}
+
+TEST(SystemModel, EnterpriseFailModeOption) {
+  scenario::EnterpriseOptions options;
+  options.s2_fail_secure = true;
+  const SystemModel model = scenario::make_enterprise_model(options);
+  EXPECT_TRUE(model.switch_at(model.require("s2")).fail_secure);
+  EXPECT_FALSE(model.switch_at(model.require("s1")).fail_secure);
+}
+
+TEST(SystemModel, MemoryComplexityScalesAsAnalyzed) {
+  // §VI-D: N_C can hold up to |C| x |S| relations.
+  SystemModel model;
+  for (int c = 0; c < 3; ++c) {
+    model.add_controller(ControllerSpec{"c" + std::to_string(c + 1),
+                                        pkt::Ipv4Address{static_cast<std::uint32_t>(c + 100)},
+                                        6633});
+  }
+  for (int s = 0; s < 5; ++s) {
+    model.add_switch(
+        SwitchSpec{"s" + std::to_string(s + 1), static_cast<std::uint64_t>(s + 1), 4, false});
+  }
+  for (int c = 0; c < 3; ++c) {
+    for (int s = 0; s < 5; ++s) {
+      model.add_control_connection(model.require("c" + std::to_string(c + 1)),
+                                   model.require("s" + std::to_string(s + 1)));
+    }
+  }
+  EXPECT_EQ(model.control_connections().size(), 15u);
+}
+
+}  // namespace
+}  // namespace attain::topo
