@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_control_plane_amplification"
+  "../bench/bench_control_plane_amplification.pdb"
+  "CMakeFiles/bench_control_plane_amplification.dir/bench_control_plane_amplification.cpp.o"
+  "CMakeFiles/bench_control_plane_amplification.dir/bench_control_plane_amplification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_plane_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_distributed_injection"
+  "../bench/bench_distributed_injection.pdb"
+  "CMakeFiles/bench_distributed_injection.dir/bench_distributed_injection.cpp.o"
+  "CMakeFiles/bench_distributed_injection.dir/bench_distributed_injection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_injector_overhead"
+  "../bench/bench_injector_overhead.pdb"
+  "CMakeFiles/bench_injector_overhead.dir/bench_injector_overhead.cpp.o"
+  "CMakeFiles/bench_injector_overhead.dir/bench_injector_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_injector_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

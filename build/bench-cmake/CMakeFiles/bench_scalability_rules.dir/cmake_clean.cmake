@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scalability_rules"
+  "../bench/bench_scalability_rules.pdb"
+  "CMakeFiles/bench_scalability_rules.dir/bench_scalability_rules.cpp.o"
+  "CMakeFiles/bench_scalability_rules.dir/bench_scalability_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_interruption"
+  "../bench/bench_table2_interruption.pdb"
+  "CMakeFiles/bench_table2_interruption.dir/bench_table2_interruption.cpp.o"
+  "CMakeFiles/bench_table2_interruption.dir/bench_table2_interruption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_interruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_interruption.dir/connection_interruption.cpp.o"
+  "CMakeFiles/connection_interruption.dir/connection_interruption.cpp.o.d"
+  "connection_interruption"
+  "connection_interruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_interruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

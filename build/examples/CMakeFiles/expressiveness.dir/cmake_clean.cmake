@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expressiveness.dir/expressiveness.cpp.o"
+  "CMakeFiles/expressiveness.dir/expressiveness.cpp.o.d"
+  "expressiveness"
+  "expressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

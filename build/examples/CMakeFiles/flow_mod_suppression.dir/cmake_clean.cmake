@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_mod_suppression.dir/flow_mod_suppression.cpp.o"
+  "CMakeFiles/flow_mod_suppression.dir/flow_mod_suppression.cpp.o.d"
+  "flow_mod_suppression"
+  "flow_mod_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_mod_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

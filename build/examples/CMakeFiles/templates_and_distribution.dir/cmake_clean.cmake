@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/templates_and_distribution.dir/templates_and_distribution.cpp.o"
+  "CMakeFiles/templates_and_distribution.dir/templates_and_distribution.cpp.o.d"
+  "templates_and_distribution"
+  "templates_and_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/templates_and_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

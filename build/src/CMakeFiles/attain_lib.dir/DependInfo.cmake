@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attain/dsl/codegen.cpp" "src/CMakeFiles/attain_lib.dir/attain/dsl/codegen.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/dsl/codegen.cpp.o.d"
+  "/root/repo/src/attain/dsl/compiler.cpp" "src/CMakeFiles/attain_lib.dir/attain/dsl/compiler.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/dsl/compiler.cpp.o.d"
+  "/root/repo/src/attain/dsl/lexer.cpp" "src/CMakeFiles/attain_lib.dir/attain/dsl/lexer.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/dsl/lexer.cpp.o.d"
+  "/root/repo/src/attain/dsl/parser.cpp" "src/CMakeFiles/attain_lib.dir/attain/dsl/parser.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/dsl/parser.cpp.o.d"
+  "/root/repo/src/attain/dsl/templates.cpp" "src/CMakeFiles/attain_lib.dir/attain/dsl/templates.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/dsl/templates.cpp.o.d"
+  "/root/repo/src/attain/inject/distributed.cpp" "src/CMakeFiles/attain_lib.dir/attain/inject/distributed.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/inject/distributed.cpp.o.d"
+  "/root/repo/src/attain/inject/executor.cpp" "src/CMakeFiles/attain_lib.dir/attain/inject/executor.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/inject/executor.cpp.o.d"
+  "/root/repo/src/attain/inject/modifier.cpp" "src/CMakeFiles/attain_lib.dir/attain/inject/modifier.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/inject/modifier.cpp.o.d"
+  "/root/repo/src/attain/inject/proxy.cpp" "src/CMakeFiles/attain_lib.dir/attain/inject/proxy.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/inject/proxy.cpp.o.d"
+  "/root/repo/src/attain/lang/actions.cpp" "src/CMakeFiles/attain_lib.dir/attain/lang/actions.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/lang/actions.cpp.o.d"
+  "/root/repo/src/attain/lang/attack.cpp" "src/CMakeFiles/attain_lib.dir/attain/lang/attack.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/lang/attack.cpp.o.d"
+  "/root/repo/src/attain/lang/conditional.cpp" "src/CMakeFiles/attain_lib.dir/attain/lang/conditional.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/lang/conditional.cpp.o.d"
+  "/root/repo/src/attain/lang/deque_store.cpp" "src/CMakeFiles/attain_lib.dir/attain/lang/deque_store.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/lang/deque_store.cpp.o.d"
+  "/root/repo/src/attain/lang/value.cpp" "src/CMakeFiles/attain_lib.dir/attain/lang/value.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/lang/value.cpp.o.d"
+  "/root/repo/src/attain/model/capabilities.cpp" "src/CMakeFiles/attain_lib.dir/attain/model/capabilities.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/model/capabilities.cpp.o.d"
+  "/root/repo/src/attain/monitor/metrics.cpp" "src/CMakeFiles/attain_lib.dir/attain/monitor/metrics.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/monitor/metrics.cpp.o.d"
+  "/root/repo/src/attain/monitor/monitor.cpp" "src/CMakeFiles/attain_lib.dir/attain/monitor/monitor.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/attain/monitor/monitor.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/attain_lib.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/attain_lib.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/attain_lib.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/common/rng.cpp.o.d"
+  "/root/repo/src/ctl/controller.cpp" "src/CMakeFiles/attain_lib.dir/ctl/controller.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ctl/controller.cpp.o.d"
+  "/root/repo/src/ctl/floodlight.cpp" "src/CMakeFiles/attain_lib.dir/ctl/floodlight.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ctl/floodlight.cpp.o.d"
+  "/root/repo/src/ctl/pox.cpp" "src/CMakeFiles/attain_lib.dir/ctl/pox.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ctl/pox.cpp.o.d"
+  "/root/repo/src/ctl/ryu.cpp" "src/CMakeFiles/attain_lib.dir/ctl/ryu.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ctl/ryu.cpp.o.d"
+  "/root/repo/src/dpl/host.cpp" "src/CMakeFiles/attain_lib.dir/dpl/host.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/dpl/host.cpp.o.d"
+  "/root/repo/src/dpl/iperf.cpp" "src/CMakeFiles/attain_lib.dir/dpl/iperf.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/dpl/iperf.cpp.o.d"
+  "/root/repo/src/dpl/ping.cpp" "src/CMakeFiles/attain_lib.dir/dpl/ping.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/dpl/ping.cpp.o.d"
+  "/root/repo/src/ofp/actions.cpp" "src/CMakeFiles/attain_lib.dir/ofp/actions.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ofp/actions.cpp.o.d"
+  "/root/repo/src/ofp/codec.cpp" "src/CMakeFiles/attain_lib.dir/ofp/codec.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ofp/codec.cpp.o.d"
+  "/root/repo/src/ofp/fields.cpp" "src/CMakeFiles/attain_lib.dir/ofp/fields.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ofp/fields.cpp.o.d"
+  "/root/repo/src/ofp/fuzz.cpp" "src/CMakeFiles/attain_lib.dir/ofp/fuzz.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ofp/fuzz.cpp.o.d"
+  "/root/repo/src/ofp/match.cpp" "src/CMakeFiles/attain_lib.dir/ofp/match.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ofp/match.cpp.o.d"
+  "/root/repo/src/ofp/messages.cpp" "src/CMakeFiles/attain_lib.dir/ofp/messages.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/ofp/messages.cpp.o.d"
+  "/root/repo/src/packet/codec.cpp" "src/CMakeFiles/attain_lib.dir/packet/codec.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/packet/codec.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/CMakeFiles/attain_lib.dir/packet/packet.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/packet/packet.cpp.o.d"
+  "/root/repo/src/scenario/enterprise.cpp" "src/CMakeFiles/attain_lib.dir/scenario/enterprise.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/scenario/enterprise.cpp.o.d"
+  "/root/repo/src/scenario/experiment.cpp" "src/CMakeFiles/attain_lib.dir/scenario/experiment.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/scenario/experiment.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/attain_lib.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/attain_lib.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/swsim/flow_table.cpp" "src/CMakeFiles/attain_lib.dir/swsim/flow_table.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/swsim/flow_table.cpp.o.d"
+  "/root/repo/src/swsim/switch.cpp" "src/CMakeFiles/attain_lib.dir/swsim/switch.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/swsim/switch.cpp.o.d"
+  "/root/repo/src/topo/system_model.cpp" "src/CMakeFiles/attain_lib.dir/topo/system_model.cpp.o" "gcc" "src/CMakeFiles/attain_lib.dir/topo/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attack_graph.cpp" "tests/CMakeFiles/attain_tests.dir/test_attack_graph.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_attack_graph.cpp.o.d"
+  "/root/repo/tests/test_bytes.cpp" "tests/CMakeFiles/attain_tests.dir/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_bytes.cpp.o.d"
+  "/root/repo/tests/test_capabilities.cpp" "tests/CMakeFiles/attain_tests.dir/test_capabilities.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_capabilities.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/attain_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/attain_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_conditional.cpp" "tests/CMakeFiles/attain_tests.dir/test_conditional.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_conditional.cpp.o.d"
+  "/root/repo/tests/test_controllers.cpp" "tests/CMakeFiles/attain_tests.dir/test_controllers.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_controllers.cpp.o.d"
+  "/root/repo/tests/test_deque_store.cpp" "tests/CMakeFiles/attain_tests.dir/test_deque_store.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_deque_store.cpp.o.d"
+  "/root/repo/tests/test_distributed.cpp" "tests/CMakeFiles/attain_tests.dir/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_distributed.cpp.o.d"
+  "/root/repo/tests/test_dsl_attacks.cpp" "tests/CMakeFiles/attain_tests.dir/test_dsl_attacks.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_dsl_attacks.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/attain_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_flow_table.cpp" "tests/CMakeFiles/attain_tests.dir/test_flow_table.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_flow_table.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/attain_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_host_dpl.cpp" "tests/CMakeFiles/attain_tests.dir/test_host_dpl.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_host_dpl.cpp.o.d"
+  "/root/repo/tests/test_integration_attacks.cpp" "tests/CMakeFiles/attain_tests.dir/test_integration_attacks.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_integration_attacks.cpp.o.d"
+  "/root/repo/tests/test_integration_baseline.cpp" "tests/CMakeFiles/attain_tests.dir/test_integration_baseline.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_integration_baseline.cpp.o.d"
+  "/root/repo/tests/test_integration_expressiveness.cpp" "tests/CMakeFiles/attain_tests.dir/test_integration_expressiveness.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_integration_expressiveness.cpp.o.d"
+  "/root/repo/tests/test_integration_interruption.cpp" "tests/CMakeFiles/attain_tests.dir/test_integration_interruption.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_integration_interruption.cpp.o.d"
+  "/root/repo/tests/test_integration_suppression.cpp" "tests/CMakeFiles/attain_tests.dir/test_integration_suppression.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_integration_suppression.cpp.o.d"
+  "/root/repo/tests/test_lang_actions.cpp" "tests/CMakeFiles/attain_tests.dir/test_lang_actions.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_lang_actions.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/attain_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/attain_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_match_properties.cpp" "tests/CMakeFiles/attain_tests.dir/test_match_properties.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_match_properties.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/attain_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_modifier.cpp" "tests/CMakeFiles/attain_tests.dir/test_modifier.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_modifier.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/attain_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_ofp_actions.cpp" "tests/CMakeFiles/attain_tests.dir/test_ofp_actions.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_ofp_actions.cpp.o.d"
+  "/root/repo/tests/test_ofp_codec.cpp" "tests/CMakeFiles/attain_tests.dir/test_ofp_codec.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_ofp_codec.cpp.o.d"
+  "/root/repo/tests/test_ofp_fields.cpp" "tests/CMakeFiles/attain_tests.dir/test_ofp_fields.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_ofp_fields.cpp.o.d"
+  "/root/repo/tests/test_ofp_fuzz.cpp" "tests/CMakeFiles/attain_tests.dir/test_ofp_fuzz.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_ofp_fuzz.cpp.o.d"
+  "/root/repo/tests/test_ofp_match.cpp" "tests/CMakeFiles/attain_tests.dir/test_ofp_match.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_ofp_match.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/attain_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/attain_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_port_status.cpp" "tests/CMakeFiles/attain_tests.dir/test_port_status.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_port_status.cpp.o.d"
+  "/root/repo/tests/test_proxy.cpp" "tests/CMakeFiles/attain_tests.dir/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_proxy.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/attain_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/attain_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/attain_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_stochastic.cpp" "tests/CMakeFiles/attain_tests.dir/test_stochastic.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_stochastic.cpp.o.d"
+  "/root/repo/tests/test_switch.cpp" "tests/CMakeFiles/attain_tests.dir/test_switch.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_switch.cpp.o.d"
+  "/root/repo/tests/test_templates.cpp" "tests/CMakeFiles/attain_tests.dir/test_templates.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_templates.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/attain_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/attain_tests.dir/test_topo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/attain_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
