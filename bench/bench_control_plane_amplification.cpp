@@ -3,11 +3,11 @@
 // bounds the extra control traffic at up to 2n + 2 messages (a PACKET_IN
 // and a PACKET_OUT per packet, plus the suppressed FLOW_MOD pair). This
 // bench measures control-plane message counts per delivered data packet
-// with and without the attack.
+// with and without the attack; the counters render through
+// RunResult::to_row() (the "ctl msgs/pkt" column is the amplification).
 #include <cstdio>
 
-#include "attain/monitor/metrics.hpp"
-#include "scenario/experiment.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace attain;
 using namespace attain::scenario;
@@ -15,34 +15,21 @@ using namespace attain::scenario;
 int main() {
   std::printf("Control-plane amplification under flow-mod suppression (E6)\n\n");
 
-  monitor::TextTable table({"controller", "attack", "PACKET_IN", "PACKET_OUT", "FLOW_MOD",
-                            "data pkts", "ctl msgs / data pkt"});
+  const std::vector<RunSpec> grid =
+      fig11_grid(/*ping_trials=*/10, /*iperf_trials=*/1, /*iperf_duration=*/2 * kSecond);
 
-  for (const ControllerKind kind :
-       {ControllerKind::Floodlight, ControllerKind::Pox, ControllerKind::Ryu}) {
-    for (const bool attack : {false, true}) {
-      SuppressionConfig config;
-      config.controller = kind;
-      config.attack_enabled = attack;
-      config.ping_trials = 10;
-      config.iperf_trials = 1;
-      config.iperf_duration = 2 * kSecond;
-      const SuppressionResult r = run_flow_mod_suppression(config);
-      const double data = static_cast<double>(std::max<std::uint64_t>(r.data_packets_delivered, 1));
-      const double ctl =
-          static_cast<double>(r.packet_ins + r.packet_outs + r.flow_mods_observed);
-      table.add_row({to_string(kind), attack ? "yes" : "no", std::to_string(r.packet_ins),
-                     std::to_string(r.packet_outs), std::to_string(r.flow_mods_observed),
-                     std::to_string(r.data_packets_delivered),
-                     monitor::TextTable::num(ctl / data, 3)});
-    }
-  }
+  sweep::SweepOptions options;
+  options.threads = 0;  // one per core
+  const sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
 
-  std::printf("%s\n", table.to_string().c_str());
+  std::vector<const RunResult*> results;
+  for (const auto& cell : report.cells) results.push_back(cell.result.get());
+
+  std::printf("%s\n", render_results_table(results).c_str());
   std::printf(
       "Expected shape: without the attack the ratio is ~0 (a handful of flow setups\n"
       "amortized over the whole stream); with it, Floodlight/Ryu pay PACKET_IN +\n"
       "PACKET_OUT per data packet per hop (ratio >> 1, toward the paper's 2n+2 bound\n"
       "per hop), and POX's counts collapse together with its data plane (DoS).\n");
-  return 0;
+  return report.failed() == 0 ? 0 : 1;
 }

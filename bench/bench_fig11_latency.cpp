@@ -4,11 +4,13 @@
 // Paper shape: baseline RTT ~milliseconds for all controllers; under
 // attack Floodlight/Ryu rise (per-packet controller round trips at every
 // hop) while POX is "*" — latency infinite, no echo ever returns.
+//
+// The six cells run through the sweep engine (one worker per core); rows
+// render through RunResult::to_row().
 #include <cstdio>
 #include <cstdlib>
 
-#include "attain/monitor/metrics.hpp"
-#include "scenario/experiment.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace attain;
 using namespace attain::scenario;
@@ -19,30 +21,20 @@ int main() {
   std::printf("(mode: %s; '*' = denial of service, latency infinite)\n\n",
               full ? "full paper parameters (60 trials)" : "quick (20 trials)");
 
-  monitor::TextTable table({"controller", "baseline RTT ms (mean)", "attack RTT ms (mean)",
-                            "attack loss %", "trials"});
+  const std::vector<RunSpec> grid =
+      fig11_grid(/*ping_trials=*/full ? 60 : 20, /*iperf_trials=*/0);
 
-  for (const ControllerKind kind :
-       {ControllerKind::Floodlight, ControllerKind::Pox, ControllerKind::Ryu}) {
-    SuppressionConfig config;
-    config.controller = kind;
-    config.ping_trials = full ? 60 : 20;
-    config.iperf_trials = 0;  // latency-only run
+  sweep::SweepOptions options;
+  options.threads = 0;  // one per core
+  options.on_progress = sweep::make_progress_printer();
+  const sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
 
-    config.attack_enabled = false;
-    const SuppressionResult baseline = run_flow_mod_suppression(config);
-    config.attack_enabled = true;
-    const SuppressionResult attacked = run_flow_mod_suppression(config);
+  std::vector<const RunResult*> results;
+  for (const auto& cell : report.cells) results.push_back(cell.result.get());
 
-    table.add_row({to_string(kind),
-                   monitor::TextTable::num_or_star(baseline.mean_latency_ms(), 3),
-                   monitor::TextTable::num_or_star(attacked.mean_latency_ms(), 3),
-                   monitor::TextTable::num(attacked.ping.loss_fraction() * 100.0, 1),
-                   std::to_string(config.ping_trials)});
-  }
-
-  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", render_results_table(results).c_str());
+  std::printf("%s\n\n", report.summary().c_str());
   std::printf("Expected shape: attack RTT well above baseline for Floodlight/Ryu\n"
               "(every echo takes controller round trips at each hop); POX '*' with 100%% loss.\n");
-  return 0;
+  return report.failed() == 0 ? 0 : 1;
 }

@@ -8,12 +8,13 @@
 // suppression destroys the packet along with the flow entry.
 //
 // Full-scale paper parameters (30 x 10 s trials) run with ATTAIN_FULL=1;
-// the default is a faster configuration with the same shape.
+// the default is a faster configuration with the same shape. The six cells
+// run through the sweep engine (one worker per core); rows render through
+// RunResult::to_row().
 #include <cstdio>
 #include <cstdlib>
 
-#include "attain/monitor/metrics.hpp"
-#include "scenario/experiment.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace attain;
 using namespace attain::scenario;
@@ -25,32 +26,22 @@ int main() {
   std::printf("(mode: %s; '*' = denial of service, zero throughput)\n\n",
               full ? "full paper parameters" : "quick (set ATTAIN_FULL=1 for 30x10s trials)");
 
-  monitor::TextTable table(
-      {"controller", "baseline Mbps (mean)", "attack Mbps (mean)", "trials", "suppressed FLOW_MODs"});
+  const std::vector<RunSpec> grid =
+      fig11_grid(/*ping_trials=*/0, /*iperf_trials=*/full ? 30u : 5u,
+                 /*iperf_duration=*/full ? 10 * kSecond : 3 * kSecond,
+                 /*iperf_gap=*/full ? 10 * kSecond : 2 * kSecond);
 
-  for (const ControllerKind kind :
-       {ControllerKind::Floodlight, ControllerKind::Pox, ControllerKind::Ryu}) {
-    SuppressionConfig config;
-    config.controller = kind;
-    config.ping_trials = 0;  // throughput-only run
-    config.iperf_trials = full ? 30 : 5;
-    config.iperf_duration = full ? 10 * kSecond : 3 * kSecond;
-    config.iperf_gap = full ? 10 * kSecond : 2 * kSecond;
+  sweep::SweepOptions options;
+  options.threads = 0;  // one per core
+  options.on_progress = sweep::make_progress_printer();
+  const sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
 
-    config.attack_enabled = false;
-    const SuppressionResult baseline = run_flow_mod_suppression(config);
-    config.attack_enabled = true;
-    const SuppressionResult attacked = run_flow_mod_suppression(config);
+  std::vector<const RunResult*> results;
+  for (const auto& cell : report.cells) results.push_back(cell.result.get());
 
-    table.add_row({to_string(kind),
-                   monitor::TextTable::num_or_star(baseline.mean_throughput_mbps()),
-                   monitor::TextTable::num_or_star(attacked.mean_throughput_mbps()),
-                   std::to_string(config.iperf_trials),
-                   std::to_string(attacked.flow_mods_suppressed)});
-  }
-
-  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", render_results_table(results).c_str());
+  std::printf("%s\n\n", report.summary().c_str());
   std::printf("Expected shape: baseline ~90+ Mbps everywhere; Floodlight/Ryu degrade >5x\n"
               "under attack; POX shows '*' (the paper's denial-of-service asterisk).\n");
-  return 0;
+  return report.failed() == 0 ? 0 : 1;
 }

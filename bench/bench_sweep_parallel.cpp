@@ -1,0 +1,74 @@
+// E8 — sweep engine: serial vs parallel execution of the paper's full
+// evaluation grid (the 6 Table II interruption cells + the 6 Fig. 11
+// suppression cells). Every cell is an independent deterministic
+// simulation, so the parallel run must produce byte-identical per-cell
+// results; this bench diffs the two JSON documents and reports the
+// wall-clock speedup (≈ min(threads, cores)× on multi-core hardware —
+// there is no shared state between cells to serialize on).
+//
+// ATTAIN_SWEEP_THREADS overrides the parallel thread count (default 4).
+#include <cstdio>
+#include <cstdlib>
+
+#include "sweep/sweep.hpp"
+
+using namespace attain;
+using namespace attain::scenario;
+using namespace attain::sweep;
+
+namespace {
+
+std::vector<RunSpec> evaluation_grid() {
+  std::vector<RunSpec> grid = table2_grid();
+  // Quick Fig. 11 parameters (same shape as bench_fig11_*'s default mode).
+  for (RunSpec& spec : fig11_grid(/*ping_trials=*/20, /*iperf_trials=*/2)) {
+    grid.push_back(std::move(spec));
+  }
+  return grid;
+}
+
+SweepReport run_with_threads(const std::vector<RunSpec>& grid, unsigned threads) {
+  SweepOptions options;
+  options.threads = threads;
+  options.on_progress = make_progress_printer();
+  return SweepRunner(options).run(grid);
+}
+
+}  // namespace
+
+int main() {
+  unsigned threads = 4;
+  if (const char* env = std::getenv("ATTAIN_SWEEP_THREADS")) {
+    threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (threads == 0) threads = 4;
+  }
+
+  const std::vector<RunSpec> grid = evaluation_grid();
+  std::printf("Sweep engine — %zu-cell Table II + Fig. 11 grid, serial vs %u threads\n\n",
+              grid.size(), threads);
+
+  std::printf("serial run (1 thread):\n");
+  const SweepReport serial = run_with_threads(grid, 1);
+  std::printf("  %s\n\n", serial.summary().c_str());
+
+  std::printf("parallel run (%u threads):\n", threads);
+  const SweepReport parallel = run_with_threads(grid, threads);
+  std::printf("  %s\n\n", parallel.summary().c_str());
+
+  const bool identical = serial.results_json() == parallel.results_json();
+  const double speedup =
+      parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds : 0.0;
+
+  std::printf("per-cell results bit-identical: %s\n", identical ? "yes" : "NO — BUG");
+  std::printf("wall-clock speedup: %.2fx (%.2fs serial -> %.2fs at %u threads)\n", speedup,
+              serial.wall_seconds, parallel.wall_seconds, threads);
+  std::printf("(speedup tracks min(threads, cores); a single-core host shows ~1x "
+              "while still proving determinism)\n");
+
+  if (!identical) {
+    std::printf("\nserial:   %s\nparallel: %s\n", serial.results_json().c_str(),
+                parallel.results_json().c_str());
+    return 1;
+  }
+  return 0;
+}

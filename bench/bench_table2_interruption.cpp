@@ -8,9 +8,13 @@
 // but a denial of service for legitimate internal traffic. Ryu never
 // triggers rule φ2 (its match wildcards the IP fields the conditional
 // inspects), so the attack never reaches σ3 and nothing is interrupted.
+//
+// The six cells run through the sweep engine (one worker per core) and
+// render via RunResult::to_row() plus the paper's transposed layout.
 #include <cstdio>
 
 #include "scenario/experiment.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace attain;
 using namespace attain::scenario;
@@ -18,24 +22,20 @@ using namespace attain::scenario;
 int main() {
   std::printf("Table II — connection interruption experiment (fail-safe vs fail-secure)\n\n");
 
-  std::vector<InterruptionResult> results;
-  for (const ControllerKind kind :
-       {ControllerKind::Floodlight, ControllerKind::Pox, ControllerKind::Ryu}) {
-    for (const bool secure : {false, true}) {
-      InterruptionConfig config;
-      config.controller = kind;
-      config.s2_fail_secure = secure;
-      results.push_back(run_connection_interruption(config));
-      std::printf("  ran %s / %s: attack %s sigma3\n", to_string(kind).c_str(),
-                  secure ? "fail-secure" : "fail-safe",
-                  results.back().attack_reached_sigma3 ? "reached" : "never reached");
-    }
-  }
+  sweep::SweepOptions options;
+  options.threads = 0;  // one per core
+  options.on_progress = sweep::make_progress_printer();
+  const sweep::SweepReport report = sweep::SweepRunner(options).run(table2_grid());
 
-  std::printf("\n%s\n", render_table2(results).c_str());
+  std::vector<const RunResult*> results;
+  for (const auto& cell : report.cells) results.push_back(cell.result.get());
+
+  std::printf("%s\n", render_results_table(results).c_str());
+  std::printf("%s\n", render_table2(results).c_str());
+  std::printf("%s\n\n", report.summary().c_str());
   std::printf(
       "Row 3 'yes' after interruption = unauthorized increased access (fail-safe cases).\n"
       "Row 4 'no' = denial of service against legitimate traffic (fail-secure cases).\n"
       "Ryu columns show no interruption at all: phi2 never fired.\n");
-  return 0;
+  return report.failed() == 0 ? 0 : 1;
 }

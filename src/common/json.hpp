@@ -1,0 +1,66 @@
+// Minimal field-order-stable JSON emitter. The sweep engine's determinism
+// guarantee ("the same grid produces byte-identical JSON at any thread
+// count") depends on emission being a pure function of the values written
+// and the order they are written in — so this writer keeps insertion order
+// (no map-based reordering), formats doubles with a fixed round-trippable
+// format, and never emits locale-dependent text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace attain {
+
+/// Streaming writer for one JSON document. Objects and arrays are opened
+/// and closed explicitly; keys appear exactly in call order.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a keyed member inside an object; follow with a value call or
+  /// begin_object()/begin_array().
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+  /// Optional field: emits JSON null when absent (the paper's "*" cells).
+  JsonWriter& field_or_null(const std::string& name, const std::optional<double>& v);
+
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (without surrounding quotes).
+  static std::string escape(const std::string& raw);
+  /// Fixed, locale-independent double format ("%.9g", with "-0" folded to
+  /// "0" so algebraically equal results emit identical bytes).
+  static std::string format_double(double v);
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  // One entry per open container: true while the next emission needs a
+  // leading comma.
+  std::vector<bool> need_comma_;
+  // True immediately after key(): the next emission is that key's value and
+  // takes no separator.
+  bool after_key_{false};
+};
+
+}  // namespace attain

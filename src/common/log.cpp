@@ -1,8 +1,23 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace attain {
+
+namespace {
+
+// Per-thread virtual clock: each sweep worker thread owns one Scheduler at
+// a time, and that scheduler's constructor installs the clock for exactly
+// that thread.
+thread_local std::function<SimTime()> t_clock;
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
 
 std::string to_string(LogLevel level) {
   switch (level) {
@@ -40,15 +55,16 @@ Logger::Logger() {
 
 void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
 
-void Logger::set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+void Logger::set_clock(std::function<SimTime()> clock) { t_clock = std::move(clock); }
 
 void Logger::emit(LogLevel level, std::string component, std::string message) {
   if (level < level_) return;
   LogRecord rec;
   rec.level = level;
-  rec.sim_time = clock_ ? clock_() : -1;
+  rec.sim_time = t_clock ? t_clock() : -1;
   rec.component = std::move(component);
   rec.message = std::move(message);
+  const std::lock_guard<std::mutex> lock(emit_mutex());
   if (sink_) sink_(rec);
 }
 

@@ -25,7 +25,11 @@ struct LogRecord {
 };
 
 /// Process-wide log sink. Defaults to stderr above Warn; tests and the
-/// experiment harness install their own sinks.
+/// experiment harness install their own sinks. The virtual clock is
+/// thread-local: each sweep worker runs its own Scheduler, and records
+/// emitted on that thread carry that scheduler's time. emit() serializes
+/// sink invocations, so concurrent simulations never interleave a record;
+/// set_sink()/set_level() are still main-thread-before-workers operations.
 class Logger {
  public:
   using Sink = std::function<void(const LogRecord&)>;
@@ -36,8 +40,8 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
-  /// Virtual clock hook; the simulator installs this so records carry
-  /// simulation timestamps.
+  /// Virtual clock hook for the calling thread; the simulator installs
+  /// this so records carry simulation timestamps.
   void set_clock(std::function<SimTime()> clock);
 
   void emit(LogLevel level, std::string component, std::string message);
@@ -46,7 +50,6 @@ class Logger {
   Logger();
 
   Sink sink_;
-  std::function<SimTime()> clock_;
   LogLevel level_{LogLevel::Warn};
 };
 

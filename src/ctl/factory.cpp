@@ -1,0 +1,72 @@
+#include "ctl/factory.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "ctl/floodlight.hpp"
+#include "ctl/pox.hpp"
+#include "ctl/ryu.hpp"
+
+namespace attain::ctl {
+
+namespace {
+
+template <typename C>
+ControllerEntry entry(ControllerKind kind, const char* name) {
+  ControllerEntry e;
+  e.kind = kind;
+  e.name = name;
+  e.default_processing_delay = C::kDefaultProcessingDelay;
+  e.make = [](sim::Scheduler& sched, SimTime delay) -> std::unique_ptr<Controller> {
+    return std::make_unique<C>(sched, delay);
+  };
+  return e;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ControllerEntry>& controller_registry() {
+  static const std::vector<ControllerEntry> registry = {
+      entry<FloodlightForwarding>(ControllerKind::Floodlight, "Floodlight"),
+      entry<PoxL2Learning>(ControllerKind::Pox, "POX"),
+      entry<RyuSimpleSwitch>(ControllerKind::Ryu, "Ryu"),
+  };
+  return registry;
+}
+
+const ControllerEntry& controller_entry(ControllerKind kind) {
+  for (const ControllerEntry& e : controller_registry()) {
+    if (e.kind == kind) return e;
+  }
+  throw std::out_of_range("unregistered ControllerKind");
+}
+
+std::optional<ControllerKind> controller_kind_from_name(std::string_view name) {
+  const std::string needle = lower(name);
+  for (const ControllerEntry& e : controller_registry()) {
+    if (lower(e.name) == needle) return e.kind;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(ControllerKind kind) { return controller_entry(kind).name; }
+
+std::vector<ControllerKind> all_controller_kinds() {
+  std::vector<ControllerKind> kinds;
+  for (const ControllerEntry& e : controller_registry()) kinds.push_back(e.kind);
+  return kinds;
+}
+
+std::unique_ptr<Controller> make_controller(ControllerKind kind, sim::Scheduler& sched,
+                                            SimTime processing_delay) {
+  const ControllerEntry& e = controller_entry(kind);
+  return e.make(sched, processing_delay >= 0 ? processing_delay : e.default_processing_delay);
+}
+
+}  // namespace attain::ctl

@@ -1,0 +1,56 @@
+// Controller registry: one place that knows how to name, enumerate, and
+// construct the network applications the experiments run against. The
+// experiment harness, sweep engine, benches, and tests all go through
+// make_controller() — adding a controller means adding one registry row,
+// not editing switch statements scattered across the repo.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ctl/controller.hpp"
+
+namespace attain::ctl {
+
+enum class ControllerKind { Floodlight, Pox, Ryu };
+
+/// One registry row: display name and factory for a controller kind.
+struct ControllerEntry {
+  ControllerKind kind{ControllerKind::Pox};
+  /// Display/lookup name ("Floodlight", "POX", "Ryu"); lookup is
+  /// case-insensitive.
+  std::string name;
+  /// The controller implementation's default per-message processing delay.
+  SimTime default_processing_delay{0};
+  /// Builds the controller on `sched` with the given processing delay.
+  std::function<std::unique_ptr<Controller>(sim::Scheduler&, SimTime)> make;
+};
+
+/// All registered controllers, in paper order (Floodlight, POX, Ryu).
+const std::vector<ControllerEntry>& controller_registry();
+
+/// Registry row for a kind (throws std::out_of_range if unregistered).
+const ControllerEntry& controller_entry(ControllerKind kind);
+
+/// Name → kind, case-insensitive ("pox", "POX", "Pox" all resolve). Returns
+/// std::nullopt for unknown names.
+std::optional<ControllerKind> controller_kind_from_name(std::string_view name);
+
+/// Display name for a kind.
+std::string to_string(ControllerKind kind);
+
+/// Every registered kind, in registry order — the canonical iteration for
+/// "for each controller" grids.
+std::vector<ControllerKind> all_controller_kinds();
+
+/// Constructs a controller. `processing_delay < 0` keeps the
+/// implementation's default (the TestbedOptions convention).
+std::unique_ptr<Controller> make_controller(ControllerKind kind, sim::Scheduler& sched,
+                                            SimTime processing_delay = -1);
+
+}  // namespace attain::ctl

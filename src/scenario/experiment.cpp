@@ -3,21 +3,9 @@
 #include <stdexcept>
 
 #include "attain/dsl/parser.hpp"
-#include "ctl/floodlight.hpp"
-#include "ctl/pox.hpp"
-#include "ctl/ryu.hpp"
 #include "packet/codec.hpp"
 
 namespace attain::scenario {
-
-std::string to_string(ControllerKind kind) {
-  switch (kind) {
-    case ControllerKind::Floodlight: return "Floodlight";
-    case ControllerKind::Pox: return "POX";
-    case ControllerKind::Ryu: return "Ryu";
-  }
-  return "?";
-}
 
 Testbed::Testbed(topo::SystemModel model, TestbedOptions options)
     : model_(std::move(model)), options_(options) {
@@ -39,27 +27,7 @@ swsim::OpenFlowSwitch& Testbed::switch_named(const std::string& name) {
 void Testbed::build() {
   monitor_.set_counters_only(options_.monitor_counters_only);
 
-  // Controller.
-  switch (options_.controller) {
-    case ControllerKind::Floodlight:
-      controller_ = std::make_unique<ctl::FloodlightForwarding>(
-          sched_, options_.controller_processing >= 0
-                      ? options_.controller_processing
-                      : ctl::FloodlightForwarding::kDefaultProcessingDelay);
-      break;
-    case ControllerKind::Pox:
-      controller_ = std::make_unique<ctl::PoxL2Learning>(
-          sched_, options_.controller_processing >= 0
-                      ? options_.controller_processing
-                      : ctl::PoxL2Learning::kDefaultProcessingDelay);
-      break;
-    case ControllerKind::Ryu:
-      controller_ = std::make_unique<ctl::RyuSimpleSwitch>(
-          sched_, options_.controller_processing >= 0
-                      ? options_.controller_processing
-                      : ctl::RyuSimpleSwitch::kDefaultProcessingDelay);
-      break;
-  }
+  controller_ = ctl::make_controller(options_.controller, sched_, options_.controller_processing);
 
   injector_ = std::make_unique<inject::RuntimeInjector>(sched_, model_, monitor_);
 
@@ -184,6 +152,20 @@ void Testbed::arm_attack_at(SimTime when, const lang::Attack& attack,
 }
 
 // ---------------------------------------------------------------------------
+// Experiment 1: flow modification suppression.
+// ---------------------------------------------------------------------------
+
+RunSpec to_run_spec(const SuppressionConfig& config) {
+  RunSpec spec;
+  spec.experiment = ExperimentKind::FlowModSuppression;
+  spec.controller = config.controller;
+  spec.attack_enabled = config.attack_enabled;
+  spec.ping_trials = config.ping_trials;
+  spec.iperf_trials = config.iperf_trials;
+  spec.iperf_duration = config.iperf_duration;
+  spec.iperf_gap = config.iperf_gap;
+  return spec;
+}
 
 std::optional<double> SuppressionResult::mean_throughput_mbps() const {
   if (iperf_mbps.empty()) return std::nullopt;
@@ -203,16 +185,63 @@ std::optional<double> SuppressionResult::mean_latency_ms() const {
   return *rtt * 1e3;
 }
 
-SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config) {
+double SuppressionResult::control_amplification() const {
+  const double data =
+      static_cast<double>(data_packets_delivered > 0 ? data_packets_delivered : 1);
+  return static_cast<double>(packet_ins + packet_outs + flow_mods_observed) / data;
+}
+
+std::vector<std::string> SuppressionResult::row_header() const {
+  return {"controller", "mode",       "throughput Mbps", "RTT ms",    "loss %",
+          "PACKET_IN",  "PACKET_OUT", "FLOW_MOD",        "suppressed", "data pkts",
+          "ctl msgs/pkt"};
+}
+
+std::vector<std::string> SuppressionResult::to_row() const {
+  using monitor::TextTable;
+  return {to_string(controller),
+          attack_enabled ? "attack" : "baseline",
+          TextTable::num_or_star(mean_throughput_mbps()),
+          TextTable::num_or_star(mean_latency_ms(), 3),
+          TextTable::num(ping.sent() > 0 ? ping.loss_fraction() * 100.0 : 0.0, 1),
+          std::to_string(packet_ins),
+          std::to_string(packet_outs),
+          std::to_string(flow_mods_observed),
+          std::to_string(flow_mods_suppressed),
+          std::to_string(data_packets_delivered),
+          TextTable::num(control_amplification(), 3)};
+}
+
+void SuppressionResult::write_json_fields(JsonWriter& w) const {
+  w.key("ping").begin_object();
+  w.field("sent", static_cast<std::uint64_t>(ping.sent()));
+  w.field("received", static_cast<std::uint64_t>(ping.received()));
+  w.field("loss", ping.sent() > 0 ? ping.loss_fraction() : 0.0);
+  w.field_or_null("mean_rtt_ms", mean_latency_ms());
+  w.end_object();
+  w.key("iperf_mbps").begin_array();
+  for (const double v : iperf_mbps) w.value(v);
+  w.end_array();
+  w.field_or_null("mean_throughput_mbps", mean_throughput_mbps());
+  w.field("packet_ins", packet_ins);
+  w.field("packet_outs", packet_outs);
+  w.field("flow_mods_observed", flow_mods_observed);
+  w.field("flow_mods_suppressed", flow_mods_suppressed);
+  w.field("data_packets_delivered", data_packets_delivered);
+}
+
+namespace {
+
+SuppressionResult run_suppression_cell(const RunSpec& spec) {
   TestbedOptions options;
-  options.controller = config.controller;
+  options.controller = spec.controller;
   Testbed bed(make_enterprise_model(), options);
   auto& sched = bed.scheduler();
 
   // §VII-B timing: controller at t=0 (always-on here), injector armed to
   // σ1 at t=5 s, switches connect afterwards so every message is
   // interposed, ping at t=30 s, iperf afterwards.
-  if (config.attack_enabled) {
+  if (spec.attack_enabled) {
     bed.arm_attack_at(seconds(5), flow_mod_suppression_dsl());
   }
   bed.connect_switches_at(seconds(6));
@@ -221,32 +250,34 @@ SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config) {
   dpl::Host& h6 = bed.host("h6");
 
   auto ping = std::make_unique<dpl::PingApp>(h1, h6.ip(), /*icmp_id=*/100);
-  sched.at(seconds(30), [&ping, &config] { ping->start(config.ping_trials); });
+  sched.at(seconds(30), [&ping, &spec] { ping->start(spec.ping_trials); });
 
   // iperf trials: server on h6, fresh client per trial (distinct ports so
   // stragglers from a finished trial cannot ack into the next one).
   std::vector<std::unique_ptr<dpl::IperfServer>> servers;
   std::vector<std::unique_ptr<dpl::IperfClient>> clients;
-  const SimTime iperf_start = seconds(30) + static_cast<SimTime>(config.ping_trials) * kSecond +
+  const SimTime iperf_start = seconds(30) + static_cast<SimTime>(spec.ping_trials) * kSecond +
                               5 * kSecond;
   SimTime t = iperf_start;
-  for (unsigned trial = 0; trial < config.iperf_trials; ++trial) {
+  for (unsigned trial = 0; trial < spec.iperf_trials; ++trial) {
     sched.at(t, [&, trial] {
       dpl::IperfClientConfig cc;
       cc.server_port = static_cast<std::uint16_t>(5001 + trial);
       cc.client_port = static_cast<std::uint16_t>(50000 + trial);
       servers.push_back(std::make_unique<dpl::IperfServer>(bed.host("h6"), cc.server_port));
       clients.push_back(std::make_unique<dpl::IperfClient>(bed.host("h1"), bed.host("h6").ip(), cc));
-      clients.back()->start(config.iperf_duration);
+      clients.back()->start(spec.iperf_duration);
     });
-    t += config.iperf_duration + config.iperf_gap;
+    t += spec.iperf_duration + spec.iperf_gap;
   }
   const SimTime end = t + 2 * kSecond;
   bed.run_until(end);
 
   SuppressionResult result;
-  result.controller = config.controller;
-  result.attack_enabled = config.attack_enabled;
+  result.controller = spec.controller;
+  result.attack_enabled = spec.attack_enabled;
+  result.virtual_time = sched.now();
+  result.events_executed = sched.events_executed();
   result.ping = ping->report();
   for (const auto& client : clients) {
     result.iperf_mbps.push_back(client->result().throughput_mbps());
@@ -256,29 +287,63 @@ SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config) {
   result.packet_outs = mon.observed_of_type(ofp::MsgType::PacketOut);
   result.flow_mods_observed = mon.observed_of_type(ofp::MsgType::FlowMod);
   result.flow_mods_suppressed = mon.count(monitor::EventKind::MessageDropped);
-  for (const topo::HostSpec& spec : bed.model().hosts()) {
-    result.data_packets_delivered += bed.host(spec.name).counters().packets_received;
+  for (const topo::HostSpec& hspec : bed.model().hosts()) {
+    result.data_packets_delivered += bed.host(hspec.name).counters().packets_received;
   }
   return result;
 }
 
+}  // namespace
+
+SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config) {
+  return run_suppression_cell(to_run_spec(config));
+}
+
 // ---------------------------------------------------------------------------
+// Experiment 2: connection interruption.
+// ---------------------------------------------------------------------------
+
+RunSpec to_run_spec(const InterruptionConfig& config) {
+  RunSpec spec;
+  spec.experiment = ExperimentKind::ConnectionInterruption;
+  spec.controller = config.controller;
+  spec.attack_enabled = true;
+  spec.s2_fail_secure = config.s2_fail_secure;
+  return spec;
+}
+
+std::vector<std::string> InterruptionResult::row_header() const {
+  return {"controller",   "s2 fail mode",  "ext->ext t30", "int->ext t30",
+          "ext->int t50", "int->ext t95",  "sigma3"};
+}
+
+std::vector<std::string> InterruptionResult::to_row() const {
+  auto yn = [](bool v) { return std::string(v ? "yes" : "no"); };
+  return {to_string(controller),
+          s2_fail_secure ? "fail-secure" : "fail-safe",
+          yn(ext_to_ext_t30),
+          yn(int_to_ext_t30),
+          yn(ext_to_int_t50),
+          yn(int_to_ext_t95),
+          yn(attack_reached_sigma3)};
+}
+
+void InterruptionResult::write_json_fields(JsonWriter& w) const {
+  w.field("s2_fail_secure", s2_fail_secure);
+  w.field("ext_to_ext_t30", ext_to_ext_t30);
+  w.field("int_to_ext_t30", int_to_ext_t30);
+  w.field("ext_to_int_t50", ext_to_int_t50);
+  w.field("int_to_ext_t95", int_to_ext_t95);
+  w.field("attack_reached_sigma3", attack_reached_sigma3);
+}
 
 namespace {
 
-/// Runs `trials` pings from `src` to `dst` starting at `when`; the report
-/// is read after the run. Reachability = at least one answered trial.
-struct ScheduledPing {
-  std::unique_ptr<dpl::PingApp> app;
-};
-
-}  // namespace
-
-InterruptionResult run_connection_interruption(const InterruptionConfig& config) {
+InterruptionResult run_interruption_cell(const RunSpec& spec) {
   TestbedOptions options;
-  options.controller = config.controller;
+  options.controller = spec.controller;
   EnterpriseOptions enterprise;
-  enterprise.s2_fail_secure = config.s2_fail_secure;
+  enterprise.s2_fail_secure = spec.s2_fail_secure;
   Testbed bed(make_enterprise_model(enterprise), options);
   auto& sched = bed.scheduler();
 
@@ -286,7 +351,9 @@ InterruptionResult run_connection_interruption(const InterruptionConfig& config)
   // at t=5, injector to σ1 at t=10, switches connect at t=12 (through the
   // armed proxy so σ1 observes the connection setup), probes at
   // t=30/50/95.
-  bed.arm_attack_at(seconds(10), connection_interruption_dsl());
+  if (spec.attack_enabled) {
+    bed.arm_attack_at(seconds(10), connection_interruption_dsl());
+  }
   bed.connect_switches_at(seconds(12));
 
   std::vector<std::unique_ptr<dpl::PingApp>> pings;
@@ -306,8 +373,11 @@ InterruptionResult run_connection_interruption(const InterruptionConfig& config)
   bed.run_until(seconds(125));
 
   InterruptionResult result;
-  result.controller = config.controller;
-  result.s2_fail_secure = config.s2_fail_secure;
+  result.controller = spec.controller;
+  result.attack_enabled = spec.attack_enabled;
+  result.virtual_time = sched.now();
+  result.events_executed = sched.events_executed();
+  result.s2_fail_secure = spec.s2_fail_secure;
   result.ext_to_ext_t30 = pings[0]->report().received() > 0;
   result.int_to_ext_t30 = pings[1]->report().received() > 0;
   result.ext_to_int_t50 = pings[2]->report().received() > 0;
@@ -315,6 +385,33 @@ InterruptionResult run_connection_interruption(const InterruptionConfig& config)
   result.attack_reached_sigma3 = bed.injector().current_state() == std::optional<std::string>("sigma3");
   return result;
 }
+
+}  // namespace
+
+InterruptionResult run_connection_interruption(const InterruptionConfig& config) {
+  return run_interruption_cell(to_run_spec(config));
+}
+
+// ---------------------------------------------------------------------------
+// RunSpec dispatch (declared in scenario/run.hpp).
+// ---------------------------------------------------------------------------
+
+RunResultPtr run(const RunSpec& spec) {
+  switch (spec.experiment) {
+    case ExperimentKind::FlowModSuppression:
+      return std::make_unique<SuppressionResult>(run_suppression_cell(spec));
+    case ExperimentKind::ConnectionInterruption:
+      return std::make_unique<InterruptionResult>(run_interruption_cell(spec));
+    case ExperimentKind::Custom:
+      if (!spec.custom) {
+        throw std::invalid_argument("RunSpec: ExperimentKind::Custom without a runner");
+      }
+      return spec.custom(spec);
+  }
+  throw std::invalid_argument("RunSpec: unknown experiment kind");
+}
+
+// ---------------------------------------------------------------------------
 
 std::string render_table2(const std::vector<InterruptionResult>& results) {
   monitor::TextTable table({"question", "Floodlight/safe", "Floodlight/secure", "POX/safe",
@@ -341,6 +438,14 @@ std::string render_table2(const std::vector<InterruptionResult>& results) {
   row("ext->int reachable (t=50s)", [](const InterruptionResult& r) { return r.ext_to_int_t50; });
   row("int->ext reachable (t=95s)", [](const InterruptionResult& r) { return r.int_to_ext_t95; });
   return table.to_string();
+}
+
+std::string render_table2(const std::vector<const RunResult*>& results) {
+  std::vector<InterruptionResult> rows;
+  for (const RunResult* r : results) {
+    if (const auto* ir = dynamic_cast<const InterruptionResult*>(r)) rows.push_back(*ir);
+  }
+  return render_table2(rows);
 }
 
 }  // namespace attain::scenario

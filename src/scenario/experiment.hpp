@@ -1,8 +1,10 @@
 // The experiment harness: assembles a full testbed (simulated hosts,
 // switches, controller, injector proxy, monitors) from a system model, and
 // runs the paper's two case-study experiments with their §VII timing
-// scripts. The benchmark binaries and integration tests drive everything
-// through this layer.
+// scripts. Cells are described by scenario::RunSpec (scenario/run.hpp) and
+// executed — serially here or in parallel by sweep::SweepRunner — through
+// scenario::run(); the SuppressionConfig/InterruptionConfig entry points
+// below are thin compatibility wrappers over that API.
 #pragma once
 
 #include <map>
@@ -20,15 +22,12 @@
 #include "dpl/iperf.hpp"
 #include "dpl/ping.hpp"
 #include "scenario/enterprise.hpp"
+#include "scenario/run.hpp"
 #include "sim/link.hpp"
 #include "sim/scheduler.hpp"
 #include "swsim/switch.hpp"
 
 namespace attain::scenario {
-
-enum class ControllerKind { Floodlight, Pox, Ryu };
-
-std::string to_string(ControllerKind kind);
 
 struct TestbedOptions {
   ControllerKind controller{ControllerKind::Pox};
@@ -48,7 +47,8 @@ struct TestbedOptions {
 /// A fully wired simulated deployment of one system model. All components
 /// share one Scheduler; every control-plane connection runs through one
 /// RuntimeInjector instance (the paper's centralized, totally-ordered
-/// proxy).
+/// proxy). A Testbed is single-threaded by construction — concurrent
+/// Testbeds (the sweep engine) must each live on their own thread.
 class Testbed {
  public:
   Testbed(topo::SystemModel model, TestbedOptions options = {});
@@ -68,16 +68,15 @@ class Testbed {
   /// testbed's system model. Throws on parse/compile errors.
   dsl::CompiledAttack compile_attack(const std::string& dsl_source);
 
-  /// Schedules arming `attack` at `when`. The compiled attack and its
-  /// capability map are kept alive by the testbed.
-  void arm_attack_at(SimTime when, const std::string& dsl_source);
-
-  /// Same, for programmatically built attacks (e.g. the link-fabrication
-  /// attack, whose injected messages carry crafted frames the DSL cannot
-  /// express). The attack is compiled (with full capability checking)
-  /// before scheduling.
+  /// The single arming path: compiles `attack` (with full capability
+  /// checking) and schedules arming it at `when`. The compiled attack and
+  /// its capability map are kept alive by the testbed.
   void arm_attack_at(SimTime when, const lang::Attack& attack,
                      const model::CapabilityMap& capabilities);
+
+  /// Thin DSL wrapper: parses `dsl_source` and delegates to the
+  /// programmatic overload above.
+  void arm_attack_at(SimTime when, const std::string& dsl_source);
 
   /// Runs the simulation to `deadline`.
   void run_until(SimTime deadline) { sched_.run_until(deadline); }
@@ -112,6 +111,7 @@ class Testbed {
 // Experiment 1 (§VII-B, Fig. 11): flow modification suppression.
 // ---------------------------------------------------------------------------
 
+/// Legacy cell description; to_run_spec() lifts it into the RunSpec API.
 struct SuppressionConfig {
   ControllerKind controller{ControllerKind::Pox};
   bool attack_enabled{true};
@@ -121,10 +121,10 @@ struct SuppressionConfig {
   SimTime iperf_gap{2 * kSecond};
 };
 
-struct SuppressionResult {
-  ControllerKind controller{ControllerKind::Pox};
-  bool attack_enabled{false};
+RunSpec to_run_spec(const SuppressionConfig& config);
 
+class SuppressionResult : public RunResult {
+ public:
   dpl::PingReport ping;
   std::vector<double> iperf_mbps;  // per trial
 
@@ -140,6 +140,16 @@ struct SuppressionResult {
   std::optional<double> mean_throughput_mbps() const;
   /// Mean RTT in ms; std::nullopt when no ping was ever answered ("*").
   std::optional<double> mean_latency_ms() const;
+  /// Control messages per delivered data packet (§VII-B's 2n + 2 bound).
+  double control_amplification() const;
+
+  std::string kind_name() const override { return "suppression"; }
+  std::vector<std::string> row_header() const override;
+  std::vector<std::string> to_row() const override;
+  RunResultPtr clone() const override { return std::make_unique<SuppressionResult>(*this); }
+
+ protected:
+  void write_json_fields(JsonWriter& w) const override;
 };
 
 SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config);
@@ -148,13 +158,16 @@ SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config);
 // Experiment 2 (§VII-C, Table II): connection interruption.
 // ---------------------------------------------------------------------------
 
+/// Legacy cell description; to_run_spec() lifts it into the RunSpec API.
 struct InterruptionConfig {
   ControllerKind controller{ControllerKind::Pox};
   bool s2_fail_secure{false};
 };
 
-struct InterruptionResult {
-  ControllerKind controller{ControllerKind::Pox};
+RunSpec to_run_spec(const InterruptionConfig& config);
+
+class InterruptionResult : public RunResult {
+ public:
   bool s2_fail_secure{false};
 
   // Table II's four questions (✓ = true).
@@ -164,11 +177,22 @@ struct InterruptionResult {
   bool int_to_ext_t95{false};   // h6 -> h1 (false = denial of service)
 
   bool attack_reached_sigma3{false};  // Ryu: stays false (φ2 never fires)
+
+  std::string kind_name() const override { return "interruption"; }
+  std::vector<std::string> row_header() const override;
+  std::vector<std::string> to_row() const override;
+  RunResultPtr clone() const override { return std::make_unique<InterruptionResult>(*this); }
+
+ protected:
+  void write_json_fields(JsonWriter& w) const override;
 };
 
 InterruptionResult run_connection_interruption(const InterruptionConfig& config);
 
-/// Renders Table II from the six (controller × fail-mode) runs.
+/// Renders Table II (the paper's transposed layout: questions as rows,
+/// controller × fail-mode as columns) from the six runs.
 std::string render_table2(const std::vector<InterruptionResult>& results);
+/// Same, over sweep-produced results (non-interruption entries ignored).
+std::string render_table2(const std::vector<const RunResult*>& results);
 
 }  // namespace attain::scenario

@@ -1,0 +1,130 @@
+#include "scenario/run.hpp"
+
+#include "attain/monitor/metrics.hpp"
+
+namespace attain::scenario {
+
+std::string to_string(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::FlowModSuppression: return "suppression";
+    case ExperimentKind::ConnectionInterruption: return "interruption";
+    case ExperimentKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+std::string RunSpec::id() const {
+  if (!name.empty()) return name;
+  std::string id = to_string(experiment);
+  id += '/';
+  id += to_string(controller);
+  switch (experiment) {
+    case ExperimentKind::FlowModSuppression:
+      id += attack_enabled ? "/attack" : "/baseline";
+      break;
+    case ExperimentKind::ConnectionInterruption:
+      id += s2_fail_secure ? "/fail-secure" : "/fail-safe";
+      if (!attack_enabled) id += "/baseline";
+      break;
+    case ExperimentKind::Custom:
+      break;
+  }
+  return id;
+}
+
+void RunSpec::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("id", id());
+  w.field("experiment", to_string(experiment));
+  w.field("controller", to_string(controller));
+  w.field("attack", attack_enabled);
+  switch (experiment) {
+    case ExperimentKind::FlowModSuppression:
+      w.field("ping_trials", static_cast<std::uint64_t>(ping_trials));
+      w.field("iperf_trials", static_cast<std::uint64_t>(iperf_trials));
+      w.field("iperf_duration_us", static_cast<std::int64_t>(iperf_duration));
+      w.field("iperf_gap_us", static_cast<std::int64_t>(iperf_gap));
+      break;
+    case ExperimentKind::ConnectionInterruption:
+      w.field("s2_fail_secure", s2_fail_secure);
+      break;
+    case ExperimentKind::Custom:
+      break;
+  }
+  w.end_object();
+}
+
+std::string RunSpec::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+void RunResult::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("experiment", kind_name());
+  w.field("controller", to_string(controller));
+  w.field("attack", attack_enabled);
+  w.field("virtual_time_us", static_cast<std::int64_t>(virtual_time));
+  w.field("events_executed", events_executed);
+  write_json_fields(w);
+  w.end_object();
+}
+
+std::string RunResult::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+std::vector<RunSpec> table2_grid() {
+  std::vector<RunSpec> grid;
+  for (const ControllerKind kind : all_controller_kinds()) {
+    for (const bool secure : {false, true}) {
+      RunSpec spec;
+      spec.experiment = ExperimentKind::ConnectionInterruption;
+      spec.controller = kind;
+      spec.attack_enabled = true;
+      spec.s2_fail_secure = secure;
+      grid.push_back(std::move(spec));
+    }
+  }
+  return grid;
+}
+
+std::vector<RunSpec> fig11_grid(unsigned ping_trials, unsigned iperf_trials,
+                                SimTime iperf_duration, SimTime iperf_gap) {
+  std::vector<RunSpec> grid;
+  for (const ControllerKind kind : all_controller_kinds()) {
+    for (const bool attack : {false, true}) {
+      RunSpec spec;
+      spec.experiment = ExperimentKind::FlowModSuppression;
+      spec.controller = kind;
+      spec.attack_enabled = attack;
+      spec.ping_trials = ping_trials;
+      spec.iperf_trials = iperf_trials;
+      spec.iperf_duration = iperf_duration;
+      spec.iperf_gap = iperf_gap;
+      grid.push_back(std::move(spec));
+    }
+  }
+  return grid;
+}
+
+std::string render_results_table(const std::vector<const RunResult*>& results) {
+  const RunResult* first = nullptr;
+  for (const RunResult* r : results) {
+    if (r != nullptr) {
+      first = r;
+      break;
+    }
+  }
+  if (first == nullptr) return "";
+  monitor::TextTable table(first->row_header());
+  for (const RunResult* r : results) {
+    if (r != nullptr) table.add_row(r->to_row());
+  }
+  return table.to_string();
+}
+
+}  // namespace attain::scenario

@@ -1,0 +1,133 @@
+// The redesigned scenario API: every experiment cell is a RunSpec (a pure
+// value describing one deterministic simulation) and produces a RunResult
+// (a polymorphic record that knows how to render itself as a table row and
+// as field-order-stable JSON). The paper's two case studies — flow-mod
+// suppression (§VII-B, Fig. 11) and connection interruption (§VII-C,
+// Table II) — are the built-in experiments; RunSpec::custom opens the same
+// machinery to arbitrary user scenarios. The sweep engine (src/sweep/)
+// executes grids of RunSpecs in parallel; run() is the single-cell entry
+// point it fans out over.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "ctl/factory.hpp"
+
+namespace attain::scenario {
+
+using ctl::ControllerKind;
+using ctl::all_controller_kinds;
+using ctl::controller_kind_from_name;
+using ctl::make_controller;
+using ctl::to_string;
+
+enum class ExperimentKind {
+  FlowModSuppression,    // §VII-B / Fig. 11
+  ConnectionInterruption,  // §VII-C / Table II
+  Custom,                // user-supplied runner in RunSpec::custom
+};
+
+std::string to_string(ExperimentKind kind);
+
+class RunResult;
+using RunResultPtr = std::unique_ptr<RunResult>;
+
+/// One experiment cell: everything needed to reproduce one deterministic
+/// simulation run. Specs are plain values — copyable, comparable by their
+/// JSON form, and safe to ship across threads.
+struct RunSpec {
+  ExperimentKind experiment{ExperimentKind::FlowModSuppression};
+  ControllerKind controller{ControllerKind::Pox};
+  bool attack_enabled{true};
+
+  /// Connection interruption: the Table II fail-mode knob.
+  bool s2_fail_secure{false};
+
+  /// Flow-mod suppression workload shape (§VII-B parameters).
+  unsigned ping_trials{60};
+  unsigned iperf_trials{5};
+  SimTime iperf_duration{3 * kSecond};
+  SimTime iperf_gap{2 * kSecond};
+
+  /// Explicit cell id; when empty, id() derives one from the fields.
+  std::string name;
+
+  /// ExperimentKind::Custom: the cell's runner. Must be thread-safe with
+  /// respect to other cells (no shared mutable state).
+  std::function<RunResultPtr(const RunSpec&)> custom;
+
+  /// Stable cell identifier, e.g. "interruption/POX/fail-secure" or
+  /// "suppression/Ryu/attack".
+  std::string id() const;
+
+  /// Field-order-stable JSON encoding of the spec (custom runners encode
+  /// only their id).
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+};
+
+/// Base of the result hierarchy. Concrete results (SuppressionResult,
+/// InterruptionResult in scenario/experiment.hpp, or user types for custom
+/// cells) add their experiment's metrics and implement the row/JSON
+/// interface the sweep report and table renderers consume.
+class RunResult {
+ public:
+  RunResult() = default;
+  virtual ~RunResult() = default;
+
+  ControllerKind controller{ControllerKind::Pox};
+  bool attack_enabled{false};
+
+  /// Virtual time the cell simulated (scheduler clock at teardown) and the
+  /// number of events the scheduler executed — both deterministic.
+  SimTime virtual_time{0};
+  std::uint64_t events_executed{0};
+
+  /// Short experiment tag ("suppression", "interruption", ...).
+  virtual std::string kind_name() const = 0;
+  /// Column headers matching to_row(); identical for all results of one
+  /// kind, so a grid renders as one monitor::TextTable.
+  virtual std::vector<std::string> row_header() const = 0;
+  /// This result as one table row.
+  virtual std::vector<std::string> to_row() const = 0;
+  /// Deep copy through the base pointer.
+  virtual RunResultPtr clone() const = 0;
+
+  /// Emits one JSON object: common fields first, then the subclass's
+  /// metrics (write_json_fields). Field order is fixed — the sweep
+  /// determinism tests compare these bytes.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+ protected:
+  virtual void write_json_fields(JsonWriter& w) const = 0;
+};
+
+/// Runs one cell to completion on the calling thread. Dispatches on
+/// spec.experiment; throws std::invalid_argument for a Custom spec without
+/// a runner. This is the function the sweep engine parallelizes over.
+RunResultPtr run(const RunSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Grid builders for the paper's evaluation.
+// ---------------------------------------------------------------------------
+
+/// Table II grid: {Floodlight, POX, Ryu} × {fail-safe, fail-secure}.
+std::vector<RunSpec> table2_grid();
+
+/// Fig. 11 grid: {Floodlight, POX, Ryu} × {baseline, attack} with the given
+/// workload shape (defaults are the quick-bench parameters).
+std::vector<RunSpec> fig11_grid(unsigned ping_trials = 20, unsigned iperf_trials = 5,
+                                SimTime iperf_duration = 3 * kSecond,
+                                SimTime iperf_gap = 2 * kSecond);
+
+/// Renders homogeneous results as one aligned table via the
+/// row_header()/to_row() interface (null entries are skipped).
+std::string render_results_table(const std::vector<const RunResult*>& results);
+
+}  // namespace attain::scenario

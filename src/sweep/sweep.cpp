@@ -1,0 +1,225 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "attain/monitor/metrics.hpp"
+
+namespace attain::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string to_string(CellStatus status) {
+  switch (status) {
+    case CellStatus::Ok: return "ok";
+    case CellStatus::Failed: return "failed";
+    case CellStatus::TimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+void CellOutcome::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("spec");
+  spec.write_json(w);
+  w.field("status", to_string(status));
+  if (!error.empty()) w.field("error", error);
+  w.key("result");
+  if (result) {
+    result->write_json(w);
+  } else {
+    w.null();
+  }
+  w.end_object();
+}
+
+std::function<void(const Progress&)> make_progress_printer() {
+  return [](const Progress& p) {
+    const CellOutcome& cell = *p.cell;
+    std::fprintf(stderr, "[%zu/%zu] %s %s (wall %.2fs, virtual %.0fs)%s%s\n", p.completed,
+                 p.total, cell.spec.id().c_str(), to_string(cell.status).c_str(),
+                 cell.wall_seconds,
+                 cell.result ? to_seconds(cell.result->virtual_time) : 0.0,
+                 cell.error.empty() ? "" : " — ", cell.error.c_str());
+  };
+}
+
+std::size_t SweepReport::ok() const {
+  std::size_t n = 0;
+  for (const CellOutcome& c : cells) {
+    if (c.status == CellStatus::Ok) ++n;
+  }
+  return n;
+}
+
+std::size_t SweepReport::failed() const {
+  std::size_t n = 0;
+  for (const CellOutcome& c : cells) {
+    if (c.status == CellStatus::Failed) ++n;
+  }
+  return n;
+}
+
+SimTime SweepReport::total_virtual_time() const {
+  SimTime total = 0;
+  for (const CellOutcome& c : cells) {
+    if (c.result) total += c.result->virtual_time;
+  }
+  return total;
+}
+
+double SweepReport::time_compression() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return to_seconds(total_virtual_time()) / wall_seconds;
+}
+
+const CellOutcome* SweepReport::find(const std::string& cell_id) const {
+  for (const CellOutcome& c : cells) {
+    if (c.spec.id() == cell_id) return &c;
+  }
+  return nullptr;
+}
+
+std::string SweepReport::results_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("cells").begin_array();
+  for (const CellOutcome& c : cells) c.write_json(w);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string SweepReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("timing").begin_object();
+  w.field("threads", static_cast<std::uint64_t>(threads));
+  w.field("wall_seconds", wall_seconds);
+  w.field("total_virtual_seconds", to_seconds(total_virtual_time()));
+  w.field("time_compression", time_compression());
+  w.end_object();
+  w.key("cells").begin_array();
+  for (const CellOutcome& c : cells) {
+    w.begin_object();
+    w.key("spec");
+    c.spec.write_json(w);
+    w.field("status", to_string(c.status));
+    if (!c.error.empty()) w.field("error", c.error);
+    w.field("attempts", static_cast<std::uint64_t>(c.attempts));
+    w.field("wall_seconds", c.wall_seconds);
+    w.key("result");
+    if (c.result) {
+      c.result->write_json(w);
+    } else {
+      w.null();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string SweepReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%zu cells (%zu ok, %zu failed) on %u thread%s: wall %.2fs, simulated %.0fs "
+                "virtual (%.1fx real time)",
+                cells.size(), ok(), failed(), threads, threads == 1 ? "" : "s", wall_seconds,
+                to_seconds(total_virtual_time()), time_compression());
+  return buf;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
+
+unsigned SweepRunner::resolved_threads() const {
+  if (options_.threads > 0) return options_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepReport SweepRunner::run(const std::vector<scenario::RunSpec>& grid) const {
+  SweepReport report;
+  report.threads = resolved_threads();
+  report.cells.resize(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) report.cells[i].spec = grid[i];
+
+  const auto sweep_start = Clock::now();
+  const unsigned max_attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mutex;
+
+  auto run_cell = [&](CellOutcome& cell) {
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+      cell.attempts = attempt;
+      const auto start = Clock::now();
+      try {
+        cell.result = scenario::run(cell.spec);
+        cell.wall_seconds = elapsed_seconds(start);
+        cell.error.clear();
+        cell.status = (options_.cell_timeout_seconds > 0.0 &&
+                       cell.wall_seconds > options_.cell_timeout_seconds)
+                          ? CellStatus::TimedOut
+                          : CellStatus::Ok;
+        return;
+      } catch (const std::exception& e) {
+        cell.wall_seconds = elapsed_seconds(start);
+        cell.error = e.what();
+      } catch (...) {
+        cell.wall_seconds = elapsed_seconds(start);
+        cell.error = "unknown exception";
+      }
+    }
+    cell.status = CellStatus::Failed;
+    cell.result.reset();
+  };
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= report.cells.size()) return;
+      CellOutcome& cell = report.cells[i];
+      run_cell(cell);
+      const std::size_t done = completed.fetch_add(1) + 1;
+      if (options_.on_progress) {
+        Progress p;
+        p.completed = done;
+        p.total = report.cells.size();
+        p.cell = &cell;
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.on_progress(p);
+      }
+    }
+  };
+
+  if (report.threads <= 1 || report.cells.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    const unsigned n = std::min<std::size_t>(report.threads, report.cells.size());
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_seconds = elapsed_seconds(sweep_start);
+  return report;
+}
+
+}  // namespace attain::sweep

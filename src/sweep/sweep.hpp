@@ -1,0 +1,110 @@
+// Parallel experiment sweep engine. A SweepRunner executes an N-cell grid
+// of independent scenario::RunSpec simulations on a thread pool: each
+// cell's Scheduler stays single-threaded and deterministic, so a grid run
+// with 1 thread and with N threads produces bit-identical per-cell results
+// (the determinism tests compare the emitted JSON byte-for-byte). The
+// runner captures per-cell exceptions (a failing cell is reported as
+// `failed` without poisoning its siblings), retries failed cells, accounts
+// wall-clock and virtual time, and reports live progress.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scenario/run.hpp"
+
+namespace attain::sweep {
+
+enum class CellStatus : std::uint8_t {
+  Ok,        // produced a result
+  Failed,    // every attempt threw; `error` holds the last exception text
+  TimedOut,  // completed but exceeded the per-cell wall budget (cells are
+             // cooperative — they are never killed mid-simulation)
+};
+
+std::string to_string(CellStatus status);
+
+/// Outcome of one grid cell, in grid order.
+struct CellOutcome {
+  scenario::RunSpec spec;
+  CellStatus status{CellStatus::Failed};
+  std::string error;                      // last exception text (Failed)
+  unsigned attempts{0};                   // executions incl. retries
+  double wall_seconds{0.0};               // last attempt's wall time
+  scenario::RunResultPtr result;          // null unless Ok/TimedOut
+
+  /// Deterministic JSON for this cell: spec + status + result, no timing.
+  void write_json(JsonWriter& w) const;
+};
+
+struct Progress {
+  std::size_t completed{0};
+  std::size_t total{0};
+  const CellOutcome* cell{nullptr};
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). 1 runs the
+  /// grid inline on the calling thread.
+  unsigned threads{0};
+  /// Executions per cell before giving up (1 = no retry).
+  unsigned max_attempts{1};
+  /// Per-cell wall-clock budget in seconds; 0 = unlimited. Checked when
+  /// the cell completes (cooperative, deterministic results untouched).
+  double cell_timeout_seconds{0.0};
+  /// Called after every cell completes (serialized; any thread). Use
+  /// make_progress_printer() for a stderr ticker.
+  std::function<void(const Progress&)> on_progress;
+};
+
+/// Progress callback printing "[3/12] interruption/POX/fail-secure ok
+/// (wall 1.24s, virtual 125s)" lines to stderr.
+std::function<void(const Progress&)> make_progress_printer();
+
+/// Everything a sweep produced, cells in grid order.
+struct SweepReport {
+  std::vector<CellOutcome> cells;
+  unsigned threads{0};
+  double wall_seconds{0.0};  // whole sweep
+
+  std::size_t ok() const;
+  std::size_t failed() const;
+  /// Sum of per-cell simulated virtual time.
+  SimTime total_virtual_time() const;
+  /// Simulated virtual seconds per wall second (the sweep's speedup over
+  /// real time).
+  double time_compression() const;
+
+  const CellOutcome* find(const std::string& cell_id) const;
+
+  /// Deterministic results document: {"cells": [...]} with spec + status +
+  /// result per cell, grid-ordered, no wall-clock fields. Byte-identical
+  /// across thread counts — the artifact tests and the speedup bench diff.
+  std::string results_json() const;
+  /// Full document: results plus wall-clock accounting ("timing" object
+  /// and per-cell wall seconds/attempts).
+  std::string to_json() const;
+  /// Human summary line(s).
+  std::string summary() const;
+};
+
+/// Thread-pool executor for RunSpec grids.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Runs every cell to completion; never throws for cell errors (they
+  /// land in CellOutcome::status). Cells are claimed in grid order.
+  SweepReport run(const std::vector<scenario::RunSpec>& grid) const;
+
+  unsigned resolved_threads() const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace attain::sweep
