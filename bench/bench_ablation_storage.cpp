@@ -67,9 +67,7 @@ RunResult run(const std::string& source, const topo::SystemModel& model, unsigne
   msg.direction = lang::Direction::SwitchToController;
   msg.source = msg.connection.sw;
   msg.destination = msg.connection.controller;
-  const ofp::Message payload = ofp::make_message(1, ofp::EchoRequest{});
-  msg.wire = ofp::encode(payload);
-  msg.payload = payload;
+  msg.envelope = chan::Envelope(ofp::make_message(1, ofp::EchoRequest{}));
 
   const auto t2 = std::chrono::steady_clock::now();
   for (unsigned i = 0; i < messages; ++i) {

@@ -34,11 +34,11 @@ RunResult run(inject::Coordination mode, SimTime coordination_latency, unsigned 
   for (const auto& conn : model.control_connections()) {
     injector.attach_connection(
         conn.id,
-        [&](Bytes b) {
+        [&](chan::Envelope e) {
           ++passed;
-          delay_sum_ms += to_seconds(sched.now() - sent_at.at(ofp::decode(b).xid)) * 1e3;
+          delay_sum_ms += to_seconds(sched.now() - sent_at.at(e.message()->xid)) * 1e3;
         },
-        [](Bytes) {});
+        [](chan::Envelope) {});
   }
 
   // Cross-shard counting attack: pass the first 64 messages network-wide.

@@ -68,15 +68,15 @@ struct ProxyFixture {
   topo::SystemModel model = scenario::make_enterprise_model();
   monitor::Monitor monitor;
   inject::RuntimeInjector injector{sched, model, monitor};
-  std::function<void(Bytes)> input;
+  chan::EnvelopeSink input;
   std::size_t delivered{0};
   std::vector<std::unique_ptr<std::pair<dsl::CompiledAttack, model::CapabilityMap>>> armed;
 
   ProxyFixture() {
     monitor.set_counters_only(true);
     const ConnectionId conn{model.require("c1"), model.require("s1")};
-    injector.attach_connection(conn, [this](Bytes) { ++delivered; },
-                               [this](Bytes) { ++delivered; });
+    injector.attach_connection(conn, [this](chan::Envelope) { ++delivered; },
+                               [this](chan::Envelope) { ++delivered; });
     input = injector.controller_side_input(conn);
   }
 

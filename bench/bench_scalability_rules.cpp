@@ -57,9 +57,7 @@ lang::InFlightMessage make_message(const topo::SystemModel& model) {
   msg.source = msg.connection.sw;
   msg.destination = msg.connection.controller;
   msg.id = 1;
-  const ofp::Message payload = ofp::make_message(1, ofp::EchoRequest{});
-  msg.wire = ofp::encode(payload);
-  msg.payload = payload;
+  msg.envelope = chan::Envelope(ofp::make_message(1, ofp::EchoRequest{}));
   return msg;
 }
 

@@ -25,7 +25,9 @@ struct Channel {
   Channel() {
     const ConnectionId conn{model.require("c1"), model.require("s1")};
     injector.attach_connection(
-        conn, [this](Bytes b) { at_controller.push_back(ofp::decode(b)); }, [](Bytes) {});
+        conn, [this](chan::Envelope e) {
+      if (e.message() != nullptr) at_controller.push_back(*e.message());
+    }, [](chan::Envelope) {});
   }
 
   void arm(const std::string& source) {

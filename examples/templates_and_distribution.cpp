@@ -51,7 +51,7 @@ int main() {
                                          2 * kMillisecond);
     std::size_t delivered = 0;
     for (const auto& conn : model.control_connections()) {
-      injector.attach_connection(conn.id, [&](Bytes) { ++delivered; }, [](Bytes) {});
+      injector.attach_connection(conn.id, [&](chan::Envelope) { ++delivered; }, [](chan::Envelope) {});
     }
     const std::string source = R"(
 attacker { on (c1, s1) grant no_tls; on (c1, s2) grant no_tls; }

@@ -21,9 +21,8 @@ DistributedInjector::DistributedInjector(sim::Scheduler& sched, const topo::Syst
       coordination_latency_(coordination_latency),
       rng_(seed) {}
 
-void DistributedInjector::attach_connection(ConnectionId id,
-                                            std::function<void(Bytes)> to_controller,
-                                            std::function<void(Bytes)> to_switch) {
+void DistributedInjector::attach_connection(ConnectionId id, chan::EnvelopeSink to_controller,
+                                            chan::EnvelopeSink to_switch) {
   if (!system_.has_control_connection(id)) {
     throw topo::ModelError("attach_connection: connection not in N_C");
   }
@@ -34,15 +33,15 @@ void DistributedInjector::attach_connection(ConnectionId id,
   endpoints_[id] = Endpoint{std::move(to_controller), std::move(to_switch), tls};
 }
 
-std::function<void(Bytes)> DistributedInjector::switch_side_input(ConnectionId id) {
-  return [this, id](Bytes bytes) {
-    on_input(id, lang::Direction::SwitchToController, std::move(bytes));
+chan::EnvelopeSink DistributedInjector::switch_side_input(ConnectionId id) {
+  return [this, id](chan::Envelope envelope) {
+    on_envelope(id, chan::Direction::SwitchToController, std::move(envelope));
   };
 }
 
-std::function<void(Bytes)> DistributedInjector::controller_side_input(ConnectionId id) {
-  return [this, id](Bytes bytes) {
-    on_input(id, lang::Direction::ControllerToSwitch, std::move(bytes));
+chan::EnvelopeSink DistributedInjector::controller_side_input(ConnectionId id) {
+  return [this, id](chan::Envelope envelope) {
+    on_envelope(id, chan::Direction::ControllerToSwitch, std::move(envelope));
   };
 }
 
@@ -70,15 +69,17 @@ std::optional<std::string> DistributedInjector::current_state_of_shard(unsigned 
   return executors_.at(shard)->current_state_name();
 }
 
-void DistributedInjector::on_input(ConnectionId id, lang::Direction direction, Bytes bytes) {
+void DistributedInjector::on_envelope(ConnectionId id, chan::Direction direction,
+                                      chan::Envelope envelope) {
   const auto endpoint = endpoints_.find(id);
   if (endpoint == endpoints_.end()) return;
   ++stats_.messages_interposed;
+  if (endpoint->second.tls && !envelope.sealed()) envelope.seal();
 
   lang::InFlightMessage msg;
   msg.connection = id;
   msg.direction = direction;
-  if (direction == lang::Direction::SwitchToController) {
+  if (direction == chan::Direction::SwitchToController) {
     msg.source = id.sw;
     msg.destination = id.controller;
   } else {
@@ -87,15 +88,8 @@ void DistributedInjector::on_input(ConnectionId id, lang::Direction direction, B
   }
   msg.timestamp = sched_.now();
   msg.id = next_message_id_++;
-  msg.wire = std::move(bytes);
+  msg.envelope = std::move(envelope);
   msg.tls = endpoint->second.tls;
-  if (!msg.tls) {
-    try {
-      msg.payload = ofp::decode(msg.wire);
-    } catch (const DecodeError&) {
-      msg.payload.reset();
-    }
-  }
 
   {
     monitor::Event event;
@@ -104,7 +98,7 @@ void DistributedInjector::on_input(ConnectionId id, lang::Direction direction, B
     event.connection = id;
     event.direction = direction;
     event.message_id = msg.id;
-    if (msg.payload) event.message_type = msg.payload->type();
+    if (const ofp::Message* payload = msg.payload()) event.message_type = payload->type();
     event.length = msg.length();
     monitor_.record(std::move(event));
   }
@@ -140,19 +134,19 @@ void DistributedInjector::execute_and_deliver(AttackExecutor& executor,
 void DistributedInjector::deliver(const OutMessage& out, SimTime extra_delay) {
   const lang::InFlightMessage& msg = out.message;
   ConnectionId conn = msg.connection;
-  if (msg.direction == lang::Direction::ControllerToSwitch) {
+  if (msg.direction == chan::Direction::ControllerToSwitch) {
     if (msg.destination != conn.sw) conn.sw = msg.destination;
   } else {
     if (msg.destination != conn.controller) conn.controller = msg.destination;
   }
-  const auto do_send = [this, conn, direction = msg.direction, wire = msg.wire]() {
+  auto do_send = [this, conn, direction = msg.direction, envelope = msg.envelope]() mutable {
     const auto ep = endpoints_.find(conn);
     if (ep == endpoints_.end()) return;
     ++stats_.messages_delivered;
-    if (direction == lang::Direction::ControllerToSwitch) {
-      if (ep->second.to_switch) ep->second.to_switch(wire);
+    if (direction == chan::Direction::ControllerToSwitch) {
+      if (ep->second.to_switch) ep->second.to_switch(std::move(envelope));
     } else {
-      if (ep->second.to_controller) ep->second.to_controller(wire);
+      if (ep->second.to_controller) ep->second.to_controller(std::move(envelope));
     }
   };
   const SimTime delay = out.delay + extra_delay;

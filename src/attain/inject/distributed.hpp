@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "attain/inject/executor.hpp"
+#include "chan/envelope.hpp"
 #include "sim/scheduler.hpp"
 #include "topo/system_model.hpp"
 
@@ -51,12 +52,13 @@ class DistributedInjector {
                       SimTime coordination_latency, std::uint64_t seed = 0xd157);
 
   /// Wires a control-plane connection; it is owned by shard
-  /// (switch index mod shard_count).
-  void attach_connection(ConnectionId id, std::function<void(Bytes)> to_controller,
-                         std::function<void(Bytes)> to_switch);
+  /// (switch index mod shard_count). Endpoints exchange decode-once
+  /// envelopes, as with the centralized injector.
+  void attach_connection(ConnectionId id, chan::EnvelopeSink to_controller,
+                         chan::EnvelopeSink to_switch);
 
-  std::function<void(Bytes)> switch_side_input(ConnectionId id);
-  std::function<void(Bytes)> controller_side_input(ConnectionId id);
+  chan::EnvelopeSink switch_side_input(ConnectionId id);
+  chan::EnvelopeSink controller_side_input(ConnectionId id);
 
   /// Arms the attack: TotalOrder creates one executor (at the sequencer);
   /// LocalReplicas creates one executor per shard, each starting at
@@ -78,12 +80,12 @@ class DistributedInjector {
 
  private:
   struct Endpoint {
-    std::function<void(Bytes)> to_controller;
-    std::function<void(Bytes)> to_switch;
+    chan::EnvelopeSink to_controller;
+    chan::EnvelopeSink to_switch;
     bool tls{false};
   };
 
-  void on_input(ConnectionId id, lang::Direction direction, Bytes bytes);
+  void on_envelope(ConnectionId id, chan::Direction direction, chan::Envelope envelope);
   void execute_and_deliver(AttackExecutor& executor, const lang::InFlightMessage& msg,
                            SimTime extra_delivery_delay);
   void deliver(const OutMessage& out, SimTime extra_delay);

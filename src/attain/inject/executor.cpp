@@ -79,7 +79,7 @@ ExecutionResult AttackExecutor::process(const lang::InFlightMessage& msg) {
       event.time = msg.timestamp;
       event.connection = msg.connection;
       event.message_id = msg.id;
-      if (msg.payload) event.message_type = msg.payload->type();
+      if (const ofp::Message* payload = msg.payload()) event.message_type = payload->type();
       event.rule = rule.name;
       event.state = state.name;
       monitor_.record(std::move(event));

@@ -18,7 +18,7 @@ monitor::Event base_event(monitor::EventKind kind, const ModifierContext& ctx) {
     event.connection = ctx.original->connection;
     event.direction = ctx.original->direction;
     event.message_id = ctx.original->id;
-    if (ctx.original->payload) event.message_type = ctx.original->payload->type();
+    if (const ofp::Message* payload = ctx.original->payload()) event.message_type = payload->type();
     event.length = ctx.original->length();
   }
   event.rule = ctx.rule_name;
@@ -36,11 +36,6 @@ void record(ModifierContext& ctx, monitor::EventKind kind, std::string detail = 
   monitor::Event event = base_event(kind, ctx);
   event.detail = std::move(detail);
   if (ctx.monitor != nullptr) ctx.monitor->record(std::move(event));
-}
-
-/// Re-encodes an out entry after its payload was edited.
-void reencode(OutMessage& entry) {
-  if (entry.message.payload) entry.message.wire = ofp::encode(*entry.message.payload);
 }
 
 lang::Value eval_or_default(const lang::ExprPtr& expr, const ModifierContext& ctx) {
@@ -90,12 +85,12 @@ bool apply_action(const lang::ActionSpec& action, std::vector<OutMessage>& out,
     return true;
   }
   if (const auto* read = std::get_if<ActRead>(&action)) {
-    if (ctx.original == nullptr || !ctx.original->payload) {
+    if (ctx.original == nullptr || ctx.original->payload() == nullptr) {
       note_failure(ctx, "read(msg): payload not readable");
       return false;
     }
     monitor::Event event = base_event(monitor::EventKind::ActionExecuted, ctx);
-    event.detail = "read: " + ctx.original->payload->summary() +
+    event.detail = "read: " + ctx.original->payload()->summary() +
                    (read->note.empty() ? "" : " note=" + read->note);
     if (ctx.monitor != nullptr) ctx.monitor->record(std::move(event));
     return true;
@@ -115,10 +110,11 @@ bool apply_action(const lang::ActionSpec& action, std::vector<OutMessage>& out,
     }
     bool any = false;
     for (OutMessage& entry : out) {
-      if (!entry.message.payload) continue;
-      if (ofp::set_field(*entry.message.payload, modify->path,
-                         static_cast<ofp::FieldValue>(*as_int))) {
-        reencode(entry);
+      // mutable_payload() marks the cached wire bytes stale; the edited
+      // message re-encodes lazily at delivery.
+      ofp::Message* payload = entry.message.mutable_payload();
+      if (payload == nullptr) continue;
+      if (ofp::set_field(*payload, modify->path, static_cast<ofp::FieldValue>(*as_int))) {
         any = true;
       }
     }
@@ -139,15 +135,10 @@ bool apply_action(const lang::ActionSpec& action, std::vector<OutMessage>& out,
     for (OutMessage& entry : out) {
       ofp::FuzzOptions options;
       options.bit_flips = fuzz->bit_flips;
-      ofp::fuzz_frame(entry.message.wire, *ctx.rng, options);
-      // The payload view may no longer match the wire bytes; re-decode (a
-      // fuzzed frame may be garbage, in which case the receiver sees raw
-      // corrupt bytes — exactly the capability's intent).
-      try {
-        entry.message.payload = ofp::decode(entry.message.wire);
-      } catch (const DecodeError&) {
-        entry.message.payload.reset();
-      }
+      // mutable_wire() marks the decoded view stale; the receiver
+      // re-decodes on demand (a fuzzed frame may be garbage, in which case
+      // it sees raw corrupt bytes — exactly the capability's intent).
+      ofp::fuzz_frame(entry.message.envelope.mutable_wire(), *ctx.rng, options);
     }
     record(ctx, monitor::EventKind::MessageFuzzed);
     return true;
@@ -169,8 +160,7 @@ bool apply_action(const lang::ActionSpec& action, std::vector<OutMessage>& out,
     msg.id = ctx.next_id ? ctx.next_id() : 0;
     ofp::Message proto = inject->message;
     proto.xid = ctx.next_xid ? ctx.next_xid() : 0;
-    msg.wire = ofp::encode(proto);
-    msg.payload = std::move(proto);
+    msg.envelope = chan::Envelope(std::move(proto));  // wire encodes lazily
     msg.tls = ctx.original->tls;
     out.push_back(std::move(entry));
     record(ctx, monitor::EventKind::MessageInjected);

@@ -5,12 +5,37 @@
 
 namespace attain::inject {
 
+namespace {
+
+/// The channel stage that hands every frame to the RuntimeInjector. It
+/// consumes the envelope; the injector's verdict re-enters the channel
+/// through Channel::forward() (possibly on a different channel after a
+/// redirect, possibly later after a delay).
+class InjectorStage : public chan::Stage {
+ public:
+  InjectorStage(RuntimeInjector& injector, ConnectionId connection)
+      : injector_(injector), connection_(connection) {}
+
+  const char* name() const override { return "injector"; }
+
+  void on_envelope(chan::Channel&, chan::Direction direction, chan::Envelope envelope,
+                   const chan::EnvelopeSink&) override {
+    injector_.on_envelope(connection_, direction, std::move(envelope));
+  }
+
+ private:
+  RuntimeInjector& injector_;
+  ConnectionId connection_;
+};
+
+}  // namespace
+
 RuntimeInjector::RuntimeInjector(sim::Scheduler& sched, const topo::SystemModel& system,
                                  monitor::Monitor& monitor, std::uint64_t fuzz_seed)
     : sched_(sched), system_(system), monitor_(monitor), rng_(fuzz_seed) {}
 
-void RuntimeInjector::attach_connection(ConnectionId id, std::function<void(Bytes)> to_controller,
-                                        std::function<void(Bytes)> to_switch) {
+void RuntimeInjector::attach_connection(ConnectionId id, chan::EnvelopeSink to_controller,
+                                        chan::EnvelopeSink to_switch) {
   if (!system_.has_control_connection(id)) {
     throw topo::ModelError("attach_connection: (" + system_.name_of(id.controller) + "," +
                            system_.name_of(id.sw) + ") is not in N_C");
@@ -19,7 +44,7 @@ void RuntimeInjector::attach_connection(ConnectionId id, std::function<void(Byte
   for (const topo::ControlConnSpec& spec : system_.control_connections()) {
     if (spec.id == id) tls = spec.tls;
   }
-  endpoints_[id] = Endpoint{std::move(to_controller), std::move(to_switch), tls};
+  endpoints_[id] = Endpoint{std::move(to_controller), std::move(to_switch), tls, nullptr};
 
   monitor::Event event;
   event.kind = monitor::EventKind::ConnectionAttached;
@@ -29,15 +54,33 @@ void RuntimeInjector::attach_connection(ConnectionId id, std::function<void(Byte
   monitor_.record(std::move(event));
 }
 
-std::function<void(Bytes)> RuntimeInjector::switch_side_input(ConnectionId id) {
-  return [this, id](Bytes bytes) {
-    on_input(id, lang::Direction::SwitchToController, std::move(bytes));
+void RuntimeInjector::attach_channel(chan::Channel& channel, ConnectionId id) {
+  attach_connection(
+      id,
+      /*to_controller=*/
+      [ch = &channel](chan::Envelope e) {
+        ch->forward(chan::Direction::SwitchToController, std::move(e));
+      },
+      /*to_switch=*/
+      [ch = &channel](chan::Envelope e) {
+        ch->forward(chan::Direction::ControllerToSwitch, std::move(e));
+      });
+  endpoints_[id].channel = &channel;
+  channel.add_stage(std::make_unique<chan::MonitorTapStage>(
+      monitor_, id, [this] { return peek_next_message_id(); }));
+  channel.add_stage(std::make_unique<chan::TraceStage>());
+  channel.add_stage(std::make_unique<InjectorStage>(*this, id));
+}
+
+chan::EnvelopeSink RuntimeInjector::switch_side_input(ConnectionId id) {
+  return [this, id](chan::Envelope envelope) {
+    on_envelope(id, chan::Direction::SwitchToController, std::move(envelope));
   };
 }
 
-std::function<void(Bytes)> RuntimeInjector::controller_side_input(ConnectionId id) {
-  return [this, id](Bytes bytes) {
-    on_input(id, lang::Direction::ControllerToSwitch, std::move(bytes));
+chan::EnvelopeSink RuntimeInjector::controller_side_input(ConnectionId id) {
+  return [this, id](chan::Envelope envelope) {
+    on_envelope(id, chan::Direction::ControllerToSwitch, std::move(envelope));
   };
 }
 
@@ -60,12 +103,12 @@ std::optional<std::string> RuntimeInjector::current_state() const {
   return executor_->current_state_name();
 }
 
-lang::InFlightMessage RuntimeInjector::make_in_flight(ConnectionId id, lang::Direction direction,
-                                                      Bytes bytes, bool tls) {
+lang::InFlightMessage RuntimeInjector::make_in_flight(ConnectionId id, chan::Direction direction,
+                                                      chan::Envelope envelope, bool tls) {
   lang::InFlightMessage msg;
   msg.connection = id;
   msg.direction = direction;
-  if (direction == lang::Direction::SwitchToController) {
+  if (direction == chan::Direction::SwitchToController) {
     msg.source = id.sw;
     msg.destination = id.controller;
   } else {
@@ -74,33 +117,33 @@ lang::InFlightMessage RuntimeInjector::make_in_flight(ConnectionId id, lang::Dir
   }
   msg.timestamp = sched_.now();
   msg.id = next_message_id_++;
-  msg.wire = std::move(bytes);
+  msg.envelope = std::move(envelope);
   msg.tls = tls;
-  if (!tls) {
-    try {
-      msg.payload = ofp::decode(msg.wire);
-    } catch (const DecodeError&) {
-      msg.payload.reset();  // forwarded opaque, like any interposer would
-    }
-  }
   return msg;
 }
 
-void RuntimeInjector::on_input(ConnectionId id, lang::Direction direction, Bytes bytes) {
+void RuntimeInjector::on_envelope(ConnectionId id, chan::Direction direction,
+                                  chan::Envelope envelope) {
   const auto endpoint = endpoints_.find(id);
   if (endpoint == endpoints_.end()) return;  // connection never attached
   ++stats_.messages_interposed;
+  // The interposer cannot read ciphertext: seal before any rule runs (the
+  // channel already sealed if the frame travelled one; the side-input path
+  // seals here).
+  if (endpoint->second.tls && !envelope.sealed()) envelope.seal();
   lang::InFlightMessage msg =
-      make_in_flight(id, direction, std::move(bytes), endpoint->second.tls);
+      make_in_flight(id, direction, std::move(envelope), endpoint->second.tls);
 
-  {
+  if (endpoint->second.channel == nullptr) {
+    // No channel (and hence no monitor-tap stage) upstream: record the
+    // observation here.
     monitor::Event event;
     event.kind = monitor::EventKind::MessageObserved;
     event.time = msg.timestamp;
     event.connection = id;
     event.direction = direction;
     event.message_id = msg.id;
-    if (msg.payload) event.message_type = msg.payload->type();
+    if (const ofp::Message* payload = msg.payload()) event.message_type = payload->type();
     event.length = msg.length();
     monitor_.record(std::move(event));
   }
@@ -133,7 +176,13 @@ void RuntimeInjector::process_now(const lang::InFlightMessage& msg) {
   for (OutMessage& out : result.outgoing) {
     deliver(out);
   }
-  if (stats_.messages_delivered == before) ++stats_.messages_suppressed;
+  if (stats_.messages_delivered == before) {
+    ++stats_.messages_suppressed;
+    const auto endpoint = endpoints_.find(msg.connection);
+    if (endpoint != endpoints_.end() && endpoint->second.channel != nullptr) {
+      endpoint->second.channel->note_suppressed(msg.direction);
+    }
+  }
 }
 
 void RuntimeInjector::deliver(const OutMessage& out) {
@@ -143,7 +192,7 @@ void RuntimeInjector::deliver(const OutMessage& out) {
   // message at a different switch/controller; find the matching attached
   // connection.
   ConnectionId conn = msg.connection;
-  if (msg.direction == lang::Direction::ControllerToSwitch) {
+  if (msg.direction == chan::Direction::ControllerToSwitch) {
     if (msg.destination != conn.sw) conn.sw = msg.destination;
   } else {
     if (msg.destination != conn.controller) conn.controller = msg.destination;
@@ -160,9 +209,7 @@ void RuntimeInjector::deliver(const OutMessage& out) {
     return;
   }
 
-  const auto do_send = [this, conn, direction = msg.direction, wire = msg.wire,
-                        type = msg.payload ? std::optional<ofp::MsgType>(msg.payload->type())
-                                           : std::nullopt]() {
+  auto do_send = [this, conn, direction = msg.direction, envelope = msg.envelope]() mutable {
     const auto ep = endpoints_.find(conn);
     if (ep == endpoints_.end()) return;
     ++stats_.messages_delivered;
@@ -171,13 +218,13 @@ void RuntimeInjector::deliver(const OutMessage& out) {
     event.time = sched_.now();
     event.connection = conn;
     event.direction = direction;
-    event.message_type = type;
-    event.length = wire.size();
+    if (const ofp::Message* payload = envelope.message()) event.message_type = payload->type();
+    event.length = envelope.wire_size();
     monitor_.record(std::move(event));
-    if (direction == lang::Direction::ControllerToSwitch) {
-      if (ep->second.to_switch) ep->second.to_switch(wire);
+    if (direction == chan::Direction::ControllerToSwitch) {
+      if (ep->second.to_switch) ep->second.to_switch(std::move(envelope));
     } else {
-      if (ep->second.to_controller) ep->second.to_controller(wire);
+      if (ep->second.to_controller) ep->second.to_controller(std::move(envelope));
     }
   };
 

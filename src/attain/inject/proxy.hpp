@@ -3,6 +3,13 @@
 // (switch-side server, controller-side client), imposing a total order on
 // control-plane events. Switches are pointed at the proxy instead of the
 // controller — no switch or controller modification is required.
+//
+// The proxy speaks chan::Envelope: frames arrive with their decoded view
+// already cached (decode-once), rules read it for free, and delivery hands
+// the same envelope onward — the per-frame encode/decode round-trips of
+// the old byte plumbing are gone. attach_channel() is the one-call wiring
+// path: it installs the injector (plus monitor-tap and trace stages) on a
+// chan::Channel's proxy point and delivers through the channel's egress.
 #pragma once
 
 #include <functional>
@@ -12,6 +19,7 @@
 #include <string>
 
 #include "attain/inject/executor.hpp"
+#include "chan/channel.hpp"
 #include "sim/scheduler.hpp"
 #include "topo/system_model.hpp"
 
@@ -33,17 +41,27 @@ class RuntimeInjector {
                   monitor::Monitor& monitor, std::uint64_t fuzz_seed = 0xa77a19);
 
   /// Wires one control-plane connection through the proxy. `to_controller`
-  /// and `to_switch` deliver wire bytes to the real endpoints. The
+  /// and `to_switch` deliver envelopes to the real endpoints. The
   /// connection must exist in the system model's N_C (its TLS flag is
   /// taken from there).
-  void attach_connection(ConnectionId id, std::function<void(Bytes)> to_controller,
-                         std::function<void(Bytes)> to_switch);
+  void attach_connection(ConnectionId id, chan::EnvelopeSink to_controller,
+                         chan::EnvelopeSink to_switch);
+
+  /// One-call channel wiring: attaches the connection, appends the stock
+  /// stage set (monitor tap, trace, injector proxy) to the channel, and
+  /// delivers through the channel's egress pipes. The channel must outlive
+  /// the injector.
+  void attach_channel(chan::Channel& channel, ConnectionId id);
 
   /// Input functions to hand to the endpoints: the switch sends its
-  /// control bytes into switch_side_input; the controller into
-  /// controller_side_input.
-  std::function<void(Bytes)> switch_side_input(ConnectionId id);
-  std::function<void(Bytes)> controller_side_input(ConnectionId id);
+  /// control frames into switch_side_input; the controller into
+  /// controller_side_input. (attach_channel() wires these automatically.)
+  chan::EnvelopeSink switch_side_input(ConnectionId id);
+  chan::EnvelopeSink controller_side_input(ConnectionId id);
+
+  /// The interposition point itself: every frame of an attached connection
+  /// lands here (via a channel's injector stage or the side-input sinks).
+  void on_envelope(ConnectionId id, chan::Direction direction, chan::Envelope envelope);
 
   /// Arms an attack: the executor starts at σ_start with fresh storage.
   /// Both referents must outlive the injector or a later disarm().
@@ -56,22 +74,28 @@ class RuntimeInjector {
   void set_syscmd_handler(std::function<void(const std::string&, const std::string&)> handler);
 
   const InjectorStats& stats() const { return stats_; }
+  /// The id the next interposed message will receive (monitor taps use
+  /// this so observed-event ids agree with injector-assigned ids).
+  std::uint64_t peek_next_message_id() const { return next_message_id_; }
   /// Current attack state name; std::nullopt when disarmed.
   std::optional<std::string> current_state() const;
   const AttackExecutor* executor() const { return executor_.get(); }
 
  private:
   struct Endpoint {
-    std::function<void(Bytes)> to_controller;
-    std::function<void(Bytes)> to_switch;
+    chan::EnvelopeSink to_controller;
+    chan::EnvelopeSink to_switch;
     bool tls{false};
+    /// Set by attach_channel(): suppression verdicts are mirrored into the
+    /// channel's counters, and MessageObserved recording is left to the
+    /// channel's monitor-tap stage.
+    chan::Channel* channel{nullptr};
   };
 
-  void on_input(ConnectionId id, lang::Direction direction, Bytes bytes);
   void process_now(const lang::InFlightMessage& msg);
   void deliver(const OutMessage& out);
-  lang::InFlightMessage make_in_flight(ConnectionId id, lang::Direction direction, Bytes bytes,
-                                       bool tls);
+  lang::InFlightMessage make_in_flight(ConnectionId id, chan::Direction direction,
+                                       chan::Envelope envelope, bool tls);
 
   sim::Scheduler& sched_;
   const topo::SystemModel& system_;

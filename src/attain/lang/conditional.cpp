@@ -163,8 +163,8 @@ Value eval_prop(Property property, const EvalContext& ctx) {
     case Property::Id: return static_cast<std::int64_t>(msg.id);
     case Property::Direction: return static_cast<std::int64_t>(msg.direction);
     case Property::Type:
-      if (!msg.payload) throw EvalError("payload not readable (TLS or undecodable)");
-      return static_cast<std::int64_t>(msg.payload->type());
+      if (msg.payload() == nullptr) throw EvalError("payload not readable (TLS or undecodable)");
+      return static_cast<std::int64_t>(msg.payload()->type());
   }
   throw EvalError("bad property");
 }
@@ -179,11 +179,12 @@ Value evaluate(const Expr& expr, const EvalContext& ctx) {
       return eval_prop(expr.property, ctx);
     case Expr::Kind::Field: {
       if (ctx.message == nullptr) throw EvalError("no message in evaluation context");
-      if (!ctx.message->payload) throw EvalError("payload not readable (TLS or undecodable)");
-      const auto value = ofp::get_field(*ctx.message->payload, expr.field_path);
+      const ofp::Message* payload = ctx.message->payload();
+      if (payload == nullptr) throw EvalError("payload not readable (TLS or undecodable)");
+      const auto value = ofp::get_field(*payload, expr.field_path);
       if (!value) {
-        throw EvalError("message type " + to_string(ctx.message->payload->type()) +
-                        " has no field " + expr.field_path);
+        throw EvalError("message type " + to_string(payload->type()) + " has no field " +
+                        expr.field_path);
       }
       return static_cast<std::int64_t>(*value);
     }

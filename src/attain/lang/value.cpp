@@ -2,11 +2,6 @@
 
 namespace attain::lang {
 
-std::string to_string(Direction direction) {
-  return direction == Direction::SwitchToController ? "switch->controller"
-                                                    : "controller->switch";
-}
-
 std::string to_string(const Value& value) {
   struct Visitor {
     std::string operator()(std::int64_t v) const { return std::to_string(v); }

@@ -9,6 +9,7 @@
 #include <string>
 #include <variant>
 
+#include "chan/envelope.hpp"
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "ofp/messages.hpp"
@@ -16,14 +17,17 @@
 namespace attain::lang {
 
 /// Which way a control-plane message is travelling on its connection.
-enum class Direction : std::uint8_t { SwitchToController, ControllerToSwitch };
-
-std::string to_string(Direction direction);
+/// (Canonically defined by the channel layer; aliased here for the
+/// language's message-property vocabulary.)
+using Direction = chan::Direction;
+using chan::to_string;
 
 /// A control message as seen by the runtime injector's proxy, carrying the
 /// paper's message properties. Metadata (source, destination, timestamp,
-/// length, id) is always populated; the decoded payload view is populated
-/// only for non-TLS connections (the injector cannot parse ciphertext).
+/// length, id) is always populated; the payload view (via the envelope's
+/// decode-once cache) is readable only for non-TLS connections — a sealed
+/// envelope answers payload() with nullptr, since the injector cannot
+/// parse ciphertext.
 struct InFlightMessage {
   ConnectionId connection;
   Direction direction{Direction::SwitchToController};
@@ -31,13 +35,17 @@ struct InFlightMessage {
   EntityId destination;   // MESSAGEDESTINATION (∈ C ∪ S)
   SimTime timestamp{0};   // MESSAGETIMESTAMP (arrival time)
   std::uint64_t id{0};    // MESSAGEID (unique, injector-assigned)
-  Bytes wire;             // raw frame; MESSAGELENGTH = wire.size()
-  /// Decoded payload (MESSAGETYPE + MESSAGETYPEOPTIONS); std::nullopt when
-  /// the connection is TLS-protected or the frame does not parse.
-  std::optional<ofp::Message> payload;
+  /// The frame itself: wire bytes + decoded view, lazily cross-derived.
+  chan::Envelope envelope;
   bool tls{false};
 
-  std::size_t length() const { return wire.size(); }
+  /// MESSAGELENGTH — the frame's wire size.
+  std::size_t length() const { return envelope.wire_size(); }
+  /// Decoded payload (MESSAGETYPE + MESSAGETYPEOPTIONS); nullptr when the
+  /// envelope is sealed (TLS) or the frame does not parse.
+  const ofp::Message* payload() const { return envelope.message(); }
+  ofp::Message* mutable_payload() { return envelope.mutable_message(); }
+  const Bytes& wire() const { return envelope.wire(); }
 };
 
 /// Encodes an entity id as an expression-comparable integer. Guaranteed

@@ -7,34 +7,35 @@ namespace attain::ctl {
 Controller::Controller(sim::Scheduler& sched, std::string name, SimTime processing_delay)
     : sched_(sched), name_(std::move(name)), processing_delay_(processing_delay) {}
 
-ConnHandle Controller::add_connection(std::function<void(Bytes)> send) {
+ConnHandle Controller::add_connection(chan::EnvelopeSink send) {
   conns_.push_back(Conn{std::move(send), 0, false, {}, {}});
   return conns_.size() - 1;
 }
 
-void Controller::on_bytes(ConnHandle conn, const Bytes& frame) {
+void Controller::on_envelope(ConnHandle conn, chan::Envelope envelope) {
   ++counters_.messages_received;
   if (processing_delay_ == 0) {
-    process(conn, frame);
+    process(conn, envelope);
     return;
   }
   // Single-threaded processing: each message occupies the controller for
   // processing_delay_, FIFO behind the current backlog.
   const SimTime start = std::max(sched_.now(), busy_until_);
   busy_until_ = start + processing_delay_;
-  sched_.at(busy_until_, [this, conn, frame] { process(conn, frame); });
+  sched_.at(busy_until_, [this, conn, envelope = std::move(envelope)]() mutable {
+    process(conn, envelope);
+  });
 }
 
-void Controller::process(ConnHandle conn, const Bytes& frame) {
-  ofp::Message msg;
-  try {
-    msg = ofp::decode(frame);
-  } catch (const DecodeError& err) {
-    ++counters_.decode_errors;
-    ATTAIN_LOG(Debug, name_) << "undecodable frame from conn " << conn << ": " << err.what();
-    return;
-  }
-  handle(conn, msg);
+void Controller::on_bytes(ConnHandle conn, const Bytes& frame) {
+  on_envelope(conn, chan::Envelope(frame));
+}
+
+void Controller::process(ConnHandle conn, chan::Envelope& envelope) {
+  const ofp::Message* msg = chan::ingress_decode(envelope, name_, counters_.decode_errors,
+                                                 "conn " + std::to_string(conn));
+  if (msg == nullptr) return;
+  handle(conn, *msg);
 }
 
 void Controller::handle(ConnHandle conn, const ofp::Message& msg) {
@@ -114,7 +115,7 @@ void Controller::send(ConnHandle conn, const ofp::Message& msg) {
     case ofp::MsgType::PacketOut: ++counters_.packet_outs_sent; break;
     default: break;
   }
-  c.send(ofp::encode(msg));
+  c.send(chan::Envelope(msg));  // wire bytes materialize at the first pipe hop
 }
 
 }  // namespace attain::ctl

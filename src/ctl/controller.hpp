@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "chan/envelope.hpp"
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "ofp/codec.hpp"
@@ -45,12 +46,15 @@ class Controller {
   Controller(const Controller&) = delete;
   Controller& operator=(const Controller&) = delete;
 
-  /// Registers a switch connection; `send` transmits wire bytes toward the
-  /// switch (through the injector proxy in an ATTAIN deployment).
-  ConnHandle add_connection(std::function<void(Bytes)> send);
+  /// Registers a switch connection; `send` transmits control-channel
+  /// envelopes toward the switch (through the injector proxy in an ATTAIN
+  /// deployment).
+  ConnHandle add_connection(chan::EnvelopeSink send);
 
-  /// Delivers wire bytes arriving from connection `conn`. The message is
+  /// Delivers an envelope arriving from connection `conn`. The message is
   /// queued behind the controller's processing backlog.
+  void on_envelope(ConnHandle conn, chan::Envelope envelope);
+  /// Raw-wire convenience overload (frames one envelope).
   void on_bytes(ConnHandle conn, const Bytes& frame);
 
   const ControllerCounters& counters() const { return counters_; }
@@ -103,14 +107,14 @@ class Controller {
 
  private:
   struct Conn {
-    std::function<void(Bytes)> send;
+    chan::EnvelopeSink send;
     std::uint64_t dpid{0};
     bool ready{false};
     std::vector<ofp::PhyPort> ports;
     std::optional<ofp::StatsReply> last_stats;
   };
 
-  void process(ConnHandle conn, const Bytes& frame);
+  void process(ConnHandle conn, chan::Envelope& envelope);
   void handle(ConnHandle conn, const ofp::Message& msg);
 
   sim::Scheduler& sched_;

@@ -435,7 +435,15 @@ Body decode_body(MsgType type, ByteReader& r) {
 
 }  // namespace
 
+CodecOpCounters& codec_ops() {
+  thread_local CodecOpCounters counters;
+  return counters;
+}
+
+void reset_codec_ops() { codec_ops() = CodecOpCounters{}; }
+
 Bytes encode(const Message& message) {
+  ++codec_ops().encodes;
   ByteWriter w;
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(message.type()));
@@ -466,6 +474,7 @@ Header decode_header(std::span<const std::uint8_t> data) {
 }
 
 Message decode(std::span<const std::uint8_t> data) {
+  ++codec_ops().decodes;
   const Header h = decode_header(data);
   if (h.length > data.size()) throw DecodeError("truncated OpenFlow message");
   ByteReader body(data.subspan(kHeaderSize, h.length - kHeaderSize));
@@ -475,11 +484,11 @@ Message decode(std::span<const std::uint8_t> data) {
   return m;
 }
 
-void FrameBuffer::feed(std::span<const std::uint8_t> data) {
+void FrameAssembler::feed(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
-std::optional<Bytes> FrameBuffer::next_frame() {
+std::optional<Bytes> FrameAssembler::next_frame() {
   if (buf_.size() < kHeaderSize) return std::nullopt;
   const Header h = decode_header(buf_);
   if (buf_.size() < h.length) return std::nullopt;

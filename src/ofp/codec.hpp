@@ -19,6 +19,20 @@ struct Header {
   std::uint32_t xid{0};
 };
 
+/// Per-thread codec invocation counters. encode()/decode() bump these; the
+/// channel-pipeline bench (bench_channel_codec) measures the decode-once
+/// envelope path against the encode/decode/decode byte pipeline with them.
+/// Thread-local so parallel sweep workers never race — each cell reads its
+/// own thread's tally.
+struct CodecOpCounters {
+  std::uint64_t encodes{0};
+  std::uint64_t decodes{0};
+  std::uint64_t total() const { return encodes + decodes; }
+};
+
+CodecOpCounters& codec_ops();
+void reset_codec_ops();
+
 /// Serializes a message (header + body) to wire bytes.
 Bytes encode(const Message& message);
 
@@ -33,7 +47,7 @@ Message decode(std::span<const std::uint8_t> data);
 /// Stream reassembler: feed TCP-segment-like byte chunks, pop complete
 /// OpenFlow frames (length taken from each header). Used by the proxy to be
 /// robust to arbitrary chunking.
-class FrameBuffer {
+class FrameAssembler {
  public:
   void feed(std::span<const std::uint8_t> data);
 

@@ -89,38 +89,41 @@ void Testbed::build() {
     });
   }
 
-  // Control-plane connections: switch <-> proxy <-> controller, each
-  // segment a pipe pair. The switch never talks to the controller
-  // directly — exactly the paper's deployment.
+  // Control-plane connections: switch <-> proxy <-> controller, one
+  // chan::Channel per connection (two duplex pipe segments inside). The
+  // switch never talks to the controller directly — exactly the paper's
+  // deployment. Frames travel as decode-once envelopes: the sender's
+  // encode is the only mandatory codec op; the proxy and the far endpoint
+  // reuse the cached typed view.
   for (const topo::ControlConnSpec& conn : model_.control_connections()) {
     swsim::OpenFlowSwitch* sw = switches_[conn.id.sw.index].get();
 
-    auto sw_to_proxy = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
-    auto proxy_to_sw = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
-    auto proxy_to_ctl = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
-    auto ctl_to_proxy = std::make_unique<sim::Pipe<Bytes>>(sched_, options_.control_link);
+    chan::ChannelConfig channel_config;
+    channel_config.name = model_.name_of(conn.id.sw) + "<->" + model_.name_of(conn.id.controller);
+    channel_config.tls = conn.tls;
+    channel_config.segment = options_.control_link;
+    auto channel = std::make_unique<chan::Channel>(sched_, channel_config);
 
-    const ctl::ConnHandle handle = controller_->add_connection(
-        [pipe = ctl_to_proxy.get()](Bytes b) { pipe->send(b, b.size()); });
+    const ctl::ConnHandle handle = controller_->add_connection(channel->controller_sender());
 
-    injector_->attach_connection(
-        conn.id,
-        /*to_controller=*/[pipe = proxy_to_ctl.get()](Bytes b) { pipe->send(b, b.size()); },
-        /*to_switch=*/[pipe = proxy_to_sw.get()](Bytes b) { pipe->send(b, b.size()); });
+    channel->set_switch_sink(
+        [sw](chan::Envelope e) { sw->on_control_envelope(std::move(e)); });
+    channel->set_controller_sink([this, handle](chan::Envelope e) {
+      controller_->on_envelope(handle, std::move(e));
+    });
 
-    sw_to_proxy->set_receiver(injector_->switch_side_input(conn.id));
-    ctl_to_proxy->set_receiver(injector_->controller_side_input(conn.id));
-    proxy_to_sw->set_receiver([sw](Bytes b) { sw->on_control_bytes(b); });
-    proxy_to_ctl->set_receiver(
-        [this, handle](Bytes b) { controller_->on_bytes(handle, b); });
+    injector_->attach_channel(*channel, conn.id);
 
-    sw->set_control_sender([pipe = sw_to_proxy.get()](Bytes b) { pipe->send(b, b.size()); });
+    sw->set_control_sender(channel->switch_sender());
 
-    control_pipes_.push_back(std::move(sw_to_proxy));
-    control_pipes_.push_back(std::move(proxy_to_sw));
-    control_pipes_.push_back(std::move(proxy_to_ctl));
-    control_pipes_.push_back(std::move(ctl_to_proxy));
+    channels_.push_back(std::move(channel));
   }
+}
+
+chan::DirectionCounters Testbed::channel_totals() const {
+  chan::DirectionCounters totals;
+  for (const auto& channel : channels_) totals.add(channel->totals());
+  return totals;
 }
 
 void Testbed::connect_switches_at(SimTime when) {
@@ -194,7 +197,7 @@ double SuppressionResult::control_amplification() const {
 std::vector<std::string> SuppressionResult::row_header() const {
   return {"controller", "mode",       "throughput Mbps", "RTT ms",    "loss %",
           "PACKET_IN",  "PACKET_OUT", "FLOW_MOD",        "suppressed", "data pkts",
-          "ctl msgs/pkt"};
+          "ctl msgs/pkt", "interposed", "codec saved"};
 }
 
 std::vector<std::string> SuppressionResult::to_row() const {
@@ -209,7 +212,9 @@ std::vector<std::string> SuppressionResult::to_row() const {
           std::to_string(flow_mods_observed),
           std::to_string(flow_mods_suppressed),
           std::to_string(data_packets_delivered),
-          TextTable::num(control_amplification(), 3)};
+          TextTable::num(control_amplification(), 3),
+          std::to_string(messages_interposed),
+          std::to_string(codec_ops_saved)};
 }
 
 void SuppressionResult::write_json_fields(JsonWriter& w) const {
@@ -290,6 +295,9 @@ SuppressionResult run_suppression_cell(const RunSpec& spec) {
   for (const topo::HostSpec& hspec : bed.model().hosts()) {
     result.data_packets_delivered += bed.host(hspec.name).counters().packets_received;
   }
+  result.messages_interposed = bed.injector().stats().messages_interposed;
+  result.messages_suppressed = bed.injector().stats().messages_suppressed;
+  result.codec_ops_saved = bed.channel_totals().codec_ops_saved;
   return result;
 }
 
@@ -314,7 +322,8 @@ RunSpec to_run_spec(const InterruptionConfig& config) {
 
 std::vector<std::string> InterruptionResult::row_header() const {
   return {"controller",   "s2 fail mode",  "ext->ext t30", "int->ext t30",
-          "ext->int t50", "int->ext t95",  "sigma3"};
+          "ext->int t50", "int->ext t95",  "sigma3",       "interposed",
+          "suppressed",   "codec saved"};
 }
 
 std::vector<std::string> InterruptionResult::to_row() const {
@@ -325,7 +334,10 @@ std::vector<std::string> InterruptionResult::to_row() const {
           yn(int_to_ext_t30),
           yn(ext_to_int_t50),
           yn(int_to_ext_t95),
-          yn(attack_reached_sigma3)};
+          yn(attack_reached_sigma3),
+          std::to_string(messages_interposed),
+          std::to_string(messages_suppressed),
+          std::to_string(codec_ops_saved)};
 }
 
 void InterruptionResult::write_json_fields(JsonWriter& w) const {
@@ -383,6 +395,9 @@ InterruptionResult run_interruption_cell(const RunSpec& spec) {
   result.ext_to_int_t50 = pings[2]->report().received() > 0;
   result.int_to_ext_t95 = pings[3]->report().received() > 0;
   result.attack_reached_sigma3 = bed.injector().current_state() == std::optional<std::string>("sigma3");
+  result.messages_interposed = bed.injector().stats().messages_interposed;
+  result.messages_suppressed = bed.injector().stats().messages_suppressed;
+  result.codec_ops_saved = bed.channel_totals().codec_ops_saved;
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "attain/inject/proxy.hpp"
 #include "attain/monitor/metrics.hpp"
 #include "attain/monitor/monitor.hpp"
+#include "chan/channel.hpp"
 #include "ctl/controller.hpp"
 #include "dpl/host.hpp"
 #include "dpl/iperf.hpp"
@@ -61,6 +62,11 @@ class Testbed {
   inject::RuntimeInjector& injector() { return *injector_; }
   monitor::Monitor& monitor() { return monitor_; }
 
+  /// The control channels, in control_connections() order.
+  const std::vector<std::unique_ptr<chan::Channel>>& channels() const { return channels_; }
+  /// Counters summed across every channel and both directions.
+  chan::DirectionCounters channel_totals() const;
+
   /// Schedules every switch's OpenFlow connect() at `when`.
   void connect_switches_at(SimTime when);
 
@@ -96,8 +102,8 @@ class Testbed {
 
   // Data-plane pipes; owned here, looked up by (entity, port) for senders.
   std::vector<std::unique_ptr<sim::Pipe<pkt::Packet>>> data_pipes_;
-  // Control-plane pipes (bytes), two duplex segments per connection.
-  std::vector<std::unique_ptr<sim::Pipe<Bytes>>> control_pipes_;
+  // Control-plane channels, one per control connection (pipes inside).
+  std::vector<std::unique_ptr<chan::Channel>> channels_;
 
   // Armed attacks kept alive (executor holds references).
   struct ArmedAttack {

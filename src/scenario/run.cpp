@@ -68,6 +68,11 @@ void RunResult::write_json(JsonWriter& w) const {
   w.field("virtual_time_us", static_cast<std::int64_t>(virtual_time));
   w.field("events_executed", events_executed);
   write_json_fields(w);
+  w.key("control_channel").begin_object();
+  w.field("messages_interposed", messages_interposed);
+  w.field("messages_suppressed", messages_suppressed);
+  w.field("codec_ops_saved", codec_ops_saved);
+  w.end_object();
   w.end_object();
 }
 

@@ -88,6 +88,12 @@ class RunResult {
   SimTime virtual_time{0};
   std::uint64_t events_executed{0};
 
+  /// Control-channel accounting: injector stats plus chan::Channel counters
+  /// summed across the testbed's connections (all deterministic).
+  std::uint64_t messages_interposed{0};
+  std::uint64_t messages_suppressed{0};
+  std::uint64_t codec_ops_saved{0};
+
   /// Short experiment tag ("suppression", "interruption", ...).
   virtual std::string kind_name() const = 0;
   /// Column headers matching to_row(); identical for all results of one

@@ -8,7 +8,7 @@ namespace attain::swsim {
 OpenFlowSwitch::OpenFlowSwitch(sim::Scheduler& sched, SwitchConfig config)
     : sched_(sched), config_(std::move(config)) {}
 
-void OpenFlowSwitch::set_control_sender(std::function<void(Bytes)> send_control) {
+void OpenFlowSwitch::set_control_sender(chan::EnvelopeSink send_control) {
   send_control_ = std::move(send_control);
 }
 
@@ -32,24 +32,25 @@ void OpenFlowSwitch::connect() {
 void OpenFlowSwitch::send_message(const ofp::Message& msg) {
   if (!send_control_) return;
   ++counters_.control_tx;
-  send_control_(ofp::encode(msg));
+  send_control_(chan::Envelope(msg));  // wire bytes materialize at the first pipe hop
 }
 
-void OpenFlowSwitch::on_control_bytes(const Bytes& frame) {
+void OpenFlowSwitch::on_control_envelope(chan::Envelope envelope) {
   ++counters_.control_rx;
-  ofp::Message msg;
-  try {
-    msg = ofp::decode(frame);
-  } catch (const DecodeError& err) {
-    ++counters_.decode_errors;
-    ATTAIN_LOG(Debug, config_.name) << "undecodable control frame: " << err.what();
+  const ofp::Message* msg =
+      chan::ingress_decode(envelope, config_.name, counters_.decode_errors);
+  if (msg == nullptr) {
     ofp::Error reply;
     reply.type = ofp::ErrorType::BadRequest;
     reply.code = 0;
     send_message(ofp::make_message(next_xid(), std::move(reply)));
     return;
   }
-  handle_message(msg);
+  handle_message(*msg);
+}
+
+void OpenFlowSwitch::on_control_bytes(const Bytes& frame) {
+  on_control_envelope(chan::Envelope(frame));
 }
 
 void OpenFlowSwitch::handle_message(const ofp::Message& msg) {

@@ -12,6 +12,7 @@
 #include <set>
 #include <string>
 
+#include "chan/envelope.hpp"
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "ofp/codec.hpp"
@@ -62,18 +63,21 @@ enum class ChannelState : std::uint8_t {
 
 class OpenFlowSwitch {
  public:
-  /// `send_control` transmits wire bytes toward the controller (through
-  /// the injector proxy in an ATTAIN deployment); `send_packet(port, pkt)`
-  /// emits a data-plane frame.
+  /// `send_control` transmits control-channel envelopes toward the
+  /// controller (through the injector proxy in an ATTAIN deployment);
+  /// `send_packet(port, pkt)` emits a data-plane frame.
   OpenFlowSwitch(sim::Scheduler& sched, SwitchConfig config);
 
-  void set_control_sender(std::function<void(Bytes)> send_control);
+  void set_control_sender(chan::EnvelopeSink send_control);
   void set_packet_sender(std::function<void(std::uint16_t, pkt::Packet)> send_packet);
 
   /// Starts the OpenFlow channel: sends HELLO and begins echo liveness.
   void connect();
 
-  /// Delivers wire bytes from the controller side.
+  /// Delivers a control-channel envelope from the controller side. An
+  /// unparseable frame draws a BadRequest error reply.
+  void on_control_envelope(chan::Envelope envelope);
+  /// Raw-wire convenience overload (frames one envelope).
   void on_control_bytes(const Bytes& frame);
 
   /// Delivers a data-plane frame arriving on `port`.
@@ -115,7 +119,7 @@ class OpenFlowSwitch {
   FlowTable table_;
   SwitchCounters counters_;
 
-  std::function<void(Bytes)> send_control_;
+  chan::EnvelopeSink send_control_;
   std::function<void(std::uint16_t, pkt::Packet)> send_packet_;
 
   ChannelState state_{ChannelState::Disconnected};

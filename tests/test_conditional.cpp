@@ -20,10 +20,9 @@ InFlightMessage sample_message(bool tls = false) {
   mod.match.nw_src = pkt::Ipv4Address::parse("10.0.0.2");
   mod.match.set_nw_src_wild_bits(0);
   mod.buffer_id = 42;
-  const ofp::Message payload = ofp::make_message(9, std::move(mod));
-  msg.wire = ofp::encode(payload);
+  msg.envelope = chan::Envelope(ofp::make_message(9, std::move(mod)));
   msg.tls = tls;
-  if (!tls) msg.payload = payload;
+  if (tls) msg.envelope.seal();
   return msg;
 }
 
@@ -206,7 +205,9 @@ TEST(Conditional, ToStringRendersStructure) {
 
 TEST(Conditional, UndecodablePayloadThrowsOnAccess) {
   InFlightMessage msg = sample_message();
-  msg.payload.reset();  // e.g. the wire bytes were fuzzed into garbage
+  Bytes garbage = msg.envelope.wire();
+  garbage[0] = 0x09;  // the wire bytes were fuzzed into garbage
+  msg.envelope = chan::Envelope(std::move(garbage));
   const EvalContext ctx = ctx_for(msg);
   EXPECT_THROW(evaluate(*Expr::prop(Property::Type), ctx), EvalError);
   EXPECT_TRUE(evaluate_bool(*Expr::binary(BinaryOp::Gt, Expr::prop(Property::Length),

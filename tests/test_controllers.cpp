@@ -17,7 +17,10 @@ struct FakeSwitch {
 
   void attach(Controller& controller, std::uint64_t dpid) {
     conn = controller.add_connection(
-        [this](Bytes b) { received.push_back(ofp::decode(b)); });
+        [this](chan::Envelope e) {
+      ASSERT_NE(e.message(), nullptr);
+      received.push_back(*e.message());
+    });
     // Handshake: switch HELLO, controller replies HELLO + FEATURES_REQUEST,
     // switch answers FEATURES_REPLY.
     controller.on_bytes(conn, ofp::encode(ofp::make_message(1, ofp::Hello{})));
@@ -59,7 +62,10 @@ TEST(Pox, HandshakeRepliesHelloFeaturesSetConfig) {
   sim::Scheduler sched;
   PoxL2Learning pox(sched, 0);
   FakeSwitch sw;
-  sw.conn = pox.add_connection([&sw](Bytes b) { sw.received.push_back(ofp::decode(b)); });
+  sw.conn = pox.add_connection([&sw](chan::Envelope e) {
+      ASSERT_NE(e.message(), nullptr);
+      sw.received.push_back(*e.message());
+    });
   pox.on_bytes(sw.conn, ofp::encode(ofp::make_message(1, ofp::Hello{})));
   auto out = sw.take();
   ASSERT_EQ(out.size(), 2u);
@@ -382,7 +388,7 @@ TEST(Controller, ProcessingDelaySerializesWork) {
   sim::Scheduler sched;
   PoxL2Learning pox(sched, kMillisecond);
   std::vector<SimTime> reply_times;
-  const ConnHandle conn = pox.add_connection([&](Bytes) { reply_times.push_back(sched.now()); });
+  const ConnHandle conn = pox.add_connection([&](chan::Envelope) { reply_times.push_back(sched.now()); });
   pox.on_bytes(conn, ofp::encode(ofp::make_message(1, ofp::Hello{})));
   sched.run();
   // HELLO processing produced two sends (HELLO + FEATURES_REQUEST) at 1 ms.

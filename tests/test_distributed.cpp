@@ -30,8 +30,11 @@ struct Fixture {
       const std::string name = model.name_of(conn.id.sw);
       injector->attach_connection(
           conn.id,
-          [this, name](Bytes b) { to_controller[name].emplace_back(sched.now(), ofp::decode(b)); },
-          [](Bytes) {});
+          [this, name](chan::Envelope e) {
+            ASSERT_NE(e.message(), nullptr);
+            to_controller[name].emplace_back(sched.now(), *e.message());
+          },
+          [](chan::Envelope) {});
     }
   }
 

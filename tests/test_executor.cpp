@@ -37,8 +37,7 @@ struct Fixture {
       msg.destination = msg.connection.controller;
     }
     msg.id = ++next_id;
-    msg.wire = ofp::encode(payload);
-    msg.payload = payload;
+    msg.envelope = chan::Envelope(payload);
     return msg;
   }
 
@@ -313,7 +312,7 @@ attack demo {
                               ofp::make_message(1, ofp::EchoRequest{}));
   const ExecutionResult r = exec.process(msg);
   ASSERT_EQ(r.outgoing.size(), 2u);
-  EXPECT_EQ(r.outgoing[0].message.wire, r.outgoing[1].message.wire);
+  EXPECT_EQ(r.outgoing[0].message.wire(), r.outgoing[1].message.wire());
   EXPECT_NE(r.outgoing[0].message.id, r.outgoing[1].message.id);
 }
 

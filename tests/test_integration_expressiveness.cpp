@@ -22,7 +22,10 @@ struct Fixture {
   Fixture() {
     const ConnectionId conn{model.require("c1"), model.require("s1")};
     injector.attach_connection(
-        conn, [this](Bytes b) { at_controller.push_back(ofp::decode(b)); }, [](Bytes) {});
+        conn, [this](chan::Envelope e) {
+      ASSERT_NE(e.message(), nullptr);
+      at_controller.push_back(*e.message());
+    }, [](chan::Envelope) {});
   }
 
   void arm(const std::string& source) {

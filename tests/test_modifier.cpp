@@ -27,9 +27,7 @@ struct Fixture {
     mod.match = ofp::Match::wildcard_all();
     mod.idle_timeout = 10;
     mod.actions = ofp::output_to(std::uint16_t{2});
-    const ofp::Message payload = ofp::make_message(9, std::move(mod));
-    original.wire = ofp::encode(payload);
-    original.payload = payload;
+    original.envelope = chan::Envelope(ofp::make_message(9, std::move(mod)));
 
     ctx.original = &original;
     ctx.storage = &storage;
@@ -70,7 +68,7 @@ TEST(Modifier, DuplicateAddsCopyWithFreshId) {
   auto out = fx.out_list();
   apply_action(lang::ActDuplicate{}, out, fx.ctx);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[1].message.wire, out[0].message.wire);
+  EXPECT_EQ(out[1].message.wire(), out[0].message.wire());
   EXPECT_EQ(out[1].message.id, 101u);
 }
 
@@ -89,9 +87,9 @@ TEST(Modifier, ModifyFieldRewritesPayloadAndWire) {
   auto out = fx.out_list();
   EXPECT_TRUE(apply_action(lang::ActModifyField{"idle_timeout", lang::Expr::literal_int(99)},
                            out, fx.ctx));
-  const ofp::Message decoded = ofp::decode(out[0].message.wire);
+  const ofp::Message decoded = ofp::decode(out[0].message.wire());
   EXPECT_EQ(decoded.as<ofp::FlowMod>().idle_timeout, 99);
-  EXPECT_EQ(out[0].message.payload->as<ofp::FlowMod>().idle_timeout, 99);
+  EXPECT_EQ(out[0].message.payload()->as<ofp::FlowMod>().idle_timeout, 99);
   EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageModified), 1u);
 }
 
@@ -102,7 +100,7 @@ TEST(Modifier, ModifyFieldValueCanReadMessage) {
   const lang::ExprPtr value = lang::Expr::binary(
       lang::BinaryOp::Add, lang::Expr::field("idle_timeout"), lang::Expr::literal_int(5));
   EXPECT_TRUE(apply_action(lang::ActModifyField{"hard_timeout", value}, out, fx.ctx));
-  EXPECT_EQ(ofp::decode(out[0].message.wire).as<ofp::FlowMod>().hard_timeout, 15);
+  EXPECT_EQ(ofp::decode(out[0].message.wire()).as<ofp::FlowMod>().hard_timeout, 15);
 }
 
 TEST(Modifier, ModifyMissingFieldFails) {
@@ -126,10 +124,10 @@ TEST(Modifier, RedirectRewritesDestination) {
 TEST(Modifier, FuzzMutatesWire) {
   Fixture fx;
   auto out = fx.out_list();
-  const Bytes before = out[0].message.wire;
+  const Bytes before = out[0].message.wire();
   apply_action(lang::ActFuzz{16}, out, fx.ctx);
-  EXPECT_NE(out[0].message.wire, before);
-  EXPECT_EQ(out[0].message.wire.size(), before.size());
+  EXPECT_NE(out[0].message.wire(), before);
+  EXPECT_EQ(out[0].message.wire().size(), before.size());
   EXPECT_EQ(fx.monitor.count(monitor::EventKind::MessageFuzzed), 1u);
 }
 
@@ -145,8 +143,9 @@ TEST(Modifier, InjectAppendsFreshMessage) {
   EXPECT_EQ(injected.direction, lang::Direction::SwitchToController);
   EXPECT_EQ(injected.source, fx.original.connection.sw);
   EXPECT_EQ(injected.destination, fx.original.connection.controller);
-  EXPECT_EQ(injected.payload->type(), ofp::MsgType::BarrierRequest);
-  EXPECT_EQ(injected.payload->xid, 201u);  // fresh xid
+  ASSERT_NE(injected.payload(), nullptr);
+  EXPECT_EQ(injected.payload()->type(), ofp::MsgType::BarrierRequest);
+  EXPECT_EQ(injected.payload()->xid, 201u);  // fresh xid
 }
 
 TEST(Modifier, StoreAndReplayMessage) {
@@ -160,7 +159,7 @@ TEST(Modifier, StoreAndReplayMessage) {
   auto out2 = fx.out_list();
   EXPECT_TRUE(apply_action(lang::ActSendStored{"replay", false, true}, out2, fx.ctx));
   ASSERT_EQ(out2.size(), 2u);
-  EXPECT_EQ(out2[1].message.wire, fx.original.wire);
+  EXPECT_EQ(out2[1].message.wire(), fx.original.wire());
   EXPECT_EQ(fx.storage.size("replay"), 0u);  // consumed
 }
 
@@ -232,7 +231,7 @@ TEST(Modifier, ReadActionsRecordToMonitor) {
   EXPECT_TRUE(apply_action(lang::ActRead{"note-b"}, out, fx.ctx));
   EXPECT_EQ(fx.monitor.count(monitor::EventKind::ActionExecuted), 2u);
   // read(msg) on an unreadable payload fails.
-  fx.original.payload.reset();
+  fx.original.envelope.seal();
   EXPECT_FALSE(apply_action(lang::ActRead{}, out, fx.ctx));
 }
 

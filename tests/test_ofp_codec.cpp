@@ -211,26 +211,83 @@ TEST(Codec, PacketInCarriesRealFrame) {
   EXPECT_EQ(recovered.ipv4->dst.to_string(), "10.0.0.6");
 }
 
-TEST(FrameBuffer, ReassemblesSplitFrames) {
+TEST(FrameAssembler, ReassemblesSplitFrames) {
   const Bytes a = encode(make_message(1, EchoRequest{{1, 2, 3}}));
   const Bytes b = encode(make_message(2, BarrierRequest{}));
   Bytes stream = a;
   stream.insert(stream.end(), b.begin(), b.end());
 
-  FrameBuffer buffer;
+  FrameAssembler assembler;
   // Feed in awkward chunks.
-  buffer.feed(std::span(stream).subspan(0, 3));
-  EXPECT_FALSE(buffer.next_frame().has_value());
-  buffer.feed(std::span(stream).subspan(3, 9));
-  const auto frame1 = buffer.next_frame();
+  assembler.feed(std::span(stream).subspan(0, 3));
+  EXPECT_FALSE(assembler.next_frame().has_value());
+  assembler.feed(std::span(stream).subspan(3, 9));
+  const auto frame1 = assembler.next_frame();
   ASSERT_TRUE(frame1.has_value());
   EXPECT_EQ(*frame1, a);
-  EXPECT_FALSE(buffer.next_frame().has_value());
-  buffer.feed(std::span(stream).subspan(12));
-  const auto frame2 = buffer.next_frame();
+  EXPECT_FALSE(assembler.next_frame().has_value());
+  assembler.feed(std::span(stream).subspan(12));
+  const auto frame2 = assembler.next_frame();
   ASSERT_TRUE(frame2.has_value());
   EXPECT_EQ(*frame2, b);
-  EXPECT_EQ(buffer.buffered(), 0u);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(FrameAssembler, SplitsHeaderAcrossChunks) {
+  const Bytes a = encode(make_message(7, EchoRequest{{9, 9, 9, 9}}));
+  FrameAssembler assembler;
+  // One byte at a time: the 8-byte header itself arrives fragmented.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FALSE(assembler.next_frame().has_value());
+    assembler.feed(std::span(a).subspan(i, 1));
+  }
+  const auto frame = assembler.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, a);
+}
+
+TEST(FrameAssembler, CoalescedFramesPopIndividually) {
+  const Bytes a = encode(make_message(1, Hello{}));
+  const Bytes b = encode(make_message(2, EchoRequest{{4, 5}}));
+  const Bytes c = encode(make_message(3, BarrierRequest{}));
+  Bytes stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+  stream.insert(stream.end(), c.begin(), c.end());
+
+  FrameAssembler assembler;
+  assembler.feed(stream);  // three frames in one chunk
+  EXPECT_EQ(*assembler.next_frame(), a);
+  EXPECT_EQ(*assembler.next_frame(), b);
+  EXPECT_EQ(*assembler.next_frame(), c);
+  EXPECT_FALSE(assembler.next_frame().has_value());
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(FrameAssembler, GarbageLengthFieldThrows) {
+  Bytes wire = encode(make_message(1, Hello{}));
+  wire[2] = 0;
+  wire[3] = 4;  // header length < 8: the stream is unrecoverable
+  FrameAssembler assembler;
+  assembler.feed(wire);
+  EXPECT_THROW(assembler.next_frame(), DecodeError);
+}
+
+TEST(FrameAssembler, GarbageVersionThrows) {
+  Bytes wire = encode(make_message(1, Hello{}));
+  wire[0] = 0x63;  // not OpenFlow 1.0
+  FrameAssembler assembler;
+  assembler.feed(wire);
+  EXPECT_THROW(assembler.next_frame(), DecodeError);
+}
+
+TEST(FrameAssembler, OverlongLengthFieldWaitsForMoreInput) {
+  Bytes wire = encode(make_message(1, Hello{}));
+  wire[2] = 0x01;
+  wire[3] = 0x00;  // claims 256 bytes; only 8 buffered
+  FrameAssembler assembler;
+  assembler.feed(wire);
+  EXPECT_FALSE(assembler.next_frame().has_value());
+  EXPECT_EQ(assembler.buffered(), wire.size());
 }
 
 TEST(Codec, MessageSummaryIsInformative) {

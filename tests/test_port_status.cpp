@@ -23,7 +23,10 @@ TEST(SwitchPortStatus, DownPortSuppressesEgressAndNotifies) {
   swsim::OpenFlowSwitch sw(sched, config);
   std::vector<ofp::Message> control;
   std::vector<std::pair<std::uint16_t, pkt::Packet>> data;
-  sw.set_control_sender([&](Bytes b) { control.push_back(ofp::decode(b)); });
+  sw.set_control_sender([&](chan::Envelope e) {
+      ASSERT_NE(e.message(), nullptr);
+      control.push_back(*e.message());
+    });
   sw.set_packet_sender([&](std::uint16_t port, pkt::Packet p) { data.emplace_back(port, p); });
   sw.connect();
   sw.on_control_bytes(ofp::encode(ofp::make_message(1, ofp::Hello{})));
@@ -75,7 +78,10 @@ TEST(FloodlightPortStatus, DownPortPurgesLinksAndDevices) {
   ctl::FloodlightForwarding fl(sched, 0);
   std::vector<ofp::Message> received;
   const ctl::ConnHandle conn =
-      fl.add_connection([&](Bytes b) { received.push_back(ofp::decode(b)); });
+      fl.add_connection([&](chan::Envelope e) {
+      ASSERT_NE(e.message(), nullptr);
+      received.push_back(*e.message());
+    });
   fl.on_bytes(conn, ofp::encode(ofp::make_message(1, ofp::Hello{})));
   ofp::FeaturesReply features;
   features.datapath_id = 1;

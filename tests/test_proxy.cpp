@@ -31,8 +31,14 @@ struct Fixture {
       const std::string name = model.name_of(conn.id.sw);
       injector.attach_connection(
           conn.id,
-          [this, name](Bytes b) { to_controller[name].push_back(ofp::decode(b)); },
-          [this, name](Bytes b) { to_switch[name].push_back(ofp::decode(b)); });
+          [this, name](chan::Envelope e) {
+            ASSERT_NE(e.message(), nullptr);
+            to_controller[name].push_back(*e.message());
+          },
+          [this, name](chan::Envelope e) {
+            ASSERT_NE(e.message(), nullptr);
+            to_switch[name].push_back(*e.message());
+          });
     }
   }
 
@@ -232,7 +238,7 @@ attack injecting {
 TEST(Proxy, AttachRejectsUnknownConnection) {
   Fixture fx;
   const ConnectionId bogus{fx.model.require("c1"), EntityId{EntityKind::Switch, 42}};
-  EXPECT_THROW(fx.injector.attach_connection(bogus, [](Bytes) {}, [](Bytes) {}),
+  EXPECT_THROW(fx.injector.attach_connection(bogus, [](chan::Envelope) {}, [](chan::Envelope) {}),
                topo::ModelError);
 }
 
@@ -242,7 +248,7 @@ TEST(Proxy, UndecodableBytesForwardedOpaque) {
   std::vector<Bytes> raw_out;
   // Re-attach s1 with a raw capture (decode would throw).
   fx.injector.attach_connection(
-      fx.conn("s1"), [&](Bytes b) { raw_out.push_back(std::move(b)); }, [](Bytes) {});
+      fx.conn("s1"), [&](chan::Envelope e) { raw_out.push_back(e.wire()); }, [](chan::Envelope) {});
   fx.injector.switch_side_input(fx.conn("s1"))(garbage);
   ASSERT_EQ(raw_out.size(), 1u);
   EXPECT_EQ(raw_out[0], garbage);
@@ -259,8 +265,8 @@ TEST(Proxy, TlsConnectionHidesPayloadFromRules) {
   RuntimeInjector injector(sched, model, monitor);
   std::vector<Bytes> delivered;
   const ConnectionId conn{model.require("c1"), model.require("s1")};
-  injector.attach_connection(conn, [&](Bytes b) { delivered.push_back(std::move(b)); },
-                             [](Bytes) {});
+  injector.attach_connection(conn, [&](chan::Envelope e) { delivered.push_back(e.wire()); },
+                             [](chan::Envelope) {});
 
   const std::string source = R"(
 attacker { on (c1, s1) grant tls; }

@@ -76,8 +76,8 @@ TEST(InjectorRobustness, ArbitraryBytesAndAccountingInvariants) {
   std::vector<ConnectionId> conns;
   for (const auto& conn : model.control_connections()) {
     conns.push_back(conn.id);
-    injector.attach_connection(conn.id, [&](Bytes) { ++delivered; },
-                               [&](Bytes) { ++delivered; });
+    injector.attach_connection(conn.id, [&](chan::Envelope) { ++delivered; },
+                               [&](chan::Envelope) { ++delivered; });
   }
   const dsl::Document doc =
       dsl::parse_document(scenario::flow_mod_suppression_dsl(), model);
@@ -146,7 +146,7 @@ TEST(InjectorRobustness, TemplateAttacksSurviveRandomTraffic) {
     monitor.set_counters_only(true);
     inject::RuntimeInjector injector(sched, model, monitor);
     const ConnectionId conn{model.require("c1"), model.require("s1")};
-    injector.attach_connection(conn, [](Bytes) {}, [](Bytes) {});
+    injector.attach_connection(conn, [](chan::Envelope) {}, [](chan::Envelope) {});
     const dsl::Document doc = dsl::parse_document(source, model);
     const model::CapabilityMap caps = doc.capabilities;
     const dsl::CompiledAttack attack = dsl::compile(doc.attacks.at(0), model, caps);
@@ -177,7 +177,10 @@ TEST(SwitchRobustness, BufferExhaustionFallsBackToUnbuffered) {
   config.buffer_capacity = 4;  // tiny pool
   swsim::OpenFlowSwitch sw(sched, config);
   std::vector<ofp::Message> control;
-  sw.set_control_sender([&](Bytes b) { control.push_back(ofp::decode(b)); });
+  sw.set_control_sender([&](chan::Envelope e) {
+      ASSERT_NE(e.message(), nullptr);
+      control.push_back(*e.message());
+    });
   sw.set_packet_sender([](std::uint16_t, pkt::Packet) {});
   sw.connect();
   sw.on_control_bytes(ofp::encode(ofp::make_message(1, ofp::Hello{})));

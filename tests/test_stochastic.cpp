@@ -68,7 +68,7 @@ struct Fixture {
 
   Fixture() {
     const ConnectionId conn{model.require("c1"), model.require("s1")};
-    injector.attach_connection(conn, [this](Bytes) { ++delivered; }, [](Bytes) {});
+    injector.attach_connection(conn, [this](chan::Envelope) { ++delivered; }, [](chan::Envelope) {});
   }
 
   void arm(const std::string& source) {

@@ -22,7 +22,10 @@ struct Harness {
     config.num_ports = 4;
     config.fail_secure = fail_secure;
     sw = std::make_unique<OpenFlowSwitch>(sched, config);
-    sw->set_control_sender([this](Bytes b) { control_out.push_back(ofp::decode(b)); });
+    sw->set_control_sender([this](chan::Envelope e) {
+      ASSERT_NE(e.message(), nullptr);
+      control_out.push_back(*e.message());
+    });
     sw->set_packet_sender(
         [this](std::uint16_t port, pkt::Packet p) { data_out.emplace_back(port, std::move(p)); });
   }
