@@ -14,12 +14,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_json.hpp"
 #include "sweep/sweep.hpp"
 
 using namespace attain;
 using namespace attain::scenario;
 
-int main() {
+int main(int argc, char** argv) {
   const bool full = std::getenv("ATTAIN_FULL") != nullptr;
 
   std::printf("Fig. 11(a) — flow modification suppression: iperf throughput h1 -> h6\n");
@@ -43,5 +44,13 @@ int main() {
   std::printf("%s\n\n", report.summary().c_str());
   std::printf("Expected shape: baseline ~90+ Mbps everywhere; Floodlight/Ryu degrade >5x\n"
               "under attack; POX shows '*' (the paper's denial-of-service asterisk).\n");
+
+  const std::string json_path = bench::json_out_path(argc, argv);
+  if (!json_path.empty() &&
+      !bench::write_bench_json(json_path, "fig11_throughput", full ? "full" : "quick",
+                               report.results_json())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return report.failed() == 0 ? 0 : 1;
 }

@@ -1,0 +1,40 @@
+// Machine-readable output for the custom-harness (non-google-benchmark)
+// bench binaries: a `--json <path>` (or `--json=<path>`) flag that writes a
+// small wrapper document around the sweep engine's deterministic
+// results_json. tools/bench_baseline.py merges these with
+// google-benchmark's --benchmark_format=json output into the committed
+// BENCH_flowtable.json baseline (format documented in docs/perf.md).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace attain::bench {
+
+/// Extracts the value of `--json <path>` / `--json=<path>` from argv, or ""
+/// if the flag is absent. Unknown arguments are ignored (the harness
+/// binaries take no other flags).
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return {};
+}
+
+/// Writes `{"bench": <name>, "mode": <mode>, "results": <results_json>}` to
+/// `path`. `results_json` must already be a valid JSON document (it is
+/// embedded verbatim, keeping the sweep engine's byte-determinism
+/// guarantee intact). Returns false on I/O failure.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             const std::string& mode, const std::string& results_json) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string doc =
+      "{\"bench\":\"" + name + "\",\"mode\":\"" + mode + "\",\"results\":" + results_json + "}\n";
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace attain::bench

@@ -13,13 +13,14 @@
 // render via RunResult::to_row() plus the paper's transposed layout.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "scenario/experiment.hpp"
 #include "sweep/sweep.hpp"
 
 using namespace attain;
 using namespace attain::scenario;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Table II — connection interruption experiment (fail-safe vs fail-secure)\n\n");
 
   sweep::SweepOptions options;
@@ -37,5 +38,13 @@ int main() {
       "Row 3 'yes' after interruption = unauthorized increased access (fail-safe cases).\n"
       "Row 4 'no' = denial of service against legitimate traffic (fail-secure cases).\n"
       "Ryu columns show no interruption at all: phi2 never fired.\n");
+
+  const std::string json_path = bench::json_out_path(argc, argv);
+  if (!json_path.empty() &&
+      !bench::write_bench_json(json_path, "table2_interruption", "default",
+                               report.results_json())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return report.failed() == 0 ? 0 : 1;
 }

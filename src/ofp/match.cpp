@@ -135,6 +135,62 @@ bool Match::matches(const pkt::Packet& p, std::uint16_t port) const {
   return true;
 }
 
+bool Match::matches(const pkt::FlowKey& k) const {
+  if (!(wildcards & wc::kInPort) && in_port != k.in_port) return false;
+  if (!(wildcards & wc::kDlSrc) && dl_src.to_u64() != k.dl_src) return false;
+  if (!(wildcards & wc::kDlDst) && dl_dst.to_u64() != k.dl_dst) return false;
+  if (!(wildcards & wc::kDlVlan) && dl_vlan != k.dl_vlan) return false;
+  if (!(wildcards & wc::kDlVlanPcp) && dl_vlan_pcp != k.dl_vlan_pcp) return false;
+  if (!(wildcards & wc::kDlType) && dl_type != k.dl_type) return false;
+  if (!(wildcards & wc::kNwTos) && nw_tos != k.nw_tos) return false;
+  if (!(wildcards & wc::kNwProto) && nw_proto != k.nw_proto) return false;
+  {
+    const std::uint32_t mask = nw_mask(nw_src_wild_bits());
+    if ((nw_src.value & mask) != (k.nw_src & mask)) return false;
+  }
+  {
+    const std::uint32_t mask = nw_mask(nw_dst_wild_bits());
+    if ((nw_dst.value & mask) != (k.nw_dst & mask)) return false;
+  }
+  if (!(wildcards & wc::kTpSrc) && tp_src != k.tp_src) return false;
+  if (!(wildcards & wc::kTpDst) && tp_dst != k.tp_dst) return false;
+  return true;
+}
+
+pkt::FlowKey Match::key_projection() const {
+  pkt::FlowKey k;
+  k.in_port = in_port;
+  k.dl_src = dl_src.to_u64();
+  k.dl_dst = dl_dst.to_u64();
+  k.dl_vlan = dl_vlan;
+  k.dl_vlan_pcp = dl_vlan_pcp;
+  k.dl_type = dl_type;
+  k.nw_tos = nw_tos;
+  k.nw_proto = nw_proto;
+  k.nw_src = nw_src.value;
+  k.nw_dst = nw_dst.value;
+  k.tp_src = tp_src;
+  k.tp_dst = tp_dst;
+  return k;
+}
+
+pkt::FlowKey masked_flow_key(const pkt::FlowKey& key, std::uint32_t wildcards) {
+  pkt::FlowKey k = key;
+  if (wildcards & wc::kInPort) k.in_port = 0;
+  if (wildcards & wc::kDlSrc) k.dl_src = 0;
+  if (wildcards & wc::kDlDst) k.dl_dst = 0;
+  if (wildcards & wc::kDlVlan) k.dl_vlan = 0;
+  if (wildcards & wc::kDlVlanPcp) k.dl_vlan_pcp = 0;
+  if (wildcards & wc::kDlType) k.dl_type = 0;
+  if (wildcards & wc::kNwTos) k.nw_tos = 0;
+  if (wildcards & wc::kNwProto) k.nw_proto = 0;
+  k.nw_src &= nw_mask((wildcards & wc::kNwSrcMask) >> wc::kNwSrcShift);
+  k.nw_dst &= nw_mask((wildcards & wc::kNwDstMask) >> wc::kNwDstShift);
+  if (wildcards & wc::kTpSrc) k.tp_src = 0;
+  if (wildcards & wc::kTpDst) k.tp_dst = 0;
+  return k;
+}
+
 bool Match::subsumes(const Match& other) const {
   // For every boolean-wildcard field: we must be wildcarded wherever the
   // other match is, and agree on values where both are exact.

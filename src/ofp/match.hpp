@@ -7,6 +7,7 @@
 
 #include "common/bytes.hpp"
 #include "ofp/constants.hpp"
+#include "packet/flow_key.hpp"
 #include "packet/packet.hpp"
 
 namespace attain::ofp {
@@ -74,6 +75,18 @@ struct Match {
   /// True if `packet` arriving on `in_port` matches.
   bool matches(const pkt::Packet& packet, std::uint16_t in_port) const;
 
+  /// Key-based matching: equivalent to matches(packet, in_port) for
+  /// key == pkt::FlowKey::from_packet(packet, in_port), without re-parsing
+  /// the packet's header chain. This is the hot-path overload the flow
+  /// table classifier uses.
+  bool matches(const pkt::FlowKey& key) const;
+
+  /// Projects this match's field values into a FlowKey. For an exact match
+  /// (wildcards == 0) the projection is the unique key it matches — the
+  /// flow table's exact-match hash index is keyed on it. For wildcard
+  /// matches combine with masked_flow_key() to get the bucket key.
+  pkt::FlowKey key_projection() const;
+
   /// True if every flow matched by `other` is also matched by this match
   /// (this is equal-or-more-general). Used for non-strict FLOW_MOD
   /// delete/modify semantics.
@@ -92,5 +105,13 @@ struct Match {
   void encode(ByteWriter& w) const;
   static Match decode(ByteReader& r);
 };
+
+/// Canonicalizes `key` under an ofp_flow_wildcards mask: wildcarded fields
+/// are zeroed and the CIDR fields are masked to their significant bits, so
+/// two keys compare equal iff they are indistinguishable to any match with
+/// exactly these wildcards. Two same-wildcards matches are strictly_equals
+/// iff their masked key projections are equal — the property the flow
+/// table's per-mask wildcard buckets are built on.
+pkt::FlowKey masked_flow_key(const pkt::FlowKey& key, std::uint32_t wildcards);
 
 }  // namespace attain::ofp

@@ -1,16 +1,22 @@
 #include "sim/scheduler.hpp"
 
-#include <stdexcept>
+#include <utility>
 
 #include "common/log.hpp"
 
 namespace attain::sim {
 
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (sched_ == nullptr) return;
+  Scheduler::Slot& slot = sched_->pool_[slot_];
+  if (slot.gen == gen_ && slot.pending) slot.cancelled = true;
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+bool EventHandle::pending() const {
+  if (sched_ == nullptr) return false;
+  const Scheduler::Slot& slot = sched_->pool_[slot_];
+  return slot.gen == gen_ && slot.pending && !slot.cancelled;
+}
 
 Scheduler::Scheduler() {
   Logger::instance().set_clock([this] { return now_; });
@@ -18,32 +24,66 @@ Scheduler::Scheduler() {
 
 Scheduler::~Scheduler() { Logger::instance().set_clock({}); }
 
-EventHandle Scheduler::at(SimTime when, std::function<void()> fn) {
-  if (when < now_) {
-    throw std::invalid_argument("Scheduler::at: time " + std::to_string(when) +
-                                " is in the past (now=" + std::to_string(now_) + ")");
+std::uint32_t Scheduler::acquire_slot(std::function<void()> fn) {
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
   }
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, seq_++, std::move(fn), cancelled});
-  return EventHandle{std::move(cancelled)};
+  Slot& slot = pool_[index];
+  slot.fn = std::move(fn);
+  slot.cancelled = false;
+  slot.pending = true;
+  return index;
+}
+
+void Scheduler::release_slot(std::uint32_t index) {
+  Slot& slot = pool_[index];
+  slot.fn = nullptr;
+  slot.pending = false;
+  slot.cancelled = false;
+  ++slot.gen;  // invalidates outstanding handles
+  free_slots_.push_back(index);
+}
+
+EventHandle Scheduler::at(SimTime when, std::function<void()> fn) {
+  // Clamp instead of throwing: a stale timer (e.g. one computed from a
+  // deadline that already elapsed) fires immediately rather than running
+  // virtual time backwards through the event loop.
+  if (when < now_) when = now_;
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  const std::uint32_t gen = pool_[slot].gen;
+  queue_.push(QueuedEvent{when, seq_++, slot, gen});
+  return EventHandle{this, slot, gen};
 }
 
 EventHandle Scheduler::after(SimTime delay, std::function<void()> fn) {
   return at(now_ + delay, std::move(fn));
 }
 
-void Scheduler::dispatch(Event& ev) {
-  now_ = ev.when;
-  if (!*ev.cancelled) {
-    *ev.cancelled = true;  // marks the handle as no longer pending
+void Scheduler::dispatch(const QueuedEvent& ev) {
+  now_ = ev.when;  // cancelled events still advance the clock (as seeded)
+  Slot& slot = pool_[ev.slot];
+  // The queue entry owns its slot for exactly one generation, so a
+  // generation mismatch is impossible here; cancelled is the only flag.
+  const bool fire = !slot.cancelled;
+  std::function<void()> fn;
+  if (fire) fn = std::move(slot.fn);
+  // Recycle before invoking: the callback may schedule new events into the
+  // slot we just freed, which is fine — `fn` was moved out first.
+  release_slot(ev.slot);
+  if (fire) {
     ++executed_;
-    ev.fn();
+    fn();
   }
 }
 
 void Scheduler::run() {
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const QueuedEvent ev = queue_.top();
     queue_.pop();
     dispatch(ev);
   }
@@ -51,7 +91,7 @@ void Scheduler::run() {
 
 void Scheduler::run_until(SimTime deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const QueuedEvent ev = queue_.top();
     queue_.pop();
     dispatch(ev);
   }

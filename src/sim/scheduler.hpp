@@ -1,11 +1,19 @@
 // Deterministic discrete-event scheduler. All network elements (links,
 // switches, controllers, hosts, the injector) schedule callbacks on a single
 // Scheduler instance; virtual time advances only through run()/run_until().
+//
+// Events live in a slab-recycled pool: the priority queue holds plain
+// 24-byte records and cancellation uses (slot, generation) tags, so
+// scheduling an event performs no allocation beyond the pooled
+// std::function state (which is itself recycled, and allocation-free for
+// callables that fit the small-buffer optimization — every hot-path lambda
+// in the simulator does). The seed's per-event shared_ptr<bool> control
+// block is gone; bench_flow_lookup and the sweep benches measure the
+// difference on large grids.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -13,8 +21,12 @@
 
 namespace attain::sim {
 
+class Scheduler;
+
 /// Handle for a scheduled event; lets the owner cancel it. Copyable; all
-/// copies refer to the same pending event.
+/// copies refer to the same pending event. A handle is a (slot, generation)
+/// tag into the scheduler's event pool and must not outlive the Scheduler
+/// that issued it.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -27,9 +39,12 @@ class EventHandle {
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  EventHandle(Scheduler* sched, std::uint32_t slot, std::uint32_t gen)
+      : sched_(sched), slot_(slot), gen_(gen) {}
 
-  std::shared_ptr<bool> cancelled_;
+  Scheduler* sched_{nullptr};
+  std::uint32_t slot_{0};
+  std::uint32_t gen_{0};
 };
 
 /// Min-heap event loop keyed by (time, sequence). Ties break in insertion
@@ -44,7 +59,9 @@ class Scheduler {
 
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute virtual time `when` (>= now).
+  /// Schedules `fn` to run at absolute virtual time `when`. A `when` in the
+  /// past is clamped to now(): stale timers fire immediately instead of
+  /// running time backwards (or blowing up mid-simulation).
   EventHandle at(SimTime when, std::function<void()> fn);
 
   /// Schedules `fn` to run `delay` microseconds from now.
@@ -63,24 +80,40 @@ class Scheduler {
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// Pooled event state; the heap refers to it by slot index + generation.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen{0};
+    bool cancelled{false};
+    bool pending{false};
+  };
+  /// What the priority queue actually orders: plain values, no ownership.
+  struct QueuedEvent {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
 
-  void dispatch(Event& ev);
+  std::uint32_t acquire_slot(std::function<void()> fn);
+  /// Recycles a slot: bumps the generation (invalidating handles) and
+  /// returns the std::function state to the pool for reuse.
+  void release_slot(std::uint32_t slot);
+  void dispatch(const QueuedEvent& ev);
 
   SimTime now_{0};
   std::uint64_t seq_{0};
   std::uint64_t executed_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::vector<Slot> pool_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace attain::sim

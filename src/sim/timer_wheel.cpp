@@ -1,0 +1,91 @@
+#include "sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace attain::sim {
+
+void TimerWheel::schedule(SimTime deadline, std::uint64_t cookie) {
+  place(deadline, cookie, tick_of(now_));
+  ++pending_;
+}
+
+void TimerWheel::place(SimTime deadline, std::uint64_t cookie, std::int64_t now_tick) {
+  // Past (or current-tick) deadlines park in the current slot so the next
+  // advance() pops them.
+  const std::int64_t dtick = std::max(tick_of(deadline), now_tick);
+  const std::int64_t dt = dtick - now_tick;
+  int level = 0;
+  for (std::int64_t span = kSlots; level < kLevels - 1 && dt >= span; span <<= kSlotBits) {
+    ++level;
+  }
+  // Beyond the top-level horizon the slot aliases; the timer re-cascades
+  // each pass until its deadline enters range. Firing stays exact because
+  // only level 0 fires and place() always recomputes from the deadline.
+  const std::size_t slot =
+      static_cast<std::size_t>((dtick >> (kSlotBits * level)) & (kSlots - 1));
+  slots_[static_cast<std::size_t>(level)][slot].push_back(Timer{deadline, cookie});
+}
+
+void TimerWheel::cascade(int level, std::size_t slot) {
+  std::vector<Timer> moved = std::move(slots_[static_cast<std::size_t>(level)][slot]);
+  slots_[static_cast<std::size_t>(level)][slot].clear();
+  const std::int64_t now_tick = tick_of(now_);
+  for (const Timer& t : moved) {
+    place(t.deadline, t.cookie, now_tick);
+  }
+}
+
+void TimerWheel::advance(SimTime now, std::vector<std::uint64_t>& due) {
+  if (now < now_) return;  // monotonicity guard (no-op on equal/backward)
+  if (pending_ == 0) {
+    now_ = now;
+    return;
+  }
+  const std::int64_t start_tick = tick_of(now_);
+  const std::int64_t final_tick = tick_of(now);
+  for (std::int64_t t = start_tick; t <= final_tick; ++t) {
+    now_ = std::max(now_, std::min(now, t << kTickShift));
+    if (t > start_tick) {
+      // Entering a new tick: cascade any wrapping higher-level slots,
+      // highest level first so re-placed timers settle in one pass.
+      for (int level = kLevels - 1; level >= 1; --level) {
+        const std::int64_t period = std::int64_t{1} << (kSlotBits * level);
+        if (t % period == 0) {
+          cascade(level, static_cast<std::size_t>((t >> (kSlotBits * level)) & (kSlots - 1)));
+        }
+      }
+    }
+    std::vector<Timer>& slot = slots_[0][static_cast<std::size_t>(t & (kSlots - 1))];
+    if (slot.empty()) continue;
+    if (t < final_tick) {
+      // Every timer here has a deadline inside a fully elapsed tick.
+      for (const Timer& timer : slot) due.push_back(timer.cookie);
+      pending_ -= slot.size();
+      slot.clear();
+    } else {
+      // Current tick: only deadlines at or before `now` are due.
+      std::size_t keep = 0;
+      for (Timer& timer : slot) {
+        if (timer.deadline <= now) {
+          due.push_back(timer.cookie);
+          --pending_;
+        } else {
+          slot[keep++] = timer;
+        }
+      }
+      slot.resize(keep);
+    }
+  }
+  now_ = now;
+}
+
+void TimerWheel::reset(SimTime start) {
+  for (auto& level : slots_) {
+    for (auto& slot : level) slot.clear();
+  }
+  pending_ = 0;
+  now_ = start;
+}
+
+}  // namespace attain::sim

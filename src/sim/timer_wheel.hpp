@@ -1,0 +1,64 @@
+// Hierarchical timer wheel over SimTime deadlines. Four levels of 64 slots
+// with a 2^16 µs (~65 ms) base tick: level 0 resolves individual ticks,
+// each higher level covers 64x the span of the one below (~4.3 s, ~4.6 min,
+// ~4.9 h per slot at the top); deadlines beyond the horizon park in the
+// furthest top-level slot and re-cascade. schedule() and advance() are
+// amortized O(1) per timer — the flow table uses one wheel per switch so an
+// expiry tick touches only the entries whose deadline actually arrived,
+// instead of rescanning the whole table (the seed's O(entries) expire()).
+//
+// Timers are one-shot (cookie, deadline) pairs. The wheel never invokes
+// callbacks: advance() hands due cookies back to the caller, who owns
+// validity (a caller that cancels a timer simply ignores the stale cookie
+// when it pops — the generation-tag idiom FlowTable uses).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace attain::sim {
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(SimTime start = 0) : now_(start) {}
+
+  /// Registers `cookie` to fire once `deadline` is reached. A deadline at
+  /// or before the current wheel time fires on the next advance().
+  void schedule(SimTime deadline, std::uint64_t cookie);
+
+  /// Appends every cookie whose deadline is <= `now` to `due` (deadline
+  /// order is NOT guaranteed — callers needing an order sort the popped
+  /// set) and advances the wheel clock. `now` must be monotone.
+  void advance(SimTime now, std::vector<std::uint64_t>& due);
+
+  std::size_t pending() const { return pending_; }
+  SimTime now() const { return now_; }
+
+  /// Drops all timers and resets the clock to `start`.
+  void reset(SimTime start = 0);
+
+ private:
+  static constexpr int kTickShift = 16;  // 65.536 ms per level-0 tick
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;  // 64
+  static constexpr int kLevels = 4;
+
+  struct Timer {
+    SimTime deadline;
+    std::uint64_t cookie;
+  };
+
+  static std::int64_t tick_of(SimTime t) { return t >> kTickShift; }
+  void place(SimTime deadline, std::uint64_t cookie, std::int64_t now_tick);
+  void cascade(int level, std::size_t slot);
+
+  std::array<std::array<std::vector<Timer>, kSlots>, kLevels> slots_;
+  SimTime now_;
+  std::size_t pending_{0};
+};
+
+}  // namespace attain::sim

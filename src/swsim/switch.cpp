@@ -180,19 +180,19 @@ void OpenFlowSwitch::handle_stats_request(std::uint32_t xid, const ofp::StatsReq
     case ofp::StatsType::Flow: {
       const auto& body = std::get<ofp::FlowStatsRequest>(req.body);
       std::vector<ofp::FlowStatsEntry> entries;
-      for (const FlowEntry& e : table_.entries()) {
-        if (!body.match.subsumes(e.match)) continue;
+      for (const FlowEntry* e : table_.entries()) {
+        if (!body.match.subsumes(e->match)) continue;
         ofp::FlowStatsEntry out;
-        out.match = e.match;
-        out.priority = e.priority;
-        out.idle_timeout = e.idle_timeout;
-        out.hard_timeout = e.hard_timeout;
-        out.cookie = e.cookie;
-        out.packet_count = e.packet_count;
-        out.byte_count = e.byte_count;
+        out.match = e->match;
+        out.priority = e->priority;
+        out.idle_timeout = e->idle_timeout;
+        out.hard_timeout = e->hard_timeout;
+        out.cookie = e->cookie;
+        out.packet_count = e->packet_count;
+        out.byte_count = e->byte_count;
         out.duration_sec =
-            static_cast<std::uint32_t>((sched_.now() - e.installed_at) / kSecond);
-        out.actions = e.actions;
+            static_cast<std::uint32_t>((sched_.now() - e->installed_at) / kSecond);
+        out.actions = e->actions;
         entries.push_back(std::move(out));
       }
       reply.body = std::move(entries);
@@ -201,10 +201,10 @@ void OpenFlowSwitch::handle_stats_request(std::uint32_t xid, const ofp::StatsReq
     case ofp::StatsType::Aggregate: {
       const auto& body = std::get<ofp::AggregateStatsRequest>(req.body);
       ofp::AggregateStats agg;
-      for (const FlowEntry& e : table_.entries()) {
-        if (!body.match.subsumes(e.match)) continue;
-        agg.packet_count += e.packet_count;
-        agg.byte_count += e.byte_count;
+      for (const FlowEntry* e : table_.entries()) {
+        if (!body.match.subsumes(e->match)) continue;
+        agg.packet_count += e->packet_count;
+        agg.byte_count += e->byte_count;
         ++agg.flow_count;
       }
       reply.body = agg;
@@ -304,7 +304,10 @@ void OpenFlowSwitch::set_port_up(std::uint16_t port, bool up) {
 
 void OpenFlowSwitch::on_packet(std::uint16_t port, pkt::Packet packet) {
   ++counters_.packets_in;
-  const FlowEntry* entry = table_.match_packet(packet, port, sched_.now(), packet.wire_size());
+  // Fast path: the 12-tuple key is extracted exactly once per packet; the
+  // classifier never re-parses the header chain per entry.
+  const pkt::FlowKey key = pkt::FlowKey::from_packet(packet, port);
+  const FlowEntry* entry = table_.match_packet(key, sched_.now(), packet.wire_size());
   if (entry != nullptr) {
     apply_actions(entry->actions, std::move(packet), port);
     return;

@@ -1,0 +1,156 @@
+// FlowKey: the precomputed packet 12-tuple the fast path hashes on. The
+// load-bearing property is equivalence with Match::matches on the raw
+// packet — if these ever diverge, the classifier and the seed scan pick
+// different entries.
+#include "packet/flow_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "ofp/match.hpp"
+
+namespace attain::pkt {
+namespace {
+
+Packet random_packet(Rng& rng) {
+  const std::uint64_t src = 1 + rng.next_below(6);
+  const std::uint64_t dst = 1 + rng.next_below(6);
+  switch (rng.next_below(3)) {
+    case 0:
+      return make_arp_request(MacAddress::from_u64(src),
+                              Ipv4Address{static_cast<std::uint32_t>(src)},
+                              Ipv4Address{static_cast<std::uint32_t>(dst)});
+    case 1:
+      return make_icmp_echo(MacAddress::from_u64(src), MacAddress::from_u64(dst),
+                            Ipv4Address{static_cast<std::uint32_t>(src)},
+                            Ipv4Address{static_cast<std::uint32_t>(dst)},
+                            rng.chance(0.5) ? IcmpType::EchoRequest : IcmpType::EchoReply, 1,
+                            static_cast<std::uint16_t>(rng.next_below(100)), 0);
+    default: {
+      TcpHeader tcp;
+      tcp.src_port = static_cast<std::uint16_t>(1024 + rng.next_below(1000));
+      tcp.dst_port = static_cast<std::uint16_t>(rng.next_below(1024));
+      return make_tcp(MacAddress::from_u64(src), MacAddress::from_u64(dst),
+                      Ipv4Address{static_cast<std::uint32_t>(src)},
+                      Ipv4Address{static_cast<std::uint32_t>(dst)}, tcp,
+                      static_cast<std::uint32_t>(rng.next_below(1400)), 0);
+    }
+  }
+}
+
+ofp::Match generalize(ofp::Match m, Rng& rng) {
+  const std::uint32_t bool_bits[] = {ofp::wc::kInPort, ofp::wc::kDlSrc,     ofp::wc::kDlDst,
+                                     ofp::wc::kDlVlan, ofp::wc::kDlVlanPcp, ofp::wc::kDlType,
+                                     ofp::wc::kNwTos,  ofp::wc::kNwProto,   ofp::wc::kTpSrc,
+                                     ofp::wc::kTpDst};
+  for (const std::uint32_t bit : bool_bits) {
+    if (rng.chance(0.4)) m.wildcards |= bit;
+  }
+  if (rng.chance(0.4)) {
+    m.set_nw_src_wild_bits(m.nw_src_wild_bits() + static_cast<std::uint32_t>(rng.next_below(33)));
+  }
+  if (rng.chance(0.4)) {
+    m.set_nw_dst_wild_bits(m.nw_dst_wild_bits() + static_cast<std::uint32_t>(rng.next_below(33)));
+  }
+  return m;
+}
+
+TEST(FlowKey, MatchOnKeyAgreesWithMatchOnPacket) {
+  // The central equivalence: for every (match, packet, port),
+  //   m.matches(p, port) == m.matches(FlowKey::from_packet(p, port)).
+  Rng rng(7101);
+  for (int i = 0; i < 5000; ++i) {
+    const Packet p = random_packet(rng);
+    const std::uint16_t port = static_cast<std::uint16_t>(1 + rng.next_below(4));
+    const FlowKey key = FlowKey::from_packet(p, port);
+    // Test against matches derived from this packet, a different packet,
+    // and generalizations of both — hits and misses alike must agree.
+    const Packet other = random_packet(rng);
+    const ofp::Match candidates[] = {
+        ofp::Match::from_packet(p, port),
+        ofp::Match::from_packet(other, port),
+        generalize(ofp::Match::from_packet(p, port), rng),
+        generalize(ofp::Match::from_packet(other, rng.chance(0.5) ? port : port + 1), rng),
+        ofp::Match::wildcard_all(),
+    };
+    for (const ofp::Match& m : candidates) {
+      EXPECT_EQ(m.matches(p, port), m.matches(key))
+          << m.to_string() << " vs " << p.summary() << " port " << port;
+    }
+  }
+}
+
+TEST(FlowKey, ExactProjectionRoundTrips) {
+  // An exact match built from a packet projects back to that packet's key,
+  // so tier-1 hash probes find exactly the entries that would match. Only
+  // L4-bearing packets yield fully exact matches (ARP wildcards tos/ports
+  // per OF1.0), so gate on is_exact and make sure we saw plenty.
+  Rng rng(7202);
+  int exact_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Packet p = random_packet(rng);
+    const std::uint16_t port = static_cast<std::uint16_t>(1 + rng.next_below(4));
+    const ofp::Match m = ofp::Match::from_packet(p, port);
+    const FlowKey key = FlowKey::from_packet(p, port);
+    if (m.is_exact()) {
+      ++exact_count;
+      EXPECT_EQ(m.key_projection(), key);
+    }
+    // Exact or not, the masked projection of a from_packet match equals the
+    // masked packet key — the invariant tier-2 bucket probes rely on.
+    EXPECT_EQ(ofp::masked_flow_key(m.key_projection(), m.wildcards),
+              ofp::masked_flow_key(key, m.wildcards));
+  }
+  EXPECT_GT(exact_count, 500);
+}
+
+TEST(FlowKey, MaskedProjectionEqualityMatchesStrictEquality) {
+  // For two matches with the same wildcard mask: strictly_equals iff their
+  // masked key projections are equal. This is what lets FlowTable resolve
+  // strict FLOW_MODs with a single hash probe.
+  Rng rng(7303);
+  int same_mask = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const ofp::Match a = generalize(ofp::Match::from_packet(random_packet(rng), 1), rng);
+    const ofp::Match b = rng.chance(0.3)
+                             ? a
+                             : generalize(ofp::Match::from_packet(random_packet(rng), 1), rng);
+    if (a.wildcards != b.wildcards) continue;
+    ++same_mask;
+    const FlowKey ka = ofp::masked_flow_key(a.key_projection(), a.wildcards);
+    const FlowKey kb = ofp::masked_flow_key(b.key_projection(), b.wildcards);
+    EXPECT_EQ(a.strictly_equals(b), ka == kb) << a.to_string() << " vs " << b.to_string();
+  }
+  EXPECT_GT(same_mask, 1000);
+}
+
+TEST(FlowKey, EqualKeysHashEqual) {
+  Rng rng(7404);
+  for (int i = 0; i < 1000; ++i) {
+    const Packet p = random_packet(rng);
+    const FlowKey a = FlowKey::from_packet(p, 3);
+    const FlowKey b = FlowKey::from_packet(p, 3);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a, FlowKey::from_packet(p, 4));  // in_port participates
+  }
+}
+
+TEST(FlowKey, HashSpreadsDistinctKeys) {
+  // Not a strict requirement, but a collapse here would silently turn the
+  // hash maps back into linear scans; guard against gross regressions.
+  Rng rng(7505);
+  std::unordered_set<std::size_t> hashes;
+  std::unordered_set<FlowKey, FlowKeyHash> keys;
+  for (int i = 0; i < 4000; ++i) {
+    keys.insert(FlowKey::from_packet(random_packet(rng),
+                                     static_cast<std::uint16_t>(1 + rng.next_below(8))));
+  }
+  for (const FlowKey& k : keys) hashes.insert(k.hash());
+  EXPECT_GT(hashes.size(), keys.size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace attain::pkt

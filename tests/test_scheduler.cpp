@@ -38,12 +38,32 @@ TEST(Scheduler, AfterSchedulesRelativeToNow) {
   EXPECT_EQ(fired_at, 75);
 }
 
-TEST(Scheduler, PastTimeThrows) {
+TEST(Scheduler, PastTimeClampsToNow) {
+  // Regression: at(when < now()) used to throw, which made callers that
+  // compute deadlines from stale timestamps brittle. It now clamps to
+  // now(), firing the event immediately — and time never moves backwards.
   Scheduler sched;
+  std::vector<SimTime> fired;
   sched.at(10, [&] {
-    EXPECT_THROW(sched.at(5, [] {}), std::invalid_argument);
+    sched.at(5, [&] { fired.push_back(sched.now()); });
+    sched.at(20, [&] { fired.push_back(sched.now()); });
   });
   sched.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sched.now(), 20);
+}
+
+TEST(Scheduler, ClampedEventsFireAfterAlreadyQueuedEventsAtNow) {
+  // A clamped event lands at now() *behind* events already queued for that
+  // instant: insertion order among equal timestamps is preserved.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(10, [&] {
+    sched.at(10, [&] { order.push_back(1); });  // same-time, queued first
+    sched.at(3, [&] { order.push_back(2); });   // clamped to 10, queued second
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(Scheduler, CancelPreventsExecution) {
@@ -63,6 +83,33 @@ TEST(Scheduler, HandleNotPendingAfterFire) {
   sched.run();
   EXPECT_FALSE(handle.pending());
   handle.cancel();  // safe no-op
+}
+
+TEST(Scheduler, StaleHandleCannotCancelRecycledSlot) {
+  // The event pool recycles slots; a handle from a fired event must not
+  // cancel a later event that happens to reuse the same slot (generation
+  // tags disambiguate).
+  Scheduler sched;
+  EventHandle first = sched.at(10, [] {});
+  sched.run_until(10);
+  EXPECT_FALSE(first.pending());
+
+  bool fired = false;
+  EventHandle second = sched.at(20, [&] { fired = true; });
+  first.cancel();  // stale generation: must be a no-op
+  EXPECT_TRUE(second.pending());
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, CancelledEventsStillAdvanceTimeButDoNotCount) {
+  Scheduler sched;
+  EventHandle handle = sched.at(10, [] {});
+  sched.at(20, [] {});
+  handle.cancel();
+  sched.run();
+  EXPECT_EQ(sched.now(), 20);
+  EXPECT_EQ(sched.events_executed(), 1u);  // the cancelled one is not counted
 }
 
 TEST(Scheduler, RunUntilStopsAtDeadline) {

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Collect and check the committed benchmark baseline (BENCH_flowtable.json).
+
+Two subcommands (stdlib only, no third-party deps):
+
+  collect   Merge google-benchmark JSON output files (--gbench, repeatable)
+            and custom-harness --json output files (--harness, repeatable)
+            into one baseline document written to --out.
+
+  check     Compare a fresh google-benchmark JSON run (--current) against a
+            committed baseline (--baseline); exit non-zero if any benchmark
+            present in both is slower than --max-slowdown x the baseline
+            (default 5.0). Benchmarks missing on either side are reported
+            but do not fail the check (table sizes and regimes may grow).
+
+Baseline schema (see docs/perf.md):
+
+  {
+    "schema": 1,
+    "benchmarks": { "<name>": {"real_time": ns, "cpu_time": ns,
+                                "time_unit": "ns"} },
+    "harness":    { "<bench>": <wrapper doc from bench_json.hpp> }
+  }
+
+Typical refresh (Release build, quiet machine):
+
+  cmake -B build-rel -DCMAKE_BUILD_TYPE=Release && \
+  cmake --build build-rel -j --target bench_flow_lookup \
+      bench_scalability_rules bench_fig11_throughput
+  build-rel/bench/bench_flow_lookup --benchmark_format=json > /tmp/fl.json
+  build-rel/bench/bench_scalability_rules --benchmark_format=json > /tmp/sr.json
+  build-rel/bench/bench_fig11_throughput --json /tmp/fig11.json
+  tools/bench_baseline.py collect --gbench /tmp/fl.json --gbench /tmp/sr.json \
+      --harness /tmp/fig11.json --out BENCH_flowtable.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def gbench_entries(doc):
+    """Yields (name, record) for each benchmark in a google-benchmark doc,
+    skipping aggregate rows (mean/median/stddev/BigO/RMS)."""
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if any(name.endswith(s) for s in ("_BigO", "_RMS", "_mean", "_median", "_stddev")):
+            continue
+        yield name, {
+            "real_time": b.get("real_time"),
+            "cpu_time": b.get("cpu_time"),
+            "time_unit": b.get("time_unit", "ns"),
+        }
+
+
+def cmd_collect(args):
+    baseline = {"schema": 1, "benchmarks": {}, "harness": {}}
+    for path in args.gbench:
+        doc = load_json(path)
+        for name, rec in gbench_entries(doc):
+            baseline["benchmarks"][name] = rec
+    for path in args.harness:
+        doc = load_json(path)
+        bench_name = doc.get("bench")
+        if not bench_name:
+            sys.exit(f"{path}: not a bench_json.hpp wrapper document (no 'bench' key)")
+        baseline["harness"][bench_name] = doc
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(baseline['benchmarks'])} benchmarks, "
+          f"{len(baseline['harness'])} harness documents")
+    return 0
+
+
+def cmd_check(args):
+    baseline = load_json(args.baseline)
+    if baseline.get("schema") != 1:
+        sys.exit(f"{args.baseline}: unknown schema {baseline.get('schema')!r}")
+    base = baseline.get("benchmarks", {})
+    current = dict(gbench_entries(load_json(args.current)))
+
+    failures = []
+    compared = 0
+    for name, cur in sorted(current.items()):
+        ref = base.get(name)
+        if ref is None:
+            print(f"  [new]   {name} (not in baseline, skipped)")
+            continue
+        if ref.get("time_unit") != cur.get("time_unit"):
+            sys.exit(f"{name}: time_unit mismatch "
+                     f"({ref.get('time_unit')} vs {cur.get('time_unit')})")
+        compared += 1
+        ratio = cur["real_time"] / ref["real_time"] if ref["real_time"] else float("inf")
+        status = "FAIL" if ratio > args.max_slowdown else "ok"
+        print(f"  [{status:>4}] {name}: {cur['real_time']:.1f} vs baseline "
+              f"{ref['real_time']:.1f} {ref.get('time_unit', 'ns')} ({ratio:.2f}x)")
+        if ratio > args.max_slowdown:
+            failures.append((name, ratio))
+    for name in sorted(set(base) - set(current)):
+        print(f"  [gone]  {name} (in baseline, not in current run)")
+
+    if compared == 0:
+        sys.exit("no overlapping benchmarks between baseline and current run")
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.max_slowdown}x:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} overlapping benchmarks within "
+          f"{args.max_slowdown}x of baseline")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_collect = sub.add_parser("collect", help="merge bench outputs into a baseline")
+    p_collect.add_argument("--gbench", action="append", default=[],
+                           help="google-benchmark --benchmark_format=json output (repeatable)")
+    p_collect.add_argument("--harness", action="append", default=[],
+                           help="custom-harness --json output (repeatable)")
+    p_collect.add_argument("--out", required=True, help="baseline file to write")
+    p_collect.set_defaults(func=cmd_collect)
+
+    p_check = sub.add_parser("check", help="fail if current run regressed vs baseline")
+    p_check.add_argument("--baseline", required=True, help="committed baseline JSON")
+    p_check.add_argument("--current", required=True,
+                         help="fresh google-benchmark JSON to compare")
+    p_check.add_argument("--max-slowdown", type=float, default=5.0,
+                         help="failure threshold as current/baseline ratio (default 5)")
+    p_check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()
