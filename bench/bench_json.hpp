@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace attain::bench {
 
@@ -23,16 +25,33 @@ inline std::string json_out_path(int argc, char** argv) {
   return {};
 }
 
-/// Writes `{"bench": <name>, "mode": <mode>, "results": <results_json>}` to
-/// `path`. `results_json` must already be a valid JSON document (it is
-/// embedded verbatim, keeping the sweep engine's byte-determinism
-/// guarantee intact). Returns false on I/O failure.
+/// Ordered numeric metrics a harness bench wants recorded in the baseline
+/// (e.g. wall-clock seconds). tools/bench_baseline.py compares keys ending
+/// in "_seconds" against the committed baseline with the same slowdown gate
+/// it applies to google-benchmark timings.
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+/// Writes `{"bench": <name>, "mode": <mode>[, "metrics": {...}],
+/// "results": <results_json>}` to `path`. `results_json` must already be a
+/// valid JSON document (it is embedded verbatim, keeping the sweep engine's
+/// byte-determinism guarantee intact). Returns false on I/O failure.
 inline bool write_bench_json(const std::string& path, const std::string& name,
-                             const std::string& mode, const std::string& results_json) {
+                             const std::string& mode, const std::string& results_json,
+                             const Metrics& metrics = {}) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
-  const std::string doc =
-      "{\"bench\":\"" + name + "\",\"mode\":\"" + mode + "\",\"results\":" + results_json + "}\n";
+  std::string doc = "{\"bench\":\"" + name + "\",\"mode\":\"" + mode + "\"";
+  if (!metrics.empty()) {
+    doc += ",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.6f", metrics[i].second);
+      if (i != 0) doc += ',';
+      doc += "\"" + metrics[i].first + "\":" + num;
+    }
+    doc += '}';
+  }
+  doc += ",\"results\":" + results_json + "}\n";
   const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
   return std::fclose(f) == 0 && ok;
 }

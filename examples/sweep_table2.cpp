@@ -3,18 +3,45 @@
 // parallel with sweep::SweepRunner, and renders the paper's table plus the
 // per-run row view and the machine-readable JSON document. This is the
 // worked example from docs/sweep.md.
+//
+// `--warm-start {on,off}` toggles copy-on-write warm-start forking
+// (default off): with it on, each controller's fail-safe/fail-secure pair
+// shares one warm-up and the report counts the forked cells.
 #include <cstdio>
+#include <cstring>
 
 #include "scenario/experiment.hpp"
 #include "sweep/sweep.hpp"
 
 using namespace attain;
 
-int main() {
+int main(int argc, char** argv) {
+  bool warm_start = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--warm-start") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], "--warm-start=", 13) == 0) {
+      value = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "usage: %s [--warm-start {on,off}]\n", argv[0]);
+      return 2;
+    }
+    if (std::strcmp(value, "on") == 0) {
+      warm_start = true;
+    } else if (std::strcmp(value, "off") == 0) {
+      warm_start = false;
+    } else {
+      std::fprintf(stderr, "--warm-start takes 'on' or 'off', got '%s'\n", value);
+      return 2;
+    }
+  }
+
   const std::vector<scenario::RunSpec> grid = scenario::table2_grid();
 
   sweep::SweepOptions options;
   options.threads = 0;  // one per hardware core
+  options.warm_start = warm_start;
   options.on_progress = sweep::make_progress_printer();
   const sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
 

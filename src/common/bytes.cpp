@@ -74,11 +74,15 @@ std::uint64_t ByteReader::u64() {
 }
 
 Bytes ByteReader::raw(std::size_t n) {
+  const std::span<const std::uint8_t> v = view(n);
+  return Bytes(v.begin(), v.end());
+}
+
+std::span<const std::uint8_t> ByteReader::view(std::size_t n) {
   require(n);
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const std::span<const std::uint8_t> v = data_.subspan(pos_, n);
   pos_ += n;
-  return out;
+  return v;
 }
 
 void ByteReader::skip(std::size_t n) {

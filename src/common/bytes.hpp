@@ -56,6 +56,11 @@ class ByteReader {
   std::uint64_t u64();
   /// Copies `n` bytes out of the buffer.
   Bytes raw(std::size_t n);
+  /// Zero-copy read: returns a bounds-checked view of the next `n` bytes
+  /// and advances past them. The span aliases the reader's source buffer,
+  /// so it is valid only while that buffer outlives the caller's use —
+  /// decode sites that store the bytes must copy (use raw()).
+  std::span<const std::uint8_t> view(std::size_t n);
   /// Skips `n` padding bytes.
   void skip(std::size_t n);
   /// Reads a fixed-width zero-padded ASCII field, trimming trailing NULs.

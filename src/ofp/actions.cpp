@@ -208,14 +208,14 @@ Action decode_action(ByteReader& r) {
       return ActionStripVlan{};
     case ActionType::SetDlSrc: {
       ActionSetDlSrc a;
-      const Bytes mac = r.raw(6);
+      const auto mac = r.view(6);
       std::copy(mac.begin(), mac.end(), a.mac.octets.begin());
       r.skip(6);
       return a;
     }
     case ActionType::SetDlDst: {
       ActionSetDlDst a;
-      const Bytes mac = r.raw(6);
+      const auto mac = r.view(6);
       std::copy(mac.begin(), mac.end(), a.mac.octets.begin());
       r.skip(6);
       return a;

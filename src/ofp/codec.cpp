@@ -19,7 +19,7 @@ void encode_phy_port(ByteWriter& w, const PhyPort& port) {
 PhyPort decode_phy_port(ByteReader& r) {
   PhyPort port;
   port.port_no = r.u16();
-  const Bytes mac = r.raw(6);
+  const auto mac = r.view(6);
   std::copy(mac.begin(), mac.end(), port.hw_addr.octets.begin());
   port.name = r.fixed_string(16);
   port.config = r.u32();
@@ -307,7 +307,7 @@ Body decode_body(MsgType type, ByteReader& r) {
     case MsgType::PortMod: {
       PortMod m;
       m.port_no = r.u16();
-      const Bytes mac = r.raw(6);
+      const auto mac = r.view(6);
       std::copy(mac.begin(), mac.end(), m.hw_addr.octets.begin());
       m.config = r.u32();
       m.mask = r.u32();

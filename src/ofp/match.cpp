@@ -290,9 +290,9 @@ Match Match::decode(ByteReader& r) {
   Match m;
   m.wildcards = r.u32();
   m.in_port = r.u16();
-  const Bytes src = r.raw(6);
+  const auto src = r.view(6);
   std::copy(src.begin(), src.end(), m.dl_src.octets.begin());
-  const Bytes dst = r.raw(6);
+  const auto dst = r.view(6);
   std::copy(dst.begin(), dst.end(), m.dl_dst.octets.begin());
   m.dl_vlan = r.u16();
   m.dl_vlan_pcp = r.u8();

@@ -120,8 +120,8 @@ Bytes encode(const Packet& p) {
 Packet decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   Packet p;
-  const Bytes dst = r.raw(6);
-  const Bytes src = r.raw(6);
+  const auto dst = r.view(6);
+  const auto src = r.view(6);
   std::copy(dst.begin(), dst.end(), p.eth.dst.octets.begin());
   std::copy(src.begin(), src.end(), p.eth.src.octets.begin());
   std::uint16_t ether_type = r.u16();
@@ -137,10 +137,10 @@ Packet decode(std::span<const std::uint8_t> data) {
     r.skip(6);  // htype, ptype, hlen, plen
     ArpHeader arp;
     arp.op = static_cast<ArpOp>(r.u16());
-    const Bytes smac = r.raw(6);
+    const auto smac = r.view(6);
     std::copy(smac.begin(), smac.end(), arp.sender_mac.octets.begin());
     arp.sender_ip.value = r.u32();
-    const Bytes tmac = r.raw(6);
+    const auto tmac = r.view(6);
     std::copy(tmac.begin(), tmac.end(), arp.target_mac.octets.begin());
     arp.target_ip.value = r.u32();
     p.arp = arp;

@@ -1,5 +1,6 @@
 #include "scenario/experiment.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 #include "attain/dsl/parser.hpp"
@@ -237,74 +238,101 @@ void SuppressionResult::write_json_fields(JsonWriter& w) const {
 
 namespace {
 
-SuppressionResult run_suppression_cell(const RunSpec& spec) {
-  TestbedOptions options;
-  options.controller = spec.controller;
-  Testbed bed(make_enterprise_model(), options);
-  auto& sched = bed.scheduler();
+/// Phase A of the suppression experiment: testbed built and the full
+/// workload scripted, minus attack arming (a fork-time parameter applied
+/// by finish()). The schedule must stay in lockstep with
+/// suppression_end() in scenario/run.cpp.
+class SuppressionWarmup final : public WarmupPhase {
+ public:
+  explicit SuppressionWarmup(const RunSpec& rep) : rep_(rep) {
+    TestbedOptions options;
+    options.controller = rep_.controller;
+    bed_ = std::make_unique<Testbed>(make_enterprise_model(), options);
+    auto& sched = bed_->scheduler();
 
-  // §VII-B timing: controller at t=0 (always-on here), injector armed to
-  // σ1 at t=5 s, switches connect afterwards so every message is
-  // interposed, ping at t=30 s, iperf afterwards.
-  if (spec.attack_enabled) {
-    bed.arm_attack_at(seconds(5), flow_mod_suppression_dsl());
+    // §VII-B timing: controller at t=0 (always-on here), injector armed to
+    // σ1 at t=5 s (by finish(), before any control traffic), switches
+    // connect at t=6 s so every message is interposed, ping at t=30 s,
+    // iperf afterwards.
+    bed_->connect_switches_at(seconds(6));
+
+    dpl::Host& h1 = bed_->host("h1");
+    dpl::Host& h6 = bed_->host("h6");
+
+    ping_ = std::make_unique<dpl::PingApp>(h1, h6.ip(), /*icmp_id=*/100);
+    sched.at(seconds(30), [this] { ping_->start(rep_.ping_trials); });
+
+    // iperf trials: server on h6, fresh client per trial (distinct ports so
+    // stragglers from a finished trial cannot ack into the next one).
+    const SimTime iperf_start = seconds(30) + static_cast<SimTime>(rep_.ping_trials) * kSecond +
+                                5 * kSecond;
+    SimTime t = iperf_start;
+    for (unsigned trial = 0; trial < rep_.iperf_trials; ++trial) {
+      sched.at(t, [this, trial] {
+        dpl::IperfClientConfig cc;
+        cc.server_port = static_cast<std::uint16_t>(5001 + trial);
+        cc.client_port = static_cast<std::uint16_t>(50000 + trial);
+        servers_.push_back(std::make_unique<dpl::IperfServer>(bed_->host("h6"), cc.server_port));
+        clients_.push_back(
+            std::make_unique<dpl::IperfClient>(bed_->host("h1"), bed_->host("h6").ip(), cc));
+        clients_.back()->start(rep_.iperf_duration);
+      });
+      t += rep_.iperf_duration + rep_.iperf_gap;
+    }
+    end_ = t + 2 * kSecond;
   }
-  bed.connect_switches_at(seconds(6));
 
-  dpl::Host& h1 = bed.host("h1");
-  dpl::Host& h6 = bed.host("h6");
+  void advance_to(SimTime deadline) override { bed_->run_until(deadline); }
 
-  auto ping = std::make_unique<dpl::PingApp>(h1, h6.ip(), /*icmp_id=*/100);
-  sched.at(seconds(30), [&ping, &spec] { ping->start(spec.ping_trials); });
+  RunResultPtr finish(const RunSpec& cell) override {
+    // The arm event is the cell's only divergence from the shared prefix.
+    // It is safe to schedule it at the current virtual time (the fork
+    // point IS the arm time): nothing else is due at that instant for the
+    // default t=5 s start, and campaign starts assign it the same
+    // post-script sequence number in cold and warm runs alike.
+    if (cell.attack_enabled) {
+      bed_->arm_attack_at(resolved_attack_start(cell), flow_mod_suppression_dsl());
+    }
+    bed_->run_until(end_);
 
-  // iperf trials: server on h6, fresh client per trial (distinct ports so
-  // stragglers from a finished trial cannot ack into the next one).
-  std::vector<std::unique_ptr<dpl::IperfServer>> servers;
-  std::vector<std::unique_ptr<dpl::IperfClient>> clients;
-  const SimTime iperf_start = seconds(30) + static_cast<SimTime>(spec.ping_trials) * kSecond +
-                              5 * kSecond;
-  SimTime t = iperf_start;
-  for (unsigned trial = 0; trial < spec.iperf_trials; ++trial) {
-    sched.at(t, [&, trial] {
-      dpl::IperfClientConfig cc;
-      cc.server_port = static_cast<std::uint16_t>(5001 + trial);
-      cc.client_port = static_cast<std::uint16_t>(50000 + trial);
-      servers.push_back(std::make_unique<dpl::IperfServer>(bed.host("h6"), cc.server_port));
-      clients.push_back(std::make_unique<dpl::IperfClient>(bed.host("h1"), bed.host("h6").ip(), cc));
-      clients.back()->start(spec.iperf_duration);
-    });
-    t += spec.iperf_duration + spec.iperf_gap;
+    auto& sched = bed_->scheduler();
+    auto result = std::make_unique<SuppressionResult>();
+    result->controller = cell.controller;
+    result->attack_enabled = cell.attack_enabled;
+    result->virtual_time = sched.now();
+    result->events_executed = sched.events_executed();
+    result->ping = ping_->report();
+    for (const auto& client : clients_) {
+      result->iperf_mbps.push_back(client->result().throughput_mbps());
+    }
+    const monitor::Monitor& mon = bed_->monitor();
+    result->packet_ins = mon.observed_of_type(ofp::MsgType::PacketIn);
+    result->packet_outs = mon.observed_of_type(ofp::MsgType::PacketOut);
+    result->flow_mods_observed = mon.observed_of_type(ofp::MsgType::FlowMod);
+    result->flow_mods_suppressed = mon.count(monitor::EventKind::MessageDropped);
+    for (const topo::HostSpec& hspec : bed_->model().hosts()) {
+      result->data_packets_delivered += bed_->host(hspec.name).counters().packets_received;
+    }
+    result->messages_interposed = bed_->injector().stats().messages_interposed;
+    result->messages_suppressed = bed_->injector().stats().messages_suppressed;
+    result->codec_ops_saved = bed_->channel_totals().codec_ops_saved;
+    return result;
   }
-  const SimTime end = t + 2 * kSecond;
-  bed.run_until(end);
 
-  SuppressionResult result;
-  result.controller = spec.controller;
-  result.attack_enabled = spec.attack_enabled;
-  result.virtual_time = sched.now();
-  result.events_executed = sched.events_executed();
-  result.ping = ping->report();
-  for (const auto& client : clients) {
-    result.iperf_mbps.push_back(client->result().throughput_mbps());
-  }
-  const monitor::Monitor& mon = bed.monitor();
-  result.packet_ins = mon.observed_of_type(ofp::MsgType::PacketIn);
-  result.packet_outs = mon.observed_of_type(ofp::MsgType::PacketOut);
-  result.flow_mods_observed = mon.observed_of_type(ofp::MsgType::FlowMod);
-  result.flow_mods_suppressed = mon.count(monitor::EventKind::MessageDropped);
-  for (const topo::HostSpec& hspec : bed.model().hosts()) {
-    result.data_packets_delivered += bed.host(hspec.name).counters().packets_received;
-  }
-  result.messages_interposed = bed.injector().stats().messages_interposed;
-  result.messages_suppressed = bed.injector().stats().messages_suppressed;
-  result.codec_ops_saved = bed.channel_totals().codec_ops_saved;
-  return result;
-}
+ private:
+  RunSpec rep_;
+  std::unique_ptr<Testbed> bed_;
+  std::unique_ptr<dpl::PingApp> ping_;
+  std::vector<std::unique_ptr<dpl::IperfServer>> servers_;
+  std::vector<std::unique_ptr<dpl::IperfClient>> clients_;
+  SimTime end_{0};
+};
 
 }  // namespace
 
 SuppressionResult run_flow_mod_suppression(const SuppressionConfig& config) {
-  return run_suppression_cell(to_run_spec(config));
+  RunResultPtr result = run(to_run_spec(config));
+  return std::move(static_cast<SuppressionResult&>(*result));
 }
 
 // ---------------------------------------------------------------------------
@@ -351,79 +379,222 @@ void InterruptionResult::write_json_fields(JsonWriter& w) const {
 
 namespace {
 
-InterruptionResult run_interruption_cell(const RunSpec& spec) {
-  TestbedOptions options;
-  options.controller = spec.controller;
-  EnterpriseOptions enterprise;
-  enterprise.s2_fail_secure = spec.s2_fail_secure;
-  Testbed bed(make_enterprise_model(enterprise), options);
-  auto& sched = bed.scheduler();
+/// Phase A of the interruption experiment: the full §VII-C script is
+/// scheduled up front (arm, connect, all four probes), so the prefix is
+/// byte-identical to a straight-through run; the only fork-time parameter
+/// is the s2 fail mode, which is a plain config write.
+class InterruptionWarmup final : public WarmupPhase {
+ public:
+  explicit InterruptionWarmup(const RunSpec& rep) : rep_(rep) {
+    TestbedOptions options;
+    options.controller = rep_.controller;
+    EnterpriseOptions enterprise;
+    enterprise.s2_fail_secure = rep_.s2_fail_secure;
+    bed_ = std::make_unique<Testbed>(make_enterprise_model(enterprise), options);
+    auto& sched = bed_->scheduler();
 
-  // §VII-C timing: fail mode set at t=0 (model construction), controller
-  // at t=5, injector to σ1 at t=10, switches connect at t=12 (through the
-  // armed proxy so σ1 observes the connection setup), probes at
-  // t=30/50/95.
-  if (spec.attack_enabled) {
-    bed.arm_attack_at(seconds(10), connection_interruption_dsl());
+    // §VII-C timing: fail mode applied at the fork point (finish()),
+    // controller at t=5, injector to σ1 at t=10, switches connect at t=12
+    // (through the armed proxy so σ1 observes the connection setup),
+    // probes at t=30/50/95.
+    if (rep_.attack_enabled) {
+      bed_->arm_attack_at(resolved_attack_start(rep_), connection_interruption_dsl());
+    }
+    bed_->connect_switches_at(seconds(12));
+
+    pings_.resize(4);
+    auto schedule_ping = [&](SimTime when, const char* src, const char* dst, unsigned trials,
+                             std::uint16_t icmp_id, std::size_t slot) {
+      sched.at(when, [this, src, dst, trials, icmp_id, slot] {
+        pings_[slot] = std::make_unique<dpl::PingApp>(bed_->host(src), bed_->host(dst).ip(), icmp_id);
+        pings_[slot]->start(trials);
+      });
+    };
+    schedule_ping(seconds(30), "h2", "h1", 10, 201, 0);  // external -> external
+    schedule_ping(seconds(30), "h6", "h1", 10, 202, 1);  // internal -> external
+    schedule_ping(seconds(50), "h2", "h3", 60, 203, 2);  // external -> internal
+    schedule_ping(seconds(95), "h6", "h1", 10, 204, 3);  // internal -> external (post)
   }
-  bed.connect_switches_at(seconds(12));
 
-  std::vector<std::unique_ptr<dpl::PingApp>> pings;
-  auto schedule_ping = [&](SimTime when, const char* src, const char* dst, unsigned trials,
-                           std::uint16_t icmp_id, std::size_t slot) {
-    sched.at(when, [&bed, &pings, src, dst, trials, icmp_id, slot] {
-      pings[slot] = std::make_unique<dpl::PingApp>(bed.host(src), bed.host(dst).ip(), icmp_id);
-      pings[slot]->start(trials);
-    });
-  };
-  pings.resize(4);
-  schedule_ping(seconds(30), "h2", "h1", 10, 201, 0);  // external -> external
-  schedule_ping(seconds(30), "h6", "h1", 10, 202, 1);  // internal -> external
-  schedule_ping(seconds(50), "h2", "h3", 60, 203, 2);  // external -> internal
-  schedule_ping(seconds(95), "h6", "h1", 10, 204, 3);  // internal -> external (post)
+  void advance_to(SimTime deadline) override { bed_->run_until(deadline); }
 
-  bed.run_until(seconds(125));
+  RunResultPtr finish(const RunSpec& cell) override {
+    // The fail-mode bit is only consulted once s2's control channel leaves
+    // Connected (first at the t=62 s loss), so writing it at the t=55 s
+    // fork point is indistinguishable from building the model with it.
+    bed_->switch_named("s2").set_fail_secure(cell.s2_fail_secure);
+    bed_->run_until(seconds(125));
 
-  InterruptionResult result;
-  result.controller = spec.controller;
-  result.attack_enabled = spec.attack_enabled;
-  result.virtual_time = sched.now();
-  result.events_executed = sched.events_executed();
-  result.s2_fail_secure = spec.s2_fail_secure;
-  result.ext_to_ext_t30 = pings[0]->report().received() > 0;
-  result.int_to_ext_t30 = pings[1]->report().received() > 0;
-  result.ext_to_int_t50 = pings[2]->report().received() > 0;
-  result.int_to_ext_t95 = pings[3]->report().received() > 0;
-  result.attack_reached_sigma3 = bed.injector().current_state() == std::optional<std::string>("sigma3");
-  result.messages_interposed = bed.injector().stats().messages_interposed;
-  result.messages_suppressed = bed.injector().stats().messages_suppressed;
-  result.codec_ops_saved = bed.channel_totals().codec_ops_saved;
-  return result;
-}
+    auto& sched = bed_->scheduler();
+    auto result = std::make_unique<InterruptionResult>();
+    result->controller = cell.controller;
+    result->attack_enabled = cell.attack_enabled;
+    result->virtual_time = sched.now();
+    result->events_executed = sched.events_executed();
+    result->s2_fail_secure = cell.s2_fail_secure;
+    result->ext_to_ext_t30 = pings_[0]->report().received() > 0;
+    result->int_to_ext_t30 = pings_[1]->report().received() > 0;
+    result->ext_to_int_t50 = pings_[2]->report().received() > 0;
+    result->int_to_ext_t95 = pings_[3]->report().received() > 0;
+    result->attack_reached_sigma3 =
+        bed_->injector().current_state() == std::optional<std::string>("sigma3");
+    result->messages_interposed = bed_->injector().stats().messages_interposed;
+    result->messages_suppressed = bed_->injector().stats().messages_suppressed;
+    result->codec_ops_saved = bed_->channel_totals().codec_ops_saved;
+    return result;
+  }
+
+ private:
+  RunSpec rep_;
+  std::unique_ptr<Testbed> bed_;
+  std::vector<std::unique_ptr<dpl::PingApp>> pings_;
+};
 
 }  // namespace
 
 InterruptionResult run_connection_interruption(const InterruptionConfig& config) {
-  return run_interruption_cell(to_run_spec(config));
+  RunResultPtr result = run(to_run_spec(config));
+  return std::move(static_cast<InterruptionResult&>(*result));
 }
 
 // ---------------------------------------------------------------------------
 // RunSpec dispatch (declared in scenario/run.hpp).
 // ---------------------------------------------------------------------------
 
-RunResultPtr run(const RunSpec& spec) {
-  switch (spec.experiment) {
+WarmupPhasePtr warm_up(const RunSpec& representative) {
+  switch (representative.experiment) {
     case ExperimentKind::FlowModSuppression:
-      return std::make_unique<SuppressionResult>(run_suppression_cell(spec));
+      return std::make_unique<SuppressionWarmup>(representative);
     case ExperimentKind::ConnectionInterruption:
-      return std::make_unique<InterruptionResult>(run_interruption_cell(spec));
+      return std::make_unique<InterruptionWarmup>(representative);
     case ExperimentKind::Custom:
-      if (!spec.custom) {
-        throw std::invalid_argument("RunSpec: ExperimentKind::Custom without a runner");
-      }
-      return spec.custom(spec);
+      break;
   }
-  throw std::invalid_argument("RunSpec: unknown experiment kind");
+  throw std::invalid_argument("warm_up: custom cells have no warm-up phase");
+}
+
+RunResultPtr run(const RunSpec& spec) {
+  if (spec.experiment == ExperimentKind::Custom) {
+    if (!spec.custom) {
+      throw std::invalid_argument("RunSpec: ExperimentKind::Custom without a runner");
+    }
+    return spec.custom(spec);
+  }
+  // Cold runs take the phased path too: a forked (warm) cell replays the
+  // exact instruction sequence of a cold one, which is what makes the
+  // warm-start byte-determinism guarantee structural.
+  WarmupPhasePtr phase = warm_up(warmup_representative(spec));
+  phase->advance_to(fork_time(spec));
+  return phase->finish(spec);
+}
+
+// ---------------------------------------------------------------------------
+// Binary result round-trip (the snapshot fork's process boundary).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kSuppressionTag = 1;
+constexpr std::uint8_t kInterruptionTag = 2;
+
+void save_common(const RunResult& r, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(r.controller));
+  w.u8(r.attack_enabled ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(r.virtual_time));
+  w.u64(r.events_executed);
+  w.u64(r.messages_interposed);
+  w.u64(r.messages_suppressed);
+  w.u64(r.codec_ops_saved);
+}
+
+void load_common(RunResult& r, ByteReader& rd) {
+  r.controller = static_cast<ControllerKind>(rd.u8());
+  r.attack_enabled = rd.u8() != 0;
+  r.virtual_time = static_cast<SimTime>(rd.u64());
+  r.events_executed = rd.u64();
+  r.messages_interposed = rd.u64();
+  r.messages_suppressed = rd.u64();
+  r.codec_ops_saved = rd.u64();
+}
+
+void save_f64(ByteWriter& w, double v) { w.u64(std::bit_cast<std::uint64_t>(v)); }
+double load_f64(ByteReader& r) { return std::bit_cast<double>(r.u64()); }
+
+}  // namespace
+
+void save_result(const RunResult& result, ByteWriter& w) {
+  if (const auto* s = dynamic_cast<const SuppressionResult*>(&result)) {
+    w.u8(kSuppressionTag);
+    save_common(result, w);
+    w.u32(static_cast<std::uint32_t>(s->ping.trials.size()));
+    for (const dpl::PingTrial& trial : s->ping.trials) {
+      w.u16(trial.seq);
+      w.u64(static_cast<std::uint64_t>(trial.sent_at));
+      w.u8(trial.rtt.has_value() ? 1 : 0);
+      if (trial.rtt) w.u64(static_cast<std::uint64_t>(*trial.rtt));
+    }
+    w.u32(static_cast<std::uint32_t>(s->iperf_mbps.size()));
+    for (const double v : s->iperf_mbps) save_f64(w, v);
+    w.u64(s->packet_ins);
+    w.u64(s->packet_outs);
+    w.u64(s->flow_mods_observed);
+    w.u64(s->flow_mods_suppressed);
+    w.u64(s->data_packets_delivered);
+    return;
+  }
+  if (const auto* i = dynamic_cast<const InterruptionResult*>(&result)) {
+    w.u8(kInterruptionTag);
+    save_common(result, w);
+    w.u8(i->s2_fail_secure ? 1 : 0);
+    w.u8(i->ext_to_ext_t30 ? 1 : 0);
+    w.u8(i->int_to_ext_t30 ? 1 : 0);
+    w.u8(i->ext_to_int_t50 ? 1 : 0);
+    w.u8(i->int_to_ext_t95 ? 1 : 0);
+    w.u8(i->attack_reached_sigma3 ? 1 : 0);
+    return;
+  }
+  throw std::invalid_argument("save_result: unsupported result type: " + result.kind_name());
+}
+
+RunResultPtr load_result(ByteReader& r) {
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case kSuppressionTag: {
+      auto s = std::make_unique<SuppressionResult>();
+      load_common(*s, r);
+      const std::uint32_t trials = r.u32();
+      s->ping.trials.reserve(trials);
+      for (std::uint32_t i = 0; i < trials; ++i) {
+        dpl::PingTrial trial;
+        trial.seq = r.u16();
+        trial.sent_at = static_cast<SimTime>(r.u64());
+        if (r.u8() != 0) trial.rtt = static_cast<SimTime>(r.u64());
+        s->ping.trials.push_back(trial);
+      }
+      const std::uint32_t mbps = r.u32();
+      s->iperf_mbps.reserve(mbps);
+      for (std::uint32_t i = 0; i < mbps; ++i) s->iperf_mbps.push_back(load_f64(r));
+      s->packet_ins = r.u64();
+      s->packet_outs = r.u64();
+      s->flow_mods_observed = r.u64();
+      s->flow_mods_suppressed = r.u64();
+      s->data_packets_delivered = r.u64();
+      return s;
+    }
+    case kInterruptionTag: {
+      auto i = std::make_unique<InterruptionResult>();
+      load_common(*i, r);
+      i->s2_fail_secure = r.u8() != 0;
+      i->ext_to_ext_t30 = r.u8() != 0;
+      i->int_to_ext_t30 = r.u8() != 0;
+      i->ext_to_int_t50 = r.u8() != 0;
+      i->int_to_ext_t95 = r.u8() != 0;
+      i->attack_reached_sigma3 = r.u8() != 0;
+      return i;
+    }
+    default:
+      throw DecodeError("load_result: unknown result tag " + std::to_string(tag));
+  }
 }
 
 // ---------------------------------------------------------------------------

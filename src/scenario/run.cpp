@@ -13,6 +13,17 @@ std::string to_string(ExperimentKind kind) {
   return "?";
 }
 
+namespace {
+
+/// "/t35" for whole seconds, "/t3500000us" otherwise — appended to ids of
+/// cells with an explicit attack start so campaign cells stay distinct.
+std::string attack_start_suffix(SimTime start) {
+  if (start % kSecond == 0) return "/t" + std::to_string(start / kSecond);
+  return "/t" + std::to_string(start) + "us";
+}
+
+}  // namespace
+
 std::string RunSpec::id() const {
   if (!name.empty()) return name;
   std::string id = to_string(experiment);
@@ -29,6 +40,7 @@ std::string RunSpec::id() const {
     case ExperimentKind::Custom:
       break;
   }
+  if (attack_enabled && attack_start >= 0) id += attack_start_suffix(attack_start);
   return id;
 }
 
@@ -51,6 +63,9 @@ void RunSpec::write_json(JsonWriter& w) const {
     case ExperimentKind::Custom:
       break;
   }
+  // Only explicit starts are encoded, keeping the default grids' JSON
+  // byte-identical to earlier releases (the sweep determinism contract).
+  if (attack_start >= 0) w.field("attack_start_us", static_cast<std::int64_t>(attack_start));
   w.end_object();
 }
 
@@ -114,6 +129,124 @@ std::vector<RunSpec> fig11_grid(unsigned ping_trials, unsigned iperf_trials,
     }
   }
   return grid;
+}
+
+std::vector<RunSpec> fig11_campaign_grid(std::vector<SimTime> attack_starts,
+                                         unsigned ping_trials, unsigned iperf_trials,
+                                         SimTime iperf_duration, SimTime iperf_gap) {
+  if (attack_starts.empty()) {
+    attack_starts = {seconds(5), seconds(35), seconds(45)};
+  }
+  std::vector<RunSpec> grid;
+  for (const ControllerKind kind : all_controller_kinds()) {
+    RunSpec base;
+    base.experiment = ExperimentKind::FlowModSuppression;
+    base.controller = kind;
+    base.ping_trials = ping_trials;
+    base.iperf_trials = iperf_trials;
+    base.iperf_duration = iperf_duration;
+    base.iperf_gap = iperf_gap;
+
+    RunSpec baseline = base;
+    baseline.attack_enabled = false;
+    grid.push_back(std::move(baseline));
+    for (const SimTime start : attack_starts) {
+      RunSpec attack = base;
+      attack.attack_enabled = true;
+      attack.attack_start = start;
+      grid.push_back(std::move(attack));
+    }
+  }
+  return grid;
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start support (spec-level pieces; warm_up/save/load live with the
+// experiment implementations in scenario/experiment.cpp).
+// ---------------------------------------------------------------------------
+
+SimTime resolved_attack_start(const RunSpec& spec) {
+  if (spec.attack_start >= 0) return spec.attack_start;
+  return spec.experiment == ExperimentKind::ConnectionInterruption ? seconds(10) : seconds(5);
+}
+
+namespace {
+
+/// End of the suppression workload script: pings from t=30 s, then the
+/// iperf trials, then the 2 s drain (mirrors the schedule in
+/// run_suppression_cell — the two must stay in lockstep).
+SimTime suppression_end(const RunSpec& spec) {
+  const SimTime iperf_start =
+      seconds(30) + static_cast<SimTime>(spec.ping_trials) * kSecond + 5 * kSecond;
+  return iperf_start +
+         static_cast<SimTime>(spec.iperf_trials) * (spec.iperf_duration + spec.iperf_gap) +
+         2 * kSecond;
+}
+
+}  // namespace
+
+std::optional<std::string> warmup_signature(const RunSpec& spec) {
+  switch (spec.experiment) {
+    case ExperimentKind::FlowModSuppression: {
+      // Excludes attack_enabled / attack_start / name: arming happens at
+      // fork time, so any attack timing shares the workload prefix.
+      std::string sig = "suppression/";
+      sig += to_string(spec.controller);
+      sig += "/p" + std::to_string(spec.ping_trials);
+      sig += "/i" + std::to_string(spec.iperf_trials);
+      sig += "/d" + std::to_string(spec.iperf_duration);
+      sig += "/g" + std::to_string(spec.iperf_gap);
+      return sig;
+    }
+    case ExperimentKind::ConnectionInterruption: {
+      // The arm time is part of the prefix here (the injector observes the
+      // connection setup), so it is in the signature; the s2 fail mode is
+      // applied at the fork point and stays out.
+      std::string sig = "interruption/";
+      sig += to_string(spec.controller);
+      sig += spec.attack_enabled ? "/attack" : "/baseline";
+      sig += "/t" + std::to_string(resolved_attack_start(spec));
+      return sig;
+    }
+    case ExperimentKind::Custom:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+RunSpec warmup_representative(const RunSpec& spec) {
+  RunSpec rep = spec;
+  rep.name.clear();
+  rep.custom = nullptr;
+  switch (spec.experiment) {
+    case ExperimentKind::FlowModSuppression:
+      rep.attack_enabled = false;
+      rep.attack_start = -1;
+      break;
+    case ExperimentKind::ConnectionInterruption:
+      rep.s2_fail_secure = false;
+      break;
+    case ExperimentKind::Custom:
+      break;
+  }
+  return rep;
+}
+
+SimTime fork_time(const RunSpec& spec) {
+  switch (spec.experiment) {
+    case ExperimentKind::FlowModSuppression:
+      // Baselines never diverge from the representative: fork at the end
+      // and the whole run is shared.
+      return spec.attack_enabled ? resolved_attack_start(spec) : suppression_end(spec);
+    case ExperimentKind::ConnectionInterruption:
+      // The s2 fail bit is first read when the switch notices the lost
+      // connection at t=62 s; t=55 s is safely after σ2 has fired and
+      // before any read.
+      return seconds(55);
+    case ExperimentKind::Custom:
+      break;
+  }
+  throw std::invalid_argument("fork_time: custom cells have no shared warm-up");
 }
 
 std::string render_results_table(const std::vector<const RunResult*>& results) {

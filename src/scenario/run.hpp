@@ -11,9 +11,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/json.hpp"
 #include "common/types.hpp"
 #include "ctl/factory.hpp"
@@ -47,6 +49,12 @@ struct RunSpec {
 
   /// Connection interruption: the Table II fail-mode knob.
   bool s2_fail_secure{false};
+
+  /// When the injector arms (virtual time). Negative means the
+  /// experiment's §VII script default: 5 s for suppression, 10 s for
+  /// interruption. Explicit values model injection campaigns ("same
+  /// baseline, different attack timing") — see fig11_campaign_grid().
+  SimTime attack_start{-1};
 
   /// Flow-mod suppression workload shape (§VII-B parameters).
   unsigned ping_trials{60};
@@ -131,6 +139,72 @@ std::vector<RunSpec> table2_grid();
 std::vector<RunSpec> fig11_grid(unsigned ping_trials = 20, unsigned iperf_trials = 5,
                                 SimTime iperf_duration = 3 * kSecond,
                                 SimTime iperf_gap = 2 * kSecond);
+
+/// Injection-campaign grid: for each controller, one baseline plus one
+/// attack cell per entry of `attack_starts` (empty means the default
+/// {5 s, 35 s, 45 s} sweep over attack timing). All cells of one
+/// controller share a single warm-up signature, so warm-start sweeps run
+/// the workload prefix once per controller instead of once per cell.
+std::vector<RunSpec> fig11_campaign_grid(std::vector<SimTime> attack_starts = {},
+                                         unsigned ping_trials = 20, unsigned iperf_trials = 5,
+                                         SimTime iperf_duration = 3 * kSecond,
+                                         SimTime iperf_gap = 2 * kSecond);
+
+// ---------------------------------------------------------------------------
+// Warm-start support: the phased run contract the snapshot/fork layer
+// (src/snap/) and the sweep engine's warm-start mode build on. run() is
+// implemented as exactly warm_up + advance_to + finish, so a forked (warm)
+// cell and a cold cell execute the same instruction sequence — byte-equal
+// results are guaranteed structurally, not incidentally. See
+// docs/sweep.md's warm-start section.
+// ---------------------------------------------------------------------------
+
+/// The arm time `spec` resolves to: attack_start when >= 0, otherwise the
+/// experiment's script default (5 s suppression, 10 s interruption).
+SimTime resolved_attack_start(const RunSpec& spec);
+
+/// Warm-up signature: cells with equal signatures share a byte-identical
+/// pre-fork trajectory and can run from one shared warm-up. The signature
+/// covers topology + controller + traffic shape and excludes everything
+/// applied at fork time (suppression: attack arming and timing;
+/// interruption: the s2 fail mode). Custom cells return nullopt and are
+/// never grouped.
+std::optional<std::string> warmup_signature(const RunSpec& spec);
+
+/// The spec whose warm-up a signature group shares: `spec` with its
+/// fork-applied parameters normalized away. Every cell of one signature
+/// maps to the same representative.
+RunSpec warmup_representative(const RunSpec& spec);
+
+/// Virtual time at which `spec` diverges from its group's shared prefix:
+/// the attack arm time for suppression attack cells, the workload end for
+/// suppression baselines (the whole run is shared), and t=55 s for
+/// interruption cells (after σ2, before the fail-mode bit is first read at
+/// the t=62 s connection loss). Throws for Custom specs.
+SimTime fork_time(const RunSpec& spec);
+
+/// A paused in-flight experiment: testbed built and workload scripted, but
+/// advanced only part-way. advance_to() may be called repeatedly with
+/// increasing deadlines (the group runner steps through its cells' fork
+/// times in order); finish() applies one cell's fork-time parameters and
+/// runs it to completion. After finish() the phase is spent.
+class WarmupPhase {
+ public:
+  virtual ~WarmupPhase() = default;
+  virtual void advance_to(SimTime deadline) = 0;
+  virtual RunResultPtr finish(const RunSpec& cell) = 0;
+};
+using WarmupPhasePtr = std::unique_ptr<WarmupPhase>;
+
+/// Builds and scripts the testbed for `representative` (as produced by
+/// warmup_representative) without running it. Throws for Custom specs.
+WarmupPhasePtr warm_up(const RunSpec& representative);
+
+/// Binary round-trip for shipping results across the snapshot fork's
+/// process boundary. Suppression and interruption results only; custom
+/// result types throw std::invalid_argument.
+void save_result(const RunResult& result, ByteWriter& w);
+RunResultPtr load_result(ByteReader& r);
 
 /// Renders homogeneous results as one aligned table via the
 /// row_header()/to_row() interface (null entries are skipped).

@@ -1,0 +1,62 @@
+// Copy-on-write testbed forking: runs a group of experiment cells that
+// share one warm-up signature from a single shared prefix. The simulation
+// state (scheduler event pool, switches, controller, channels, host apps)
+// is riddled with closures capturing raw component pointers, so it cannot
+// be deep-cloned generically — instead the snapshot is the operating
+// system's copy-on-write fork(): a group child builds and advances the
+// shared warm-up once, then forks one tail process per cell at that cell's
+// fork point. Every address is preserved across fork, so the captured
+// pointers stay valid, and pages are only copied as the diverging tails
+// write to them.
+//
+// Because scenario::run() is itself implemented as warm_up + advance_to +
+// finish (scenario/run.hpp), a forked tail executes the exact instruction
+// sequence of a cold run — results are byte-identical by construction,
+// which the differential tests in tests/test_snapshot.cpp verify over the
+// full Table II and Fig. 11 grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/run.hpp"
+
+namespace attain::snap {
+
+/// True when process-fork snapshots work here: a POSIX host, not running
+/// under ThreadSanitizer (fork from a threaded parent is unreliable under
+/// TSan). When false, run_group reports every cell incomplete and callers
+/// fall back to cold runs.
+bool fork_supported();
+
+/// One forked cell's outcome as reported by its tail process.
+struct TailOutcome {
+  /// False when the tail never reported (fork/pipe failure, crashed
+  /// child): infrastructure trouble, not a cell failure — the caller runs
+  /// the cell cold and the attempt is not counted.
+  bool completed{false};
+  /// Valid when completed: whether the cell finished clean. When false,
+  /// `error` carries the cell's exception text and the failure counts as a
+  /// regular attempt (the same exception a cold run would have thrown).
+  bool ok{false};
+  std::string error;
+  /// Tail wall-clock spent in finish(), as measured inside the tail.
+  double wall_seconds{0.0};
+  scenario::RunResultPtr result;
+};
+
+struct GroupOptions {
+  /// Upper bound on concurrently live tail processes for one group.
+  int max_live_tails{4};
+};
+
+/// Runs every cell of one warm-up group from a shared forked prefix.
+/// `rep` must be the group's warmup_representative and every cell must
+/// carry the same warmup_signature (and therefore a valid fork_time).
+/// Outcomes are indexed like `cells`. Never throws for infrastructure
+/// failures — affected cells simply come back incomplete.
+std::vector<TailOutcome> run_group(const scenario::RunSpec& rep,
+                                   const std::vector<scenario::RunSpec>& cells,
+                                   const GroupOptions& options = {});
+
+}  // namespace attain::snap

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "attain/monitor/metrics.hpp"
+#include "snap/snapshot.hpp"
 
 namespace attain::sweep {
 
@@ -111,6 +113,8 @@ std::string SweepReport::to_json() const {
   w.field("wall_seconds", wall_seconds);
   w.field("total_virtual_seconds", to_seconds(total_virtual_time()));
   w.field("time_compression", time_compression());
+  w.field("warm_groups", static_cast<std::uint64_t>(warm_groups));
+  w.field("warm_cells", static_cast<std::uint64_t>(warm_cells));
   w.end_object();
   w.key("cells").begin_array();
   for (const CellOutcome& c : cells) {
@@ -135,13 +139,19 @@ std::string SweepReport::to_json() const {
 }
 
 std::string SweepReport::summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "%zu cells (%zu ok, %zu failed) on %u thread%s: wall %.2fs, simulated %.0fs "
                 "virtual (%.1fx real time)",
                 cells.size(), ok(), failed(), threads, threads == 1 ? "" : "s", wall_seconds,
                 to_seconds(total_virtual_time()), time_compression());
-  return buf;
+  std::string out = buf;
+  if (warm_cells > 0) {
+    std::snprintf(buf, sizeof(buf), ", %zu warm cell%s from %zu shared warm-up%s", warm_cells,
+                  warm_cells == 1 ? "" : "s", warm_groups, warm_groups == 1 ? "" : "s");
+    out += buf;
+  }
+  return out;
 }
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
@@ -161,12 +171,67 @@ SweepReport SweepRunner::run(const std::vector<scenario::RunSpec>& grid) const {
   const auto sweep_start = Clock::now();
   const unsigned max_attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
 
+  // The unit of work claimed by a worker: either one cold cell, or a warm
+  // group — cells sharing one warm-up signature, run from a shared
+  // snapshot fork. Items are ordered by first grid index so claiming stays
+  // deterministic.
+  struct WorkItem {
+    std::vector<std::size_t> cells;
+    bool warm{false};
+  };
+  std::vector<WorkItem> items;
+  {
+    std::map<std::string, std::vector<std::size_t>> groups;
+    std::vector<std::size_t> singles;
+    if (options_.warm_start && snap::fork_supported()) {
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (const auto sig = scenario::warmup_signature(grid[i])) {
+          groups[*sig].push_back(i);
+        } else {
+          singles.push_back(i);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < grid.size(); ++i) singles.push_back(i);
+    }
+    for (auto& [sig, members] : groups) {
+      if (members.size() >= 2) {
+        items.push_back(WorkItem{std::move(members), true});
+      } else {
+        singles.push_back(members.front());  // nothing to share with
+      }
+    }
+    for (const std::size_t i : singles) items.push_back(WorkItem{{i}, false});
+    std::sort(items.begin(), items.end(),
+              [](const WorkItem& a, const WorkItem& b) { return a.cells.front() < b.cells.front(); });
+  }
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> warm_group_count{0};
+  std::atomic<std::size_t> warm_cell_count{0};
   std::mutex progress_mutex;
 
-  auto run_cell = [&](CellOutcome& cell) {
-    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+  // Fires the cell's (single) progress notification; call exactly once per
+  // cell, after its outcome is final — retries and warm-start fallbacks
+  // must never reach this twice.
+  auto finalize = [&](CellOutcome& cell) {
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (options_.on_progress) {
+      Progress p;
+      p.completed = done;
+      p.total = report.cells.size();
+      p.cell = &cell;
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      options_.on_progress(p);
+    }
+  };
+
+  // Runs attempts first_attempt..max_attempts cold on this thread. Earlier
+  // attempts (a warm tail whose cell threw) are already accounted in
+  // cell.attempts/error.
+  auto run_cold = [&](CellOutcome& cell, unsigned first_attempt) {
+    for (unsigned attempt = first_attempt; attempt <= max_attempts; ++attempt) {
       cell.attempts = attempt;
       const auto start = Clock::now();
       try {
@@ -190,34 +255,80 @@ SweepReport SweepRunner::run(const std::vector<scenario::RunSpec>& grid) const {
     cell.result.reset();
   };
 
+  auto run_warm_item = [&](const WorkItem& item) {
+    std::vector<scenario::RunSpec> cells;
+    cells.reserve(item.cells.size());
+    for (const std::size_t i : item.cells) cells.push_back(grid[i]);
+    snap::GroupOptions group_options;
+    group_options.max_live_tails = options_.warm_tail_processes;
+    std::vector<snap::TailOutcome> outcomes =
+        snap::run_group(scenario::warmup_representative(cells.front()), cells, group_options);
+
+    bool any_warm = false;
+    for (std::size_t k = 0; k < item.cells.size(); ++k) {
+      CellOutcome& cell = report.cells[item.cells[k]];
+      snap::TailOutcome& out = outcomes[k];
+      if (out.completed && out.ok && out.result) {
+        any_warm = true;
+        warm_cell_count.fetch_add(1);
+        cell.attempts = 1;
+        cell.wall_seconds = out.wall_seconds;
+        cell.error.clear();
+        cell.result = std::move(out.result);
+        cell.status = (options_.cell_timeout_seconds > 0.0 &&
+                       cell.wall_seconds > options_.cell_timeout_seconds)
+                          ? CellStatus::TimedOut
+                          : CellStatus::Ok;
+      } else if (out.completed) {
+        // The cell itself threw inside the tail — the same exception a
+        // cold run would have raised, so it consumes attempt 1; any
+        // remaining budget runs cold.
+        cell.attempts = 1;
+        cell.wall_seconds = out.wall_seconds;
+        cell.error = out.error;
+        if (max_attempts > 1) {
+          run_cold(cell, 2);
+        } else {
+          cell.status = CellStatus::Failed;
+          cell.result.reset();
+        }
+      } else {
+        // Infrastructure failure (fork/pipe/crashed child), not a cell
+        // failure: the full cold attempt budget applies.
+        run_cold(cell, 1);
+      }
+      finalize(cell);
+    }
+    if (any_warm) warm_group_count.fetch_add(1);
+  };
+
   auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= report.cells.size()) return;
-      CellOutcome& cell = report.cells[i];
-      run_cell(cell);
-      const std::size_t done = completed.fetch_add(1) + 1;
-      if (options_.on_progress) {
-        Progress p;
-        p.completed = done;
-        p.total = report.cells.size();
-        p.cell = &cell;
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        options_.on_progress(p);
+      if (i >= items.size()) return;
+      const WorkItem& item = items[i];
+      if (item.warm) {
+        run_warm_item(item);
+      } else {
+        CellOutcome& cell = report.cells[item.cells.front()];
+        run_cold(cell, 1);
+        finalize(cell);
       }
     }
   };
 
-  if (report.threads <= 1 || report.cells.size() <= 1) {
+  if (report.threads <= 1 || items.size() <= 1) {
     worker();
   } else {
     std::vector<std::thread> pool;
-    const unsigned n = std::min<std::size_t>(report.threads, report.cells.size());
+    const unsigned n = std::min<std::size_t>(report.threads, items.size());
     pool.reserve(n);
     for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
 
+  report.warm_groups = warm_group_count.load();
+  report.warm_cells = warm_cell_count.load();
   report.wall_seconds = elapsed_seconds(sweep_start);
   return report;
 }

@@ -56,9 +56,20 @@ struct SweepOptions {
   /// Per-cell wall-clock budget in seconds; 0 = unlimited. Checked when
   /// the cell completes (cooperative, deterministic results untouched).
   double cell_timeout_seconds{0.0};
-  /// Called after every cell completes (serialized; any thread). Use
+  /// Called exactly once per cell, when the cell's outcome is final —
+  /// retries and warm-start fallbacks never re-fire it, so `completed`
+  /// marches 1..total. (Serialized; any thread.) Use
   /// make_progress_printer() for a stderr ticker.
   std::function<void(const Progress&)> on_progress;
+  /// Opt-in warm-start: cells sharing a scenario::warmup_signature run
+  /// from one copy-on-write snapshot fork (src/snap/) instead of each
+  /// replaying the shared prefix. Results are byte-identical to cold runs
+  /// (results_json does not change); cells that share nothing — unique
+  /// signatures, custom cells — run cold, as does everything when
+  /// snap::fork_supported() is false.
+  bool warm_start{false};
+  /// Concurrent tail processes per warm group.
+  int warm_tail_processes{4};
 };
 
 /// Progress callback printing "[3/12] interruption/POX/fail-secure ok
@@ -70,6 +81,11 @@ struct SweepReport {
   std::vector<CellOutcome> cells;
   unsigned threads{0};
   double wall_seconds{0.0};  // whole sweep
+  /// Warm-start accounting: groups that produced at least one forked
+  /// result, and cells whose result came from a forked tail. Both zero for
+  /// cold sweeps.
+  std::size_t warm_groups{0};
+  std::size_t warm_cells{0};
 
   std::size_t ok() const;
   std::size_t failed() const;

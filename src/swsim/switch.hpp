@@ -94,6 +94,11 @@ class OpenFlowSwitch {
   const FlowTable& flow_table() const { return table_; }
   ChannelState channel_state() const { return state_; }
   const SwitchConfig& config() const { return config_; }
+  /// Re-targets the fail mode at runtime. The bit is only consulted once
+  /// the channel leaves Connected, so flipping it while connected is
+  /// invisible to the simulation — scenario warm-start forking relies on
+  /// this to apply the Table II fail-mode knob at the fork point.
+  void set_fail_secure(bool v) { config_.fail_secure = v; }
   bool in_standalone_mode() const;
 
  private:

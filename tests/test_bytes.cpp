@@ -105,6 +105,29 @@ TEST(ByteReader, RawCopiesExactBytes) {
   EXPECT_EQ(r.remaining(), 1u);
 }
 
+TEST(ByteReader, ViewAliasesSourceWithoutCopying) {
+  const Bytes data{9, 8, 7, 6};
+  ByteReader r(data);
+  const std::span<const std::uint8_t> v = r.view(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.data(), data.data());  // zero-copy: points into the source
+  EXPECT_EQ(v[0], 9);
+  EXPECT_EQ(v[2], 7);
+  EXPECT_EQ(r.remaining(), 1u);
+  const std::span<const std::uint8_t> rest = r.view(1);
+  EXPECT_EQ(rest.data(), data.data() + 3);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, ViewBoundsChecked) {
+  const Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.view(3), DecodeError);
+  EXPECT_EQ(r.remaining(), 2u);  // failed view consumes nothing
+  EXPECT_EQ(r.view(2).size(), 2u);
+  EXPECT_THROW(r.view(1), DecodeError);
+}
+
 TEST(Hex, RendersLowercasePairs) {
   const Bytes data{0x00, 0xff, 0x1a};
   EXPECT_EQ(to_hex(data), "00ff1a");

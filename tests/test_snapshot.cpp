@@ -1,0 +1,328 @@
+// Warm-start snapshots: warm-up signature grouping rules, fork-time rules,
+// binary result round-trip across the fork's process boundary, and the
+// hard guarantee — a forked (warm) cell's JSON is byte-identical to the
+// same cell run cold, verified differentially over the full Table II and
+// Fig. 11 grids plus an injection-campaign grid.
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+#include "snap/snapshot.hpp"
+#include "sweep/sweep.hpp"
+
+namespace attain {
+namespace {
+
+using scenario::ControllerKind;
+using scenario::ExperimentKind;
+using scenario::RunSpec;
+
+RunSpec quick_suppression(ControllerKind kind, bool attack) {
+  RunSpec spec;
+  spec.experiment = ExperimentKind::FlowModSuppression;
+  spec.controller = kind;
+  spec.attack_enabled = attack;
+  spec.ping_trials = 2;
+  spec.iperf_trials = 0;
+  return spec;
+}
+
+RunSpec interruption(ControllerKind kind, bool secure) {
+  RunSpec spec;
+  spec.experiment = ExperimentKind::ConnectionInterruption;
+  spec.controller = kind;
+  spec.attack_enabled = true;
+  spec.s2_fail_secure = secure;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Signature rules: only fork-time parameters may differ within a group.
+// ---------------------------------------------------------------------------
+
+TEST(WarmupSignature, SuppressionCellsDifferingOnlyInAttackParamsShare) {
+  const RunSpec baseline = quick_suppression(ControllerKind::Pox, false);
+  RunSpec attack = quick_suppression(ControllerKind::Pox, true);
+  RunSpec late_attack = attack;
+  late_attack.attack_start = seconds(35);
+  RunSpec named = attack;
+  named.name = "my-cell";
+
+  const auto sig = scenario::warmup_signature(baseline);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(scenario::warmup_signature(attack), sig);
+  EXPECT_EQ(scenario::warmup_signature(late_attack), sig);
+  EXPECT_EQ(scenario::warmup_signature(named), sig);
+}
+
+TEST(WarmupSignature, ControllerAndTrafficChangesDoNotShare) {
+  const RunSpec base = quick_suppression(ControllerKind::Pox, false);
+  const auto sig = scenario::warmup_signature(base);
+
+  EXPECT_NE(scenario::warmup_signature(quick_suppression(ControllerKind::Ryu, false)), sig);
+
+  RunSpec more_pings = base;
+  more_pings.ping_trials = 3;
+  EXPECT_NE(scenario::warmup_signature(more_pings), sig);
+
+  RunSpec with_iperf = base;
+  with_iperf.iperf_trials = 1;
+  EXPECT_NE(scenario::warmup_signature(with_iperf), sig);
+
+  RunSpec longer_iperf = base;
+  longer_iperf.iperf_duration = 4 * kSecond;
+  EXPECT_NE(scenario::warmup_signature(longer_iperf), sig);
+
+  RunSpec wider_gap = base;
+  wider_gap.iperf_gap = 3 * kSecond;
+  EXPECT_NE(scenario::warmup_signature(wider_gap), sig);
+}
+
+TEST(WarmupSignature, InterruptionSharesAcrossFailModeOnly) {
+  const auto sig = scenario::warmup_signature(interruption(ControllerKind::Pox, false));
+  ASSERT_TRUE(sig.has_value());
+  // The Table II pair: fail-safe vs fail-secure shares one warm-up.
+  EXPECT_EQ(scenario::warmup_signature(interruption(ControllerKind::Pox, true)), sig);
+  // A different controller, or disarming the attack, changes the prefix.
+  EXPECT_NE(scenario::warmup_signature(interruption(ControllerKind::Floodlight, false)), sig);
+  RunSpec no_attack = interruption(ControllerKind::Pox, false);
+  no_attack.attack_enabled = false;
+  EXPECT_NE(scenario::warmup_signature(no_attack), sig);
+  // The arm time is part of the interruption prefix (σ1 observes setup).
+  RunSpec late = interruption(ControllerKind::Pox, false);
+  late.attack_start = seconds(11);
+  EXPECT_NE(scenario::warmup_signature(late), sig);
+}
+
+TEST(WarmupSignature, CustomCellsNeverGroup) {
+  RunSpec spec;
+  spec.experiment = ExperimentKind::Custom;
+  spec.name = "custom";
+  EXPECT_EQ(scenario::warmup_signature(spec), std::nullopt);
+}
+
+TEST(WarmupRepresentative, NormalizesForkTimeParameters) {
+  RunSpec attack = quick_suppression(ControllerKind::Pox, true);
+  attack.attack_start = seconds(35);
+  attack.name = "campaign-cell";
+  const RunSpec baseline = quick_suppression(ControllerKind::Pox, false);
+  EXPECT_EQ(scenario::warmup_representative(attack).to_json(),
+            scenario::warmup_representative(baseline).to_json());
+
+  const RunSpec secure = interruption(ControllerKind::Ryu, true);
+  EXPECT_FALSE(scenario::warmup_representative(secure).s2_fail_secure);
+  EXPECT_EQ(scenario::warmup_representative(secure).to_json(),
+            scenario::warmup_representative(interruption(ControllerKind::Ryu, false)).to_json());
+}
+
+// ---------------------------------------------------------------------------
+// Fork-time rules.
+// ---------------------------------------------------------------------------
+
+TEST(ForkTime, SuppressionForksAtArmTimeBaselineAtEnd) {
+  EXPECT_EQ(scenario::fork_time(quick_suppression(ControllerKind::Pox, true)), seconds(5));
+  RunSpec late = quick_suppression(ControllerKind::Pox, true);
+  late.attack_start = seconds(35);
+  EXPECT_EQ(scenario::fork_time(late), seconds(35));
+  // Baseline shares the entire run: ping at t=30 for 2 trials, 5 s guard,
+  // no iperf, 2 s drain => t=39 s.
+  EXPECT_EQ(scenario::fork_time(quick_suppression(ControllerKind::Pox, false)), seconds(39));
+}
+
+TEST(ForkTime, InterruptionForksBeforeFailBitIsRead) {
+  EXPECT_EQ(scenario::fork_time(interruption(ControllerKind::Pox, false)), seconds(55));
+  EXPECT_EQ(scenario::fork_time(interruption(ControllerKind::Pox, true)), seconds(55));
+  RunSpec custom;
+  custom.experiment = ExperimentKind::Custom;
+  EXPECT_THROW(scenario::fork_time(custom), std::invalid_argument);
+}
+
+TEST(RunSpec, CampaignGridSharesOneSignaturePerController) {
+  const auto grid = scenario::fig11_campaign_grid({seconds(35), seconds(45)}, 2, 0);
+  ASSERT_EQ(grid.size(), 9u);  // 3 controllers x (baseline + 2 attack starts)
+  EXPECT_EQ(grid[0].id(), "suppression/Floodlight/baseline");
+  EXPECT_EQ(grid[1].id(), "suppression/Floodlight/attack/t35");
+  EXPECT_EQ(grid[2].id(), "suppression/Floodlight/attack/t45");
+  const auto sig = scenario::warmup_signature(grid[0]);
+  EXPECT_EQ(scenario::warmup_signature(grid[1]), sig);
+  EXPECT_EQ(scenario::warmup_signature(grid[2]), sig);
+  EXPECT_NE(scenario::warmup_signature(grid[3]), sig);  // next controller
+}
+
+// ---------------------------------------------------------------------------
+// Binary result round-trip (the tail's pipe payload).
+// ---------------------------------------------------------------------------
+
+TEST(ResultSerialization, SuppressionRoundTripsByteExactly) {
+  const scenario::RunResultPtr original = scenario::run(quick_suppression(ControllerKind::Pox, true));
+  ByteWriter w;
+  scenario::save_result(*original, w);
+  ByteReader r(w.bytes());
+  const scenario::RunResultPtr loaded = scenario::load_result(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(loaded->to_json(), original->to_json());
+}
+
+TEST(ResultSerialization, InterruptionRoundTripsByteExactly) {
+  const scenario::RunResultPtr original = scenario::run(interruption(ControllerKind::Ryu, true));
+  ByteWriter w;
+  scenario::save_result(*original, w);
+  ByteReader r(w.bytes());
+  const scenario::RunResultPtr loaded = scenario::load_result(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(loaded->to_json(), original->to_json());
+}
+
+TEST(ResultSerialization, UnansweredPingTrialsSurvive) {
+  scenario::SuppressionResult result;
+  result.controller = ControllerKind::Floodlight;
+  result.attack_enabled = true;
+  result.ping.trials.push_back({1, seconds(30), std::nullopt});
+  result.ping.trials.push_back({2, seconds(31), 1234});
+  result.iperf_mbps = {0.0, 93.25};
+  ByteWriter w;
+  scenario::save_result(result, w);
+  ByteReader r(w.bytes());
+  const scenario::RunResultPtr loaded = scenario::load_result(r);
+  EXPECT_EQ(loaded->to_json(), result.to_json());
+}
+
+TEST(ResultSerialization, CustomResultsAreRejected) {
+  class Opaque : public scenario::RunResult {
+   public:
+    std::string kind_name() const override { return "opaque"; }
+    std::vector<std::string> row_header() const override { return {}; }
+    std::vector<std::string> to_row() const override { return {}; }
+    scenario::RunResultPtr clone() const override { return std::make_unique<Opaque>(*this); }
+
+   protected:
+    void write_json_fields(JsonWriter&) const override {}
+  };
+  ByteWriter w;
+  EXPECT_THROW(scenario::save_result(Opaque{}, w), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The hard guarantee: forked == cold, byte for byte.
+// ---------------------------------------------------------------------------
+
+sweep::SweepReport run_grid(const std::vector<RunSpec>& grid, bool warm) {
+  sweep::SweepOptions options;
+  options.threads = 2;
+  options.warm_start = warm;
+  return sweep::SweepRunner(options).run(grid);
+}
+
+TEST(WarmStart, PaperGridsAreByteIdenticalToColdRuns) {
+  if (!snap::fork_supported()) GTEST_SKIP() << "process forking unavailable here";
+
+  // The full Table II and Fig. 11 evaluation grids (quick Fig. 11 shape).
+  std::vector<RunSpec> grid = scenario::table2_grid();
+  for (RunSpec& spec : scenario::fig11_grid()) grid.push_back(std::move(spec));
+
+  const sweep::SweepReport cold = run_grid(grid, /*warm=*/false);
+  const sweep::SweepReport warm = run_grid(grid, /*warm=*/true);
+
+  ASSERT_EQ(cold.ok(), grid.size());
+  ASSERT_EQ(warm.ok(), grid.size());
+  EXPECT_EQ(cold.results_json(), warm.results_json());
+
+  // The warm run really exercised the fork path: every cell pairs up
+  // (3 interruption fail-mode pairs + 3 suppression baseline/attack
+  // pairs), so all 12 cells come from 6 shared warm-ups.
+  EXPECT_EQ(cold.warm_cells, 0u);
+  EXPECT_EQ(warm.warm_cells, grid.size());
+  EXPECT_EQ(warm.warm_groups, 6u);
+}
+
+TEST(WarmStart, CampaignGridIsByteIdenticalToColdRuns) {
+  if (!snap::fork_supported()) GTEST_SKIP() << "process forking unavailable here";
+
+  // Arm times straddle the ping burst (trials fire at t = 30..31 s): the
+  // 29 s attack suppresses the pings' flow mods, the 35 s one arms after
+  // all traffic and changes nothing.
+  const auto grid = scenario::fig11_campaign_grid({seconds(29), seconds(35)}, 2, 0);
+  const sweep::SweepReport cold = run_grid(grid, /*warm=*/false);
+  const sweep::SweepReport warm = run_grid(grid, /*warm=*/true);
+
+  ASSERT_EQ(cold.ok(), grid.size());
+  ASSERT_EQ(warm.ok(), grid.size());
+  EXPECT_EQ(cold.results_json(), warm.results_json());
+  EXPECT_EQ(warm.warm_cells, grid.size());
+  EXPECT_EQ(warm.warm_groups, 3u);  // one shared warm-up per controller
+
+  // Attack timing matters: later arming leaves more of the workload intact.
+  const auto* early = warm.find("suppression/POX/attack/t29");
+  const auto* late = warm.find("suppression/POX/attack/t35");
+  ASSERT_NE(early, nullptr);
+  ASSERT_NE(late, nullptr);
+  EXPECT_NE(early->result->to_json(), late->result->to_json());
+}
+
+TEST(WarmStart, ProgressFiresOncePerCellInWarmGroups) {
+  if (!snap::fork_supported()) GTEST_SKIP() << "process forking unavailable here";
+
+  const std::vector<RunSpec> grid = {
+      quick_suppression(ControllerKind::Pox, false),
+      quick_suppression(ControllerKind::Pox, true),
+      quick_suppression(ControllerKind::Ryu, false),
+      quick_suppression(ControllerKind::Ryu, true),
+  };
+  std::vector<std::size_t> completed_values;
+  sweep::SweepOptions options;
+  options.threads = 2;
+  options.warm_start = true;
+  options.on_progress = [&](const sweep::Progress& p) { completed_values.push_back(p.completed); };
+  const sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
+
+  EXPECT_EQ(report.ok(), grid.size());
+  EXPECT_EQ(report.warm_cells, grid.size());
+  std::sort(completed_values.begin(), completed_values.end());
+  EXPECT_EQ(completed_values, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(WarmStart, LonersAndCustomCellsFallBackCold) {
+  // One suppression cell (nothing to pair with), one custom cell (no
+  // signature): warm-start must leave both on the cold path yet still
+  // produce results.
+  std::vector<RunSpec> grid = {quick_suppression(ControllerKind::Pox, false)};
+  RunSpec custom;
+  custom.experiment = ExperimentKind::Custom;
+  custom.name = "token-cell";
+  custom.custom = [](const RunSpec&) -> scenario::RunResultPtr {
+    class Token : public scenario::RunResult {
+     public:
+      std::string kind_name() const override { return "token"; }
+      std::vector<std::string> row_header() const override { return {"t"}; }
+      std::vector<std::string> to_row() const override { return {"1"}; }
+      scenario::RunResultPtr clone() const override { return std::make_unique<Token>(*this); }
+
+     protected:
+      void write_json_fields(JsonWriter& w) const override { w.field("t", std::int64_t{1}); }
+    };
+    return std::make_unique<Token>();
+  };
+  grid.push_back(std::move(custom));
+
+  sweep::SweepOptions options;
+  options.threads = 1;
+  options.warm_start = true;
+  const sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
+
+  EXPECT_EQ(report.ok(), 2u);
+  EXPECT_EQ(report.warm_cells, 0u);
+  EXPECT_EQ(report.warm_groups, 0u);
+
+  // And the degenerate grids hold up.
+  EXPECT_EQ(sweep::SweepRunner(options).run({}).cells.size(), 0u);
+  const sweep::SweepReport single =
+      sweep::SweepRunner(options).run({quick_suppression(ControllerKind::Ryu, true)});
+  EXPECT_EQ(single.ok(), 1u);
+  EXPECT_EQ(single.warm_cells, 0u);
+}
+
+}  // namespace
+}  // namespace attain

@@ -1,6 +1,7 @@
 // Sweep engine: parallel == serial determinism (byte-identical JSON),
 // failure isolation, retry, timeout accounting, the RunSpec/RunResult API,
 // the controller registry, and the field-order-stable JSON writer.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -272,6 +273,47 @@ TEST(Sweep, ProgressCallbackSeesEveryCell) {
   EXPECT_EQ(report.ok(), 2u);
   EXPECT_EQ(seen.size(), 2u);
   EXPECT_EQ(last_total, 2u);
+}
+
+// Retried cells must not double-count toward Progress: the callback fires
+// exactly once per cell, after its outcome is final, and `completed`
+// marches 1..total even when the middle cell consumes two attempts.
+TEST(Sweep, RetriedCellsCountOnceInProgress) {
+  auto flaky_attempts = std::make_shared<std::atomic<int>>(0);
+  const std::vector<RunSpec> grid = {
+      quick_suppression(ControllerKind::Pox, false),
+      custom_spec("deterministic-flake",
+                  [flaky_attempts](const RunSpec&) -> scenario::RunResultPtr {
+                    if (flaky_attempts->fetch_add(1) == 0) {
+                      throw std::runtime_error("first attempt always fails");
+                    }
+                    return std::make_unique<TokenResult>(9);
+                  }),
+      quick_suppression(ControllerKind::Ryu, false),
+  };
+
+  std::vector<std::size_t> completed_values;
+  std::vector<std::string> seen_ids;
+  sweep::SweepOptions options;
+  options.threads = 1;
+  options.max_attempts = 2;
+  options.on_progress = [&](const sweep::Progress& p) {
+    completed_values.push_back(p.completed);
+    seen_ids.push_back(p.cell->spec.id());
+    EXPECT_EQ(p.total, grid.size());
+  };
+  const sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
+
+  EXPECT_EQ(report.ok(), 3u);
+  EXPECT_EQ(report.cells[1].attempts, 2u);
+  // One notification per cell — the retry did not produce an extra one —
+  // and the counter never skips or repeats.
+  EXPECT_EQ(completed_values, (std::vector<std::size_t>{1, 2, 3}));
+  ASSERT_EQ(seen_ids.size(), grid.size());
+  for (const RunSpec& spec : grid) {
+    EXPECT_EQ(std::count(seen_ids.begin(), seen_ids.end(), spec.id()), 1)
+        << "cell " << spec.id() << " notified a wrong number of times";
+  }
 }
 
 TEST(Sweep, ReportAccountsVirtualTime) {

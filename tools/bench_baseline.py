@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Collect and check the committed benchmark baseline (BENCH_flowtable.json).
+"""Collect and check the committed benchmark baselines (BENCH_*.json).
 
 Two subcommands (stdlib only, no third-party deps):
 
@@ -7,11 +7,16 @@ Two subcommands (stdlib only, no third-party deps):
             and custom-harness --json output files (--harness, repeatable)
             into one baseline document written to --out.
 
-  check     Compare a fresh google-benchmark JSON run (--current) against a
-            committed baseline (--baseline); exit non-zero if any benchmark
-            present in both is slower than --max-slowdown x the baseline
-            (default 5.0). Benchmarks missing on either side are reported
-            but do not fail the check (table sizes and regimes may grow).
+  check     Compare a fresh google-benchmark JSON run (--current) and/or
+            custom-harness --json runs (--current-harness, repeatable)
+            against one or more committed baselines (--baseline,
+            repeatable — files are merged, later files win on name
+            clashes); exit non-zero if anything present on both sides is
+            slower than --max-slowdown x the baseline (default 5.0).
+            Harness documents are compared on their numeric "metrics"
+            entries whose keys end in "_seconds". Benchmarks missing on
+            either side are reported but do not fail the check (table
+            sizes and regimes may grow).
 
 Baseline schema (see docs/perf.md):
 
@@ -32,6 +37,12 @@ Typical refresh (Release build, quiet machine):
   build-rel/bench/bench_fig11_throughput --json /tmp/fig11.json
   tools/bench_baseline.py collect --gbench /tmp/fl.json --gbench /tmp/sr.json \
       --harness /tmp/fig11.json --out BENCH_flowtable.json
+
+The warm-start sweep baseline is collected the same way from the
+bench_sweep_snapshot harness:
+
+  build-rel/bench/bench_sweep_snapshot --json /tmp/sweep.json
+  tools/bench_baseline.py collect --harness /tmp/sweep.json --out BENCH_sweep.json
 """
 
 import argparse
@@ -80,12 +91,33 @@ def cmd_collect(args):
     return 0
 
 
+def merged_baseline(paths):
+    """Loads and merges --baseline files; later files win on name clashes."""
+    merged = {"benchmarks": {}, "harness": {}}
+    for path in paths:
+        doc = load_json(path)
+        if doc.get("schema") != 1:
+            sys.exit(f"{path}: unknown schema {doc.get('schema')!r}")
+        merged["benchmarks"].update(doc.get("benchmarks", {}))
+        merged["harness"].update(doc.get("harness", {}))
+    return merged
+
+
+def harness_seconds(doc):
+    """Yields (metric_key, value) for the comparable wall-clock metrics of a
+    bench_json.hpp wrapper document. Ratios like "speedup" are
+    machine-sensitive in the other direction, so only *_seconds gate."""
+    metrics = doc.get("metrics", {})
+    for key in sorted(metrics):
+        value = metrics[key]
+        if key.endswith("_seconds") and isinstance(value, (int, float)):
+            yield key, float(value)
+
+
 def cmd_check(args):
-    baseline = load_json(args.baseline)
-    if baseline.get("schema") != 1:
-        sys.exit(f"{args.baseline}: unknown schema {baseline.get('schema')!r}")
-    base = baseline.get("benchmarks", {})
-    current = dict(gbench_entries(load_json(args.current)))
+    baseline = merged_baseline(args.baseline)
+    base = baseline["benchmarks"]
+    current = dict(gbench_entries(load_json(args.current))) if args.current else {}
 
     failures = []
     compared = 0
@@ -105,10 +137,34 @@ def cmd_check(args):
         if ratio > args.max_slowdown:
             failures.append((name, ratio))
     for name in sorted(set(base) - set(current)):
-        print(f"  [gone]  {name} (in baseline, not in current run)")
+        if args.current:
+            print(f"  [gone]  {name} (in baseline, not in current run)")
+
+    for path in args.current_harness:
+        doc = load_json(path)
+        bench_name = doc.get("bench")
+        if not bench_name:
+            sys.exit(f"{path}: not a bench_json.hpp wrapper document (no 'bench' key)")
+        ref_doc = baseline["harness"].get(bench_name)
+        if ref_doc is None:
+            print(f"  [new]   harness {bench_name} (not in baseline, skipped)")
+            continue
+        ref_metrics = dict(harness_seconds(ref_doc))
+        for key, cur_value in harness_seconds(doc):
+            ref_value = ref_metrics.get(key)
+            if ref_value is None:
+                print(f"  [new]   {bench_name}.{key} (not in baseline, skipped)")
+                continue
+            compared += 1
+            ratio = cur_value / ref_value if ref_value else float("inf")
+            status = "FAIL" if ratio > args.max_slowdown else "ok"
+            print(f"  [{status:>4}] {bench_name}.{key}: {cur_value:.3f} vs baseline "
+                  f"{ref_value:.3f} s ({ratio:.2f}x)")
+            if ratio > args.max_slowdown:
+                failures.append((f"{bench_name}.{key}", ratio))
 
     if compared == 0:
-        sys.exit("no overlapping benchmarks between baseline and current run")
+        sys.exit("no overlapping benchmarks between baseline(s) and current run(s)")
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "
               f"{args.max_slowdown}x:", file=sys.stderr)
@@ -134,9 +190,12 @@ def main():
     p_collect.set_defaults(func=cmd_collect)
 
     p_check = sub.add_parser("check", help="fail if current run regressed vs baseline")
-    p_check.add_argument("--baseline", required=True, help="committed baseline JSON")
-    p_check.add_argument("--current", required=True,
+    p_check.add_argument("--baseline", action="append", required=True,
+                         help="committed baseline JSON (repeatable; files are merged)")
+    p_check.add_argument("--current",
                          help="fresh google-benchmark JSON to compare")
+    p_check.add_argument("--current-harness", action="append", default=[],
+                         help="fresh custom-harness --json output to compare (repeatable)")
     p_check.add_argument("--max-slowdown", type=float, default=5.0,
                          help="failure threshold as current/baseline ratio (default 5)")
     p_check.set_defaults(func=cmd_check)
