@@ -37,6 +37,12 @@ CompiledAttack compile(const lang::Attack& attack, const topo::SystemModel& syst
   compiled.name = attack.name;
   compiled.deques = attack.deques;
   compiled.source = attack;
+  // Deque declaration order is the DequeStore slot order the executor will
+  // use, so rule programs can intern names to slots here, once.
+  std::vector<std::string> deque_names;
+  deque_names.reserve(attack.deques.size());
+  for (const auto& [deque_name, initial] : attack.deques) deque_names.push_back(deque_name);
+  const lang::Program::CompileEnv program_env{&deque_names};
   for (const lang::AttackState& state : attack.states) {
     CompiledState out;
     out.name = state.name;
@@ -63,7 +69,28 @@ CompiledAttack compile(const lang::Attack& attack, const topo::SystemModel& syst
                            system.name_of(rule.connection.sw) + ") requires capabilities " +
                            missing.to_string() + " the attacker was not granted");
       }
-      out.rules.push_back(CompiledRule{rule, required});
+      CompiledRule compiled_rule{rule, required};
+      if (rule.conditional) {
+        compiled_rule.program = lang::Program::compile(*rule.conditional, program_env);
+        compiled_rule.action_programs.reserve(rule.actions.size());
+        for (const lang::ActionSpec& action : rule.actions) {
+          const lang::ExprPtr* operand = nullptr;
+          if (const auto* modify = std::get_if<lang::ActModifyField>(&action)) {
+            operand = &modify->value;
+          } else if (const auto* prepend = std::get_if<lang::ActPrepend>(&action)) {
+            operand = &prepend->value;
+          } else if (const auto* append = std::get_if<lang::ActAppend>(&action)) {
+            operand = &append->value;
+          }
+          lang::Program operand_program;
+          if (operand != nullptr && *operand) {
+            operand_program = lang::Program::compile(**operand, program_env);
+          }
+          compiled_rule.action_programs.push_back(std::move(operand_program));
+        }
+        compiled_rule.has_programs = true;
+      }
+      out.rules.push_back(std::move(compiled_rule));
     }
     compiled.states.push_back(std::move(out));
   }

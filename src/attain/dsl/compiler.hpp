@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "attain/lang/attack.hpp"
+#include "attain/lang/program.hpp"
 #include "attain/model/capabilities.hpp"
 #include "topo/system_model.hpp"
 
@@ -23,9 +24,19 @@ class CompileError : public std::runtime_error {
 
 /// A rule with its capability requirement resolved and its GoTo targets
 /// pre-resolved to state indices for O(1) transitions at runtime.
+///
+/// compile() also lowers the conditional (and every action's expression
+/// operand) to flat lang::Programs — the executor's hot path. A hand-built
+/// CompiledRule without programs (has_programs == false) still runs via the
+/// tree-walk oracle.
 struct CompiledRule {
   lang::Rule rule;
   model::CapabilitySet required;
+  lang::Program program;  // compiled conditional, carries the guard
+  /// Aligned with rule.actions; entries for actions without an expression
+  /// operand are empty Programs.
+  std::vector<lang::Program> action_programs;
+  bool has_programs{false};
 };
 
 struct CompiledState {

@@ -9,6 +9,19 @@ AttackExecutor::AttackExecutor(const dsl::CompiledAttack& attack,
   for (const auto& [name, initial] : attack_.deques) {
     storage_.declare(name, initial);
   }
+  rule_buckets_.resize(attack_.states.size());
+  for (std::size_t s = 0; s < attack_.states.size(); ++s) {
+    const auto& rules = attack_.states[s].rules;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      rule_buckets_[s][rules[r].rule.connection].push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  mod_ctx_.storage = &storage_;
+  mod_ctx_.rng = &rng_;
+  mod_ctx_.monitor = &monitor_;
+  mod_ctx_.next_id = [this] { return next_id(); };
+  mod_ctx_.next_xid = [this] { return ++xid_counter_; };
+  mod_ctx_.evaluator = &evaluator_;
   reset();
 }
 
@@ -31,49 +44,92 @@ ExecutionResult AttackExecutor::process(const lang::InFlightMessage& msg) {
   const std::size_t previous = current_;
   const dsl::CompiledState& state = attack_.states[previous];
 
-  for (const dsl::CompiledRule& compiled : state.rules) {
+  const auto bucket = rule_buckets_[previous].find(msg.connection);
+  if (bucket == rule_buckets_[previous].end()) return result;  // no rule bound to n
+
+  for (const std::uint32_t rule_index : bucket->second) {
+    const dsl::CompiledRule& compiled = state.rules[rule_index];
     const lang::Rule& rule = compiled.rule;
-    if (rule.connection != msg.connection) continue;  // rule bound to another n ∈ N_C
+    const bool run_program = use_compiled_ && compiled.has_programs;
+
+    // One bitmask test dismisses the whole rule when the message's shape
+    // (type x direction x decodability) can't satisfy the conditional — in
+    // particular the seed's throw-per-absent-field steady state.
+    if (run_program && !compiled.program.guard().admits(msg)) {
+      ++stats_.rules_skipped_by_guard;
+      continue;
+    }
     ++stats_.rules_evaluated;
 
     // Defence in depth: the compiler already proved required ⊆ granted,
     // but a hand-built CompiledAttack could bypass it.
     if (!capabilities_.allows(rule.connection, compiled.required)) {
       ++stats_.capability_violations;
-      monitor::Event event;
-      event.kind = monitor::EventKind::EvalError;
-      event.time = msg.timestamp;
-      event.connection = msg.connection;
-      event.rule = rule.name;
-      event.state = state.name;
-      event.detail = "runtime capability violation";
-      monitor_.record(std::move(event));
+      if (monitor_.enabled(monitor::EventKind::EvalError)) {
+        monitor::Event event;
+        event.kind = monitor::EventKind::EvalError;
+        event.time = msg.timestamp;
+        event.connection = msg.connection;
+        event.rule = rule.name;
+        event.state = state.name;
+        event.detail = "runtime capability violation";
+        monitor_.record(std::move(event));
+      } else {
+        monitor_.tally(monitor::EventKind::EvalError);
+      }
       continue;
     }
 
+    lang::EvalContext ectx;
+    ectx.message = &msg;
+    ectx.storage = &storage_;
+    ectx.rng = &rng_;
+
     bool matched = false;
-    try {
-      lang::EvalContext ectx;
-      ectx.message = &msg;
-      ectx.storage = &storage_;
-      ectx.rng = &rng_;
-      matched = lang::evaluate_bool(*rule.conditional, ectx);
-    } catch (const std::exception& err) {
-      ++stats_.eval_errors;
-      monitor::Event event;
-      event.kind = monitor::EventKind::EvalError;
-      event.time = msg.timestamp;
-      event.connection = msg.connection;
-      event.message_id = msg.id;
-      event.rule = rule.name;
-      event.state = state.name;
-      event.detail = err.what();
-      monitor_.record(std::move(event));
+    if (run_program) {
+      ++stats_.programs_executed;
+      const lang::ExecStatus status = evaluator_.run_bool(compiled.program, ectx, matched);
+      if (status != lang::ExecStatus::Ok) {
+        matched = false;
+        ++stats_.eval_errors;
+        if (monitor_.enabled(monitor::EventKind::EvalError)) {
+          monitor::Event event;
+          event.kind = monitor::EventKind::EvalError;
+          event.time = msg.timestamp;
+          event.connection = msg.connection;
+          event.message_id = msg.id;
+          event.rule = rule.name;
+          event.state = state.name;
+          event.detail = evaluator_.error_detail(compiled.program, ectx);
+          monitor_.record(std::move(event));
+        } else {
+          monitor_.tally(monitor::EventKind::EvalError);
+        }
+      }
+    } else {
+      try {
+        matched = lang::evaluate_bool(*rule.conditional, ectx);
+      } catch (const std::exception& err) {
+        ++stats_.eval_errors;
+        if (monitor_.enabled(monitor::EventKind::EvalError)) {
+          monitor::Event event;
+          event.kind = monitor::EventKind::EvalError;
+          event.time = msg.timestamp;
+          event.connection = msg.connection;
+          event.message_id = msg.id;
+          event.rule = rule.name;
+          event.state = state.name;
+          event.detail = err.what();
+          monitor_.record(std::move(event));
+        } else {
+          monitor_.tally(monitor::EventKind::EvalError);
+        }
+      }
     }
     if (!matched) continue;
 
     ++stats_.rules_matched;
-    {
+    if (monitor_.enabled(monitor::EventKind::RuleMatched)) {
       monitor::Event event;
       event.kind = monitor::EventKind::RuleMatched;
       event.time = msg.timestamp;
@@ -83,33 +139,34 @@ ExecutionResult AttackExecutor::process(const lang::InFlightMessage& msg) {
       event.rule = rule.name;
       event.state = state.name;
       monitor_.record(std::move(event));
+    } else {
+      monitor_.tally(monitor::EventKind::RuleMatched);
     }
 
-    ModifierContext ctx;
-    ctx.original = &msg;
-    ctx.storage = &storage_;
-    ctx.rng = &rng_;
-    ctx.monitor = &monitor_;
-    ctx.next_id = [this] { return next_id(); };
-    ctx.next_xid = [this] { return ++xid_counter_; };
-    ctx.state_name = state.name.c_str();
-    ctx.rule_name = rule.name.c_str();
+    mod_ctx_.original = &msg;
+    mod_ctx_.state_name = state.name.c_str();
+    mod_ctx_.rule_name = rule.name.c_str();
 
-    for (const lang::ActionSpec& action : rule.actions) {
+    for (std::size_t action_index = 0; action_index < rule.actions.size(); ++action_index) {
+      const lang::ActionSpec& action = rule.actions[action_index];
       ++stats_.actions_executed;
       if (const auto* go = std::get_if<lang::ActGoTo>(&action)) {
         const std::size_t target = attack_.state_index(go->state);
         if (target != current_) {
           current_ = target;  // lines 11–12
           ++stats_.state_transitions;
-          monitor::Event event;
-          event.kind = monitor::EventKind::StateTransition;
-          event.time = msg.timestamp;
-          event.connection = msg.connection;
-          event.rule = rule.name;
-          event.state = state.name;
-          event.detail = "-> " + go->state;
-          monitor_.record(std::move(event));
+          if (monitor_.enabled(monitor::EventKind::StateTransition)) {
+            monitor::Event event;
+            event.kind = monitor::EventKind::StateTransition;
+            event.time = msg.timestamp;
+            event.connection = msg.connection;
+            event.rule = rule.name;
+            event.state = state.name;
+            event.detail = "-> " + go->state;
+            monitor_.record(std::move(event));
+          } else {
+            monitor_.tally(monitor::EventKind::StateTransition);
+          }
         }
         continue;
       }
@@ -119,16 +176,25 @@ ExecutionResult AttackExecutor::process(const lang::InFlightMessage& msg) {
       }
       if (const auto* syscmd = std::get_if<lang::ActSysCmd>(&action)) {
         result.syscmds.push_back(SysCmdCall{syscmd->host, syscmd->command});
-        monitor::Event event;
-        event.kind = monitor::EventKind::SysCmd;
-        event.time = msg.timestamp;
-        event.rule = rule.name;
-        event.state = state.name;
-        event.detail = syscmd->host + ": " + syscmd->command;
-        monitor_.record(std::move(event));
+        if (monitor_.enabled(monitor::EventKind::SysCmd)) {
+          monitor::Event event;
+          event.kind = monitor::EventKind::SysCmd;
+          event.time = msg.timestamp;
+          event.rule = rule.name;
+          event.state = state.name;
+          event.detail = syscmd->host + ": " + syscmd->command;
+          monitor_.record(std::move(event));
+        } else {
+          monitor_.tally(monitor::EventKind::SysCmd);
+        }
         continue;
       }
-      apply_action(action, result.outgoing, ctx);  // line 14
+      mod_ctx_.value_program =
+          run_program && action_index < compiled.action_programs.size() &&
+                  !compiled.action_programs[action_index].empty()
+              ? &compiled.action_programs[action_index]
+              : nullptr;
+      apply_action(action, result.outgoing, mod_ctx_);  // line 14
     }
   }
   return result;

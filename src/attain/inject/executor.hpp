@@ -2,8 +2,16 @@
 // state σ_current, evaluates the saved state's rules against each incoming
 // message, actuates actions through the message modifier, and returns the
 // outgoing message list plus any executor-level effects (sleep, syscmds).
+//
+// Hot-path layout: each state's rules are pre-bucketed by connection (no
+// linear connection scan), each rule's guard prefilter is tested with one
+// bitmask before anything else runs, and conditionals execute as compiled
+// lang::Programs on a reusable evaluator — no allocation, no exceptions on
+// the non-matching path. set_use_compiled(false) switches back to the
+// tree-walk oracle (tests and benches compare both).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,12 +36,20 @@ struct ExecutionResult {
 
 struct ExecutorStats {
   std::uint64_t messages_processed{0};
+  /// Conditionals actually evaluated (guard-skipped rules don't count; the
+  /// connection bucketing means rules on other connections never did).
   std::uint64_t rules_evaluated{0};
   std::uint64_t rules_matched{0};
   std::uint64_t actions_executed{0};
   std::uint64_t state_transitions{0};
   std::uint64_t capability_violations{0};  // runtime defence-in-depth hits
   std::uint64_t eval_errors{0};
+  /// Rules dismissed by their guard prefilter (message type/direction/
+  /// decodability can't possibly satisfy the conditional). In the seed
+  /// implementation these either evaluated to false or raised an EvalError.
+  std::uint64_t rules_skipped_by_guard{0};
+  /// Conditionals evaluated via the compiled path (vs the tree oracle).
+  std::uint64_t programs_executed{0};
 };
 
 class AttackExecutor {
@@ -49,6 +65,12 @@ class AttackExecutor {
   /// Processes one incoming message (Algorithm 1 lines 4–21, minus the
   /// actual sends, which the proxy performs with the returned list).
   ExecutionResult process(const lang::InFlightMessage& msg);
+
+  /// Oracle mode: evaluate conditionals with the tree-walk instead of the
+  /// compiled programs (also disables the guard prefilter, restoring the
+  /// seed's evaluate-and-catch semantics). On by default.
+  void set_use_compiled(bool use_compiled) { use_compiled_ = use_compiled; }
+  bool use_compiled() const { return use_compiled_; }
 
   const std::string& current_state_name() const;
   std::size_t current_state_index() const { return current_; }
@@ -68,6 +90,14 @@ class AttackExecutor {
   std::uint64_t id_counter_{1'000'000'000ULL};  // injected-message id space
   std::uint32_t xid_counter_{0x7a000000};
   ExecutorStats stats_;
+  bool use_compiled_{true};
+  lang::ProgramEvaluator evaluator_;
+  /// Per-state rule indices bucketed by connection, built once at
+  /// construction (rule order within a bucket preserved).
+  std::vector<std::map<ConnectionId, std::vector<std::uint32_t>>> rule_buckets_;
+  /// Hoisted modifier context: the std::function id/xid allocators are
+  /// built once here instead of twice per matched rule.
+  ModifierContext mod_ctx_;
 };
 
 }  // namespace attain::inject

@@ -43,6 +43,16 @@ lang::Value eval_or_default(const lang::ExprPtr& expr, const ModifierContext& ct
   ectx.message = ctx.original;
   ectx.storage = ctx.storage;
   ectx.rng = ctx.rng;
+  if (ctx.evaluator != nullptr && ctx.value_program != nullptr && !ctx.value_program->empty()) {
+    lang::Value out;
+    const lang::ExecStatus status = ctx.evaluator->run_value(*ctx.value_program, ectx, out);
+    if (status != lang::ExecStatus::Ok) {
+      // Matched-rule action failures are rare; re-raise with the oracle's
+      // message so the surrounding note_failure paths stay identical.
+      throw lang::EvalError(ctx.evaluator->error_detail(*ctx.value_program, ectx));
+    }
+    return out;
+  }
   return lang::evaluate(*expr, ectx);
 }
 

@@ -10,6 +10,7 @@
 
 #include "attain/lang/actions.hpp"
 #include "attain/lang/deque_store.hpp"
+#include "attain/lang/program.hpp"
 #include "attain/monitor/monitor.hpp"
 #include "common/rng.hpp"
 
@@ -34,6 +35,13 @@ struct ModifierContext {
   std::function<std::uint32_t()> next_xid;
   const char* state_name{""};
   const char* rule_name{""};
+  /// Compiled fast path for the current action's expression operand (e.g.
+  /// modify(msg, field, <expr>)). When both are set, apply_action evaluates
+  /// the program instead of tree-walking the ExprPtr; failures surface as
+  /// the same EvalError the tree would have thrown. The executor re-points
+  /// value_program before each action.
+  lang::ProgramEvaluator* evaluator{nullptr};
+  const lang::Program* value_program{nullptr};
 };
 
 /// Applies a message-level action to `out`. Returns false (with an

@@ -200,12 +200,16 @@ void RuntimeInjector::deliver(const OutMessage& out) {
   const auto endpoint = endpoints_.find(conn);
   if (endpoint == endpoints_.end()) {
     ++stats_.undeliverable;
-    monitor::Event event;
-    event.kind = monitor::EventKind::EvalError;
-    event.time = sched_.now();
-    event.connection = msg.connection;
-    event.detail = "undeliverable: no attached connection for redirect target";
-    monitor_.record(std::move(event));
+    if (monitor_.enabled(monitor::EventKind::EvalError)) {
+      monitor::Event event;
+      event.kind = monitor::EventKind::EvalError;
+      event.time = sched_.now();
+      event.connection = msg.connection;
+      event.detail = "undeliverable: no attached connection for redirect target";
+      monitor_.record(std::move(event));
+    } else {
+      monitor_.tally(monitor::EventKind::EvalError);
+    }
     return;
   }
 
@@ -213,14 +217,18 @@ void RuntimeInjector::deliver(const OutMessage& out) {
     const auto ep = endpoints_.find(conn);
     if (ep == endpoints_.end()) return;
     ++stats_.messages_delivered;
-    monitor::Event event;
-    event.kind = monitor::EventKind::MessageForwarded;
-    event.time = sched_.now();
-    event.connection = conn;
-    event.direction = direction;
-    if (const ofp::Message* payload = envelope.message()) event.message_type = payload->type();
-    event.length = envelope.wire_size();
-    monitor_.record(std::move(event));
+    if (monitor_.enabled(monitor::EventKind::MessageForwarded)) {
+      monitor::Event event;
+      event.kind = monitor::EventKind::MessageForwarded;
+      event.time = sched_.now();
+      event.connection = conn;
+      event.direction = direction;
+      if (const ofp::Message* payload = envelope.message()) event.message_type = payload->type();
+      event.length = envelope.wire_size();
+      monitor_.record(std::move(event));
+    } else {
+      monitor_.tally(monitor::EventKind::MessageForwarded);
+    }
     if (direction == chan::Direction::ControllerToSwitch) {
       if (ep->second.to_switch) ep->second.to_switch(std::move(envelope));
     } else {

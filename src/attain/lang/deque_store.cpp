@@ -3,21 +3,22 @@
 namespace attain::lang {
 
 void DequeStore::declare(const std::string& name, std::vector<Value> initial) {
-  if (deques_.contains(name)) throw StorageError("deque redeclared: " + name);
-  deques_[name] = std::deque<Value>(initial.begin(), initial.end());
-  initial_[name] = std::move(initial);
+  if (index_.contains(name)) throw StorageError("deque redeclared: " + name);
+  index_.emplace(name, deques_.size());
+  deques_.emplace_back(initial.begin(), initial.end());
+  initial_.push_back(std::move(initial));
 }
 
 const std::deque<Value>& DequeStore::require(const std::string& name) const {
-  const auto it = deques_.find(name);
-  if (it == deques_.end()) throw StorageError("undeclared deque: " + name);
-  return it->second;
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw StorageError("undeclared deque: " + name);
+  return deques_[it->second];
 }
 
 std::deque<Value>& DequeStore::require(const std::string& name) {
-  const auto it = deques_.find(name);
-  if (it == deques_.end()) throw StorageError("undeclared deque: " + name);
-  return it->second;
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw StorageError("undeclared deque: " + name);
+  return deques_[it->second];
 }
 
 void DequeStore::prepend(const std::string& name, Value value) {
@@ -59,17 +60,22 @@ Value DequeStore::pop(const std::string& name) {
 std::size_t DequeStore::size(const std::string& name) const { return require(name).size(); }
 
 void DequeStore::reset() {
-  for (auto& [name, deque] : deques_) {
-    const auto& init = initial_.at(name);
-    deque.assign(init.begin(), init.end());
+  for (std::size_t i = 0; i < deques_.size(); ++i) {
+    deques_[i].assign(initial_[i].begin(), initial_[i].end());
   }
 }
 
 std::vector<std::string> DequeStore::names() const {
   std::vector<std::string> out;
-  out.reserve(deques_.size());
-  for (const auto& [name, _] : deques_) out.push_back(name);
+  out.reserve(index_.size());
+  for (const auto& [name, _] : index_) out.push_back(name);
   return out;
+}
+
+std::optional<std::size_t> DequeStore::slot_of(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace attain::lang

@@ -2,10 +2,19 @@
 // the six operations of §V-D (PREPEND, APPEND, EXAMINEFRONT, EXAMINEEND,
 // SHIFT, POP). Deques hold Values, so the same mechanism serves counters,
 // general variables, and message capture for replay/reordering (§VIII-A).
+//
+// Deques are addressable two ways: by name (the DSL surface, throws
+// StorageError) and by slot — the declaration-order index, interned once by
+// the rule compiler so the hot path never hashes a name or throws. The
+// peek_*/size_at slot accessors report emptiness via nullptr instead of an
+// exception; slots stay stable for the life of the store (declare only
+// appends, reset only re-assigns contents).
 #pragma once
 
+#include <cstddef>
 #include <deque>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -23,7 +32,7 @@ class DequeStore {
  public:
   /// Declares δ with optional initial contents. Redeclaration throws.
   void declare(const std::string& name, std::vector<Value> initial = {});
-  bool exists(const std::string& name) const { return deques_.contains(name); }
+  bool exists(const std::string& name) const { return index_.contains(name); }
 
   // §V-D operations; all throw StorageError on an undeclared deque, and
   // the examine/remove operations throw on an empty deque (an attack-
@@ -42,14 +51,36 @@ class DequeStore {
   /// attack is re-armed).
   void reset();
 
+  /// Declared names in sorted order.
   std::vector<std::string> names() const;
+
+  // Slot surface — used by compiled rule programs.
+
+  /// The declaration-order slot of a name, if declared. Slot i is the
+  /// i-th declare() call.
+  std::optional<std::size_t> slot_of(const std::string& name) const;
+  std::size_t slot_count() const { return deques_.size(); }
+
+  /// Front/back element of slot i, or nullptr when empty. The pointer is
+  /// valid until the deque is next mutated.
+  const Value* peek_front(std::size_t slot) const {
+    const auto& d = deques_[slot];
+    return d.empty() ? nullptr : &d.front();
+  }
+  const Value* peek_end(std::size_t slot) const {
+    const auto& d = deques_[slot];
+    return d.empty() ? nullptr : &d.back();
+  }
+  std::size_t size_at(std::size_t slot) const { return deques_[slot].size(); }
 
  private:
   const std::deque<Value>& require(const std::string& name) const;
   std::deque<Value>& require(const std::string& name);
 
-  std::map<std::string, std::deque<Value>> deques_;
-  std::map<std::string, std::vector<Value>> initial_;
+  // Parallel, declaration-ordered; index_ maps name -> slot.
+  std::vector<std::deque<Value>> deques_;
+  std::vector<std::vector<Value>> initial_;
+  std::map<std::string, std::size_t> index_;
 };
 
 }  // namespace attain::lang

@@ -1,0 +1,792 @@
+#include "attain/lang/program.hpp"
+
+namespace attain::lang {
+
+std::string to_string(ExecStatus status) {
+  switch (status) {
+    case ExecStatus::Ok: return "ok";
+    case ExecStatus::NoMessage: return "no_message";
+    case ExecStatus::PayloadUnreadable: return "payload_unreadable";
+    case ExecStatus::FieldAbsent: return "field_absent";
+    case ExecStatus::NoStorage: return "no_storage";
+    case ExecStatus::DequeUndeclared: return "deque_undeclared";
+    case ExecStatus::DequeEmpty: return "deque_empty";
+    case ExecStatus::NoRng: return "no_rng";
+    case ExecStatus::BadRandomBound: return "bad_random_bound";
+    case ExecStatus::TypeMismatch: return "type_mismatch";
+    case ExecStatus::NotBoolean: return "not_boolean";
+    case ExecStatus::BadProgram: return "bad_program";
+  }
+  return "?";
+}
+
+namespace {
+
+using Op = Instr::Op;
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+// ---------------------------------------------------------------------------
+// Guard derivation.
+//
+// Two sound over-approximations per subexpression, each a (message-type set,
+// direction set, decodability) triple:
+//   nothrow(e)  ⊇ contexts where evaluating e might not raise;
+//   truthy(e)   ⊇ contexts where e might evaluate to a truthy integer.
+// The rule guard is truthy(conditional): everywhere else the conditional is
+// guaranteed to evaluate false or raise, both of which the executor treats
+// as "no match", so the rule is skippable. Expressions containing rand()
+// are never narrowed — a skipped evaluation must not change the RNG stream
+// (replays are byte-compared across runs).
+
+struct GuardSet {
+  std::uint32_t types{0};
+  std::uint8_t dirs{0};
+  bool undec{false};
+};
+
+constexpr GuardSet kAll{Guard::kAllTypes, 0b11, true};
+constexpr GuardSet kNone{0, 0, false};
+
+GuardSet intersect(GuardSet a, GuardSet b) {
+  return GuardSet{a.types & b.types, static_cast<std::uint8_t>(a.dirs & b.dirs),
+                  a.undec && b.undec};
+}
+
+GuardSet unite(GuardSet a, GuardSet b) {
+  return GuardSet{a.types | b.types, static_cast<std::uint8_t>(a.dirs | b.dirs),
+                  a.undec || b.undec};
+}
+
+bool contains_random(const Expr& e) {
+  if (e.kind == Expr::Kind::Random) return true;
+  if (e.a && contains_random(*e.a)) return true;
+  if (e.b && contains_random(*e.b)) return true;
+  return false;
+}
+
+GuardSet guard_nothrow(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+    case Expr::Kind::DequeFront:
+    case Expr::Kind::DequeEnd:
+    case Expr::Kind::DequeLen:
+    case Expr::Kind::Random:
+      return kAll;
+    case Expr::Kind::Prop:
+      if (e.property == Property::Type) return GuardSet{Guard::kAllTypes, 0b11, false};
+      return kAll;
+    case Expr::Kind::Field: {
+      const auto id = ofp::field_id(e.field_path);
+      if (!id) return kNone;  // no message type has it: always raises
+      return GuardSet{ofp::field_presence_mask(*id), 0b11, false};
+    }
+    case Expr::Kind::Not:
+      return guard_nothrow(*e.a);
+    case Expr::Kind::Binary:
+      switch (e.op) {
+        case BinaryOp::And:
+        case BinaryOp::Or:
+          // A short-circuiting connective survives wherever its first
+          // operand does (a false/true probe ends evaluation early).
+          return guard_nothrow(*e.a);
+        default:
+          return intersect(guard_nothrow(*e.a), guard_nothrow(*e.b));
+      }
+    case Expr::Kind::InSet:
+      return guard_nothrow(*e.a);
+  }
+  return kAll;
+}
+
+/// The int64 payload of a literal-int expression, if it is one.
+std::optional<std::int64_t> literal_int(const Expr& e) {
+  if (e.kind != Expr::Kind::Literal) return std::nullopt;
+  if (const auto* i = std::get_if<std::int64_t>(&e.literal)) return *i;
+  return std::nullopt;
+}
+
+GuardSet guard_truthy(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Literal: {
+      const auto i = literal_int(e);
+      return (i && *i != 0) ? kAll : kNone;  // non-int literal: never boolean-true
+    }
+    case Expr::Kind::Prop:
+      switch (e.property) {
+        case Property::Direction:
+          // Truthy iff direction == ControllerToSwitch (wire value 1).
+          return GuardSet{Guard::kAllTypes, 0b10, true};
+        case Property::Type:
+          // Truthy iff the decoded type's wire value is nonzero (Hello = 0).
+          return GuardSet{Guard::kAllTypes & ~1u, 0b11, false};
+        default:
+          return kAll;
+      }
+    case Expr::Kind::Field:
+      return guard_nothrow(e);
+    case Expr::Kind::DequeFront:
+    case Expr::Kind::DequeEnd:
+    case Expr::Kind::DequeLen:
+    case Expr::Kind::Random:
+      return kAll;
+    case Expr::Kind::Not:
+      // Truthy wherever the child evaluates to integer zero; bound that by
+      // "child does not raise".
+      return guard_nothrow(*e.a);
+    case Expr::Kind::Binary:
+      switch (e.op) {
+        case BinaryOp::And:
+          return intersect(guard_truthy(*e.a), guard_truthy(*e.b));
+        case BinaryOp::Or:
+          return unite(guard_truthy(*e.a),
+                       intersect(guard_nothrow(*e.a), guard_truthy(*e.b)));
+        case BinaryOp::Eq: {
+          // The workhorse: msg.type == FLOW_MOD / msg.direction == d narrow
+          // the guard to exactly one type / direction bit.
+          const Expr* prop = nullptr;
+          const Expr* lit = nullptr;
+          if (e.a->kind == Expr::Kind::Prop && literal_int(*e.b)) {
+            prop = e.a.get();
+            lit = e.b.get();
+          } else if (e.b->kind == Expr::Kind::Prop && literal_int(*e.a)) {
+            prop = e.b.get();
+            lit = e.a.get();
+          }
+          if (prop != nullptr) {
+            const std::int64_t k = *literal_int(*lit);
+            if (prop->property == Property::Type) {
+              if (k < 0 || k >= 20) return kNone;
+              return GuardSet{1u << static_cast<unsigned>(k), 0b11, false};
+            }
+            if (prop->property == Property::Direction) {
+              if (k != 0 && k != 1) return kNone;
+              return GuardSet{Guard::kAllTypes, static_cast<std::uint8_t>(1u << k), true};
+            }
+          }
+          return intersect(guard_nothrow(*e.a), guard_nothrow(*e.b));
+        }
+        default:
+          return intersect(guard_nothrow(*e.a), guard_nothrow(*e.b));
+      }
+    case Expr::Kind::InSet: {
+      if (e.a->kind == Expr::Kind::Prop &&
+          (e.a->property == Property::Type || e.a->property == Property::Direction)) {
+        GuardSet out = e.a->property == Property::Type ? GuardSet{0, 0b11, false}
+                                                       : GuardSet{Guard::kAllTypes, 0, true};
+        for (const Value& member : e.set) {
+          const auto* i = std::get_if<std::int64_t>(&member);
+          if (i == nullptr) continue;  // non-int member never equals the int prop
+          if (e.a->property == Property::Type) {
+            if (*i >= 0 && *i < 20) out.types |= 1u << static_cast<unsigned>(*i);
+          } else {
+            if (*i == 0 || *i == 1) out.dirs |= 1u << static_cast<unsigned>(*i);
+          }
+        }
+        return out;
+      }
+      return guard_nothrow(*e.a);
+    }
+  }
+  return kAll;
+}
+
+Guard derive_guard(const Expr& e) {
+  if (contains_random(e)) return Guard{};  // pass-all: preserve RNG draws
+  const GuardSet m = guard_truthy(e);
+  return Guard{m.types, m.dirs, m.undec};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation: constant folding + flat-code emission.
+
+struct ProgramBuilder {
+ public:
+  explicit ProgramBuilder(const Program::CompileEnv& env) : env_(env) {}
+
+  Program take(const Expr& expr) {
+    emit(expr);
+    program_.guard_ = derive_guard(expr);
+    program_.max_stack_ = static_cast<std::uint16_t>(max_depth_);
+    return std::move(program_);
+  }
+
+ private:
+  /// Compile-time value of a side-effect-free literal subtree, or nullopt.
+  /// Mirrors the oracle exactly: folding only happens where the tree could
+  /// not have raised, so error behaviour is preserved un-folded.
+  std::optional<Value> fold(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Literal:
+        return e.literal;
+      case Expr::Kind::Not: {
+        const auto a = fold(*e.a);
+        if (!a) return std::nullopt;
+        const auto* i = std::get_if<std::int64_t>(&*a);
+        if (i == nullptr) return std::nullopt;  // runtime NotBoolean, not folded
+        return Value{static_cast<std::int64_t>(*i == 0)};
+      }
+      case Expr::Kind::Binary: {
+        if (e.op == BinaryOp::And || e.op == BinaryOp::Or) {
+          const auto a = fold(*e.a);
+          if (!a) return std::nullopt;
+          const auto* ai = std::get_if<std::int64_t>(&*a);
+          if (ai == nullptr) return std::nullopt;
+          const bool a_true = *ai != 0;
+          if (e.op == BinaryOp::And && !a_true) return Value{std::int64_t{0}};
+          if (e.op == BinaryOp::Or && a_true) return Value{std::int64_t{1}};
+          // Short-circuit decided by b alone.
+          const auto b = fold(*e.b);
+          if (!b) return std::nullopt;
+          const auto* bi = std::get_if<std::int64_t>(&*b);
+          if (bi == nullptr) return std::nullopt;
+          return Value{static_cast<std::int64_t>(*bi != 0)};
+        }
+        const auto a = fold(*e.a);
+        const auto b = a ? fold(*e.b) : std::nullopt;
+        if (!a || !b) return std::nullopt;
+        if (e.op == BinaryOp::Eq) return Value{static_cast<std::int64_t>(value_equals(*a, *b))};
+        if (e.op == BinaryOp::Ne) return Value{static_cast<std::int64_t>(!value_equals(*a, *b))};
+        const auto* ai = std::get_if<std::int64_t>(&*a);
+        const auto* bi = std::get_if<std::int64_t>(&*b);
+        if (ai == nullptr || bi == nullptr) return std::nullopt;  // runtime TypeMismatch
+        switch (e.op) {
+          case BinaryOp::Lt: return Value{static_cast<std::int64_t>(*ai < *bi)};
+          case BinaryOp::Le: return Value{static_cast<std::int64_t>(*ai <= *bi)};
+          case BinaryOp::Gt: return Value{static_cast<std::int64_t>(*ai > *bi)};
+          case BinaryOp::Ge: return Value{static_cast<std::int64_t>(*ai >= *bi)};
+          case BinaryOp::Add: return Value{*ai + *bi};
+          case BinaryOp::Sub: return Value{*ai - *bi};
+          default: return std::nullopt;
+        }
+      }
+      case Expr::Kind::InSet: {
+        const auto a = fold(*e.a);
+        if (!a) return std::nullopt;
+        for (const Value& member : e.set) {
+          if (value_equals(*a, member)) return Value{std::int64_t{1}};
+        }
+        return Value{std::int64_t{0}};
+      }
+      default:
+        return std::nullopt;  // Prop/Field/Deque/Random depend on the context
+    }
+  }
+
+  void emit(const Expr& e) {
+    if (const auto folded = fold(e)) {
+      push_value(*folded);
+      return;
+    }
+    switch (e.kind) {
+      case Expr::Kind::Literal:
+        push_value(e.literal);  // non-int literal (int ones fold)
+        return;
+      case Expr::Kind::Prop:
+        add(Op::PushProp, static_cast<std::uint16_t>(e.property), 0, +1);
+        return;
+      case Expr::Kind::Field: {
+        const auto id = ofp::field_id(e.field_path);
+        if (id) {
+          add(Op::PushField, static_cast<std::uint16_t>(*id), 0, +1);
+        } else {
+          program_.bad_fields_.push_back(e.field_path);
+          add(Op::PushBadField,
+              static_cast<std::uint16_t>(program_.bad_fields_.size() - 1), 0, +1);
+        }
+        return;
+      }
+      case Expr::Kind::DequeFront:
+        add(Op::PushDequeFront, deque_ref(e.deque_name), 0, +1);
+        return;
+      case Expr::Kind::DequeEnd:
+        add(Op::PushDequeEnd, deque_ref(e.deque_name), 0, +1);
+        return;
+      case Expr::Kind::DequeLen:
+        add(Op::PushDequeLen, deque_ref(e.deque_name), 0, +1);
+        return;
+      case Expr::Kind::Random:
+        add(Op::PushRandom, 0, e.random_bound, +1);
+        return;
+      case Expr::Kind::Not:
+        emit(*e.a);
+        add(Op::Not, 0, 0, 0);
+        return;
+      case Expr::Kind::Binary:
+        switch (e.op) {
+          case BinaryOp::And:
+          case BinaryOp::Or: {
+            const bool is_and = e.op == BinaryOp::And;
+            if (const auto a = fold(*e.a)) {
+              if (std::get_if<std::int64_t>(&*a) != nullptr) {
+                // The first operand folded but the whole didn't: it decided
+                // nothing (true for AND / false for OR), so only b matters.
+                emit(*e.b);
+                add(Op::ToBool, 0, 0, 0);
+                return;
+              }
+            }
+            emit(*e.a);
+            const std::size_t probe =
+                add(is_and ? Op::JumpIfFalse : Op::JumpIfTrue, 0, 0, -1);
+            emit(*e.b);
+            add(Op::ToBool, 0, 0, 0);
+            program_.code_[probe].imm = static_cast<std::int64_t>(program_.code_.size());
+            // The probe's short-circuit branch re-pushes the 0/1 result, so
+            // both joins land at the same depth as b's value.
+            note_depth(depth_ + 1);
+            return;
+          }
+          case BinaryOp::Eq:
+          case BinaryOp::Ne:
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge:
+          case BinaryOp::Add:
+          case BinaryOp::Sub: {
+            emit(*e.a);
+            emit(*e.b);
+            static constexpr Op kOps[] = {Op::Eq, Op::Ne, Op::Lt, Op::Le,
+                                          Op::Gt, Op::Ge, Op::Add, Op::Sub};
+            add(kOps[static_cast<int>(e.op) - static_cast<int>(BinaryOp::Eq)], 0, 0, -1);
+            return;
+          }
+        }
+        return;
+      case Expr::Kind::InSet: {
+        emit(*e.a);
+        const std::size_t start = program_.pool_.size();
+        for (const Value& member : e.set) program_.pool_.push_back(member);
+        add(Op::InSet, static_cast<std::uint16_t>(start),
+            static_cast<std::int64_t>(e.set.size()), 0);
+        return;
+      }
+    }
+  }
+
+  void push_value(const Value& v) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      add(Op::PushInt, 0, *i, +1);
+      return;
+    }
+    program_.pool_.push_back(v);
+    add(Op::PushConst, static_cast<std::uint16_t>(program_.pool_.size() - 1), 0, +1);
+  }
+
+  std::uint16_t deque_ref(const std::string& name) {
+    for (std::size_t i = 0; i < program_.deques_.size(); ++i) {
+      if (program_.deques_[i].name == name) return static_cast<std::uint16_t>(i);
+    }
+    std::size_t slot = kNoSlot;
+    if (env_.deque_names != nullptr) {
+      for (std::size_t i = 0; i < env_.deque_names->size(); ++i) {
+        if ((*env_.deque_names)[i] == name) {
+          slot = i;
+          break;
+        }
+      }
+    }
+    program_.deques_.push_back(Program::DequeRef{name, slot});
+    return static_cast<std::uint16_t>(program_.deques_.size() - 1);
+  }
+
+  std::size_t add(Op op, std::uint16_t a, std::int64_t imm, int stack_effect) {
+    program_.code_.push_back(Instr{op, a, imm});
+    depth_ += stack_effect;
+    note_depth(depth_);
+    return program_.code_.size() - 1;
+  }
+
+  void note_depth(int depth) {
+    if (depth > max_depth_) max_depth_ = depth;
+  }
+
+  const Program::CompileEnv& env_;
+  Program program_;
+  int depth_{0};
+  int max_depth_{0};
+};
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::PushInt: return "push_int";
+    case Op::PushConst: return "push_const";
+    case Op::PushProp: return "push_prop";
+    case Op::PushField: return "push_field";
+    case Op::PushBadField: return "push_bad_field";
+    case Op::PushDequeFront: return "push_deque_front";
+    case Op::PushDequeEnd: return "push_deque_end";
+    case Op::PushDequeLen: return "push_deque_len";
+    case Op::PushRandom: return "push_random";
+    case Op::Not: return "not";
+    case Op::ToBool: return "to_bool";
+    case Op::JumpIfFalse: return "jump_if_false";
+    case Op::JumpIfTrue: return "jump_if_true";
+    case Op::Eq: return "eq";
+    case Op::Ne: return "ne";
+    case Op::Lt: return "lt";
+    case Op::Le: return "le";
+    case Op::Gt: return "gt";
+    case Op::Ge: return "ge";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::InSet: return "in_set";
+  }
+  return "?";
+}
+
+/// The operand spelling the oracle's as_int() uses in its error message.
+const char* op_symbol(Op op) {
+  switch (op) {
+    case Op::Lt: return "<";
+    case Op::Le: return "<=";
+    case Op::Gt: return ">";
+    case Op::Ge: return ">=";
+    case Op::Add: return "+";
+    case Op::Sub: return "-";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+Program Program::compile(const Expr& expr, const CompileEnv& env) {
+  return ProgramBuilder(env).take(expr);
+}
+
+std::string Program::disassemble() const {
+  std::string out;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& ins = code_[i];
+    out += std::to_string(i) + ": " + op_name(ins.op);
+    switch (ins.op) {
+      case Op::PushInt:
+      case Op::PushRandom:
+        out += " " + std::to_string(ins.imm);
+        break;
+      case Op::PushConst:
+        out += " " + lang::to_string(pool_[ins.a]);
+        break;
+      case Op::PushProp:
+        out += " " + lang::to_string(static_cast<Property>(ins.a));
+        break;
+      case Op::PushField:
+        out += " " + std::string(ofp::field_path(static_cast<ofp::FieldId>(ins.a)));
+        break;
+      case Op::PushBadField:
+        out += " " + bad_fields_[ins.a] + " (unknown)";
+        break;
+      case Op::PushDequeFront:
+      case Op::PushDequeEnd:
+      case Op::PushDequeLen:
+        out += " " + deques_[ins.a].name + "@" +
+               (deques_[ins.a].slot == kNoSlot ? std::string("?")
+                                               : std::to_string(deques_[ins.a].slot));
+        break;
+      case Op::JumpIfFalse:
+      case Op::JumpIfTrue:
+        out += " -> " + std::to_string(ins.imm);
+        break;
+      case Op::InSet:
+        out += " pool[" + std::to_string(ins.a) + ".." +
+               std::to_string(ins.a + static_cast<std::size_t>(ins.imm)) + ")";
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation.
+
+namespace {
+
+/// Boolean view of a slot; false return = not an integer.
+inline bool slot_as_bool(const ProgramEvaluator&, std::int64_t i, const Value* ref, bool& out) {
+  if (ref == nullptr) {
+    out = i != 0;
+    return true;
+  }
+  const auto* v = std::get_if<std::int64_t>(ref);
+  if (v == nullptr) return false;
+  out = *v != 0;
+  return true;
+}
+
+}  // namespace
+
+ExecStatus ProgramEvaluator::fail(ExecStatus status, std::size_t ip) {
+  status_ = status;
+  error_ip_ = ip;
+  return status;
+}
+
+ExecStatus ProgramEvaluator::fail_value(ExecStatus status, std::size_t ip,
+                                        const Slot& offending) {
+  // Error paths may allocate (the offending Value is copied for the
+  // diagnostic); the steady-state Ok path never reaches here.
+  error_value_ = offending.ref != nullptr ? *offending.ref : Value{offending.i};
+  return fail(status, ip);
+}
+
+ExecStatus ProgramEvaluator::run(const Program& p, const EvalContext& ctx, Slot& result) {
+  const std::size_t n = p.code_.size();
+  if (n == 0) return fail(ExecStatus::BadProgram, 0);
+  if (stack_.size() < p.max_stack_) stack_.resize(p.max_stack_);
+  const Instr* code = p.code_.data();
+  Slot* st = stack_.data();
+  std::size_t sp = 0;
+  status_ = ExecStatus::Ok;
+
+  const auto as_bool = [&](const Slot& s, bool& out) {
+    return slot_as_bool(*this, s.i, s.ref, out);
+  };
+  const auto as_int = [](const Slot& s, std::int64_t& out) {
+    if (s.ref == nullptr) {
+      out = s.i;
+      return true;
+    }
+    const auto* v = std::get_if<std::int64_t>(s.ref);
+    if (v == nullptr) return false;
+    out = *v;
+    return true;
+  };
+  const auto slots_equal = [](const Slot& a, const Slot& b) {
+    if (a.ref == nullptr && b.ref == nullptr) return a.i == b.i;
+    if (a.ref != nullptr && b.ref != nullptr) return value_equals(*a.ref, *b.ref);
+    const Slot& intslot = a.ref == nullptr ? a : b;
+    const Value& val = a.ref == nullptr ? *b.ref : *a.ref;
+    const auto* v = std::get_if<std::int64_t>(&val);
+    return v != nullptr && *v == intslot.i;
+  };
+
+  for (std::size_t ip = 0; ip < n; ++ip) {
+    const Instr& ins = code[ip];
+    switch (ins.op) {
+      case Op::PushInt:
+        st[sp++] = Slot{ins.imm, nullptr};
+        break;
+      case Op::PushConst:
+        st[sp++] = Slot{0, &p.pool_[ins.a]};
+        break;
+      case Op::PushProp: {
+        if (ctx.message == nullptr) return fail(ExecStatus::NoMessage, ip);
+        const InFlightMessage& m = *ctx.message;
+        std::int64_t v = 0;
+        switch (static_cast<Property>(ins.a)) {
+          case Property::Source: v = entity_value(m.source); break;
+          case Property::Destination: v = entity_value(m.destination); break;
+          case Property::Timestamp: v = static_cast<std::int64_t>(m.timestamp); break;
+          case Property::Length: v = static_cast<std::int64_t>(m.length()); break;
+          case Property::Id: v = static_cast<std::int64_t>(m.id); break;
+          case Property::Direction: v = static_cast<std::int64_t>(m.direction); break;
+          case Property::Type: {
+            const ofp::Message* payload = m.payload();
+            if (payload == nullptr) return fail(ExecStatus::PayloadUnreadable, ip);
+            v = static_cast<std::int64_t>(payload->type());
+            break;
+          }
+        }
+        st[sp++] = Slot{v, nullptr};
+        break;
+      }
+      case Op::PushField: {
+        if (ctx.message == nullptr) return fail(ExecStatus::NoMessage, ip);
+        const ofp::Message* payload = ctx.message->payload();
+        if (payload == nullptr) return fail(ExecStatus::PayloadUnreadable, ip);
+        const auto value = ofp::get_field(*payload, static_cast<ofp::FieldId>(ins.a));
+        if (!value) return fail(ExecStatus::FieldAbsent, ip);
+        st[sp++] = Slot{static_cast<std::int64_t>(*value), nullptr};
+        break;
+      }
+      case Op::PushBadField: {
+        if (ctx.message == nullptr) return fail(ExecStatus::NoMessage, ip);
+        if (ctx.message->payload() == nullptr) return fail(ExecStatus::PayloadUnreadable, ip);
+        return fail(ExecStatus::FieldAbsent, ip);
+      }
+      case Op::PushDequeFront:
+      case Op::PushDequeEnd: {
+        if (ctx.storage == nullptr) return fail(ExecStatus::NoStorage, ip);
+        const auto& ref = p.deques_[ins.a];
+        if (ref.slot == kNoSlot || ref.slot >= ctx.storage->slot_count()) {
+          return fail(ExecStatus::DequeUndeclared, ip);
+        }
+        const Value* v = ins.op == Op::PushDequeFront ? ctx.storage->peek_front(ref.slot)
+                                                      : ctx.storage->peek_end(ref.slot);
+        if (v == nullptr) return fail(ExecStatus::DequeEmpty, ip);
+        st[sp++] = Slot{0, v};
+        break;
+      }
+      case Op::PushDequeLen: {
+        if (ctx.storage == nullptr) return fail(ExecStatus::NoStorage, ip);
+        const auto& ref = p.deques_[ins.a];
+        if (ref.slot == kNoSlot || ref.slot >= ctx.storage->slot_count()) {
+          return fail(ExecStatus::DequeUndeclared, ip);
+        }
+        st[sp++] = Slot{static_cast<std::int64_t>(ctx.storage->size_at(ref.slot)), nullptr};
+        break;
+      }
+      case Op::PushRandom: {
+        if (ctx.rng == nullptr) return fail(ExecStatus::NoRng, ip);
+        if (ins.imm <= 0) return fail(ExecStatus::BadRandomBound, ip);
+        st[sp++] = Slot{
+            static_cast<std::int64_t>(ctx.rng->next_below(static_cast<std::uint64_t>(ins.imm))),
+            nullptr};
+        break;
+      }
+      case Op::Not: {
+        bool b = false;
+        if (!as_bool(st[sp - 1], b)) return fail_value(ExecStatus::NotBoolean, ip, st[sp - 1]);
+        st[sp - 1] = Slot{static_cast<std::int64_t>(!b), nullptr};
+        break;
+      }
+      case Op::ToBool: {
+        bool b = false;
+        if (!as_bool(st[sp - 1], b)) return fail_value(ExecStatus::NotBoolean, ip, st[sp - 1]);
+        st[sp - 1] = Slot{static_cast<std::int64_t>(b), nullptr};
+        break;
+      }
+      case Op::JumpIfFalse:
+      case Op::JumpIfTrue: {
+        bool b = false;
+        if (!as_bool(st[sp - 1], b)) return fail_value(ExecStatus::NotBoolean, ip, st[sp - 1]);
+        --sp;
+        const bool taken = ins.op == Op::JumpIfTrue ? b : !b;
+        if (taken) {
+          st[sp++] = Slot{static_cast<std::int64_t>(b), nullptr};
+          ip = static_cast<std::size_t>(ins.imm) - 1;  // loop ++ lands on target
+        }
+        break;
+      }
+      case Op::Eq:
+      case Op::Ne: {
+        const bool eq = slots_equal(st[sp - 2], st[sp - 1]);
+        --sp;
+        st[sp - 1] = Slot{static_cast<std::int64_t>(ins.op == Op::Eq ? eq : !eq), nullptr};
+        break;
+      }
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+      case Op::Add:
+      case Op::Sub: {
+        std::int64_t a = 0;
+        std::int64_t b = 0;
+        // Operand order matters for the diagnostic: the oracle checks the
+        // left value first.
+        if (!as_int(st[sp - 2], a)) return fail_value(ExecStatus::TypeMismatch, ip, st[sp - 2]);
+        if (!as_int(st[sp - 1], b)) return fail_value(ExecStatus::TypeMismatch, ip, st[sp - 1]);
+        --sp;
+        std::int64_t r = 0;
+        switch (ins.op) {
+          case Op::Lt: r = static_cast<std::int64_t>(a < b); break;
+          case Op::Le: r = static_cast<std::int64_t>(a <= b); break;
+          case Op::Gt: r = static_cast<std::int64_t>(a > b); break;
+          case Op::Ge: r = static_cast<std::int64_t>(a >= b); break;
+          case Op::Add: r = a + b; break;
+          case Op::Sub: r = a - b; break;
+          default: break;
+        }
+        st[sp - 1] = Slot{r, nullptr};
+        break;
+      }
+      case Op::InSet: {
+        bool found = false;
+        const Slot& s = st[sp - 1];
+        for (std::int64_t i = 0; i < ins.imm && !found; ++i) {
+          const Value& member = p.pool_[ins.a + static_cast<std::size_t>(i)];
+          if (s.ref == nullptr) {
+            const auto* v = std::get_if<std::int64_t>(&member);
+            found = v != nullptr && *v == s.i;
+          } else {
+            found = value_equals(*s.ref, member);
+          }
+        }
+        st[sp - 1] = Slot{static_cast<std::int64_t>(found), nullptr};
+        break;
+      }
+    }
+  }
+  if (sp != 1) return fail(ExecStatus::BadProgram, n == 0 ? 0 : n - 1);
+  result = st[0];
+  return ExecStatus::Ok;
+}
+
+ExecStatus ProgramEvaluator::run_bool(const Program& program, const EvalContext& ctx, bool& out) {
+  Slot result;
+  const ExecStatus status = run(program, ctx, result);
+  if (status != ExecStatus::Ok) return status;
+  if (!slot_as_bool(*this, result.i, result.ref, out)) {
+    return fail_value(ExecStatus::NotBoolean, program.code_.size() - 1, result);
+  }
+  return ExecStatus::Ok;
+}
+
+ExecStatus ProgramEvaluator::run_value(const Program& program, const EvalContext& ctx,
+                                       Value& out) {
+  Slot result;
+  const ExecStatus status = run(program, ctx, result);
+  if (status != ExecStatus::Ok) return status;
+  out = result.ref != nullptr ? *result.ref : Value{result.i};
+  return ExecStatus::Ok;
+}
+
+std::string ProgramEvaluator::error_detail(const Program& program, const EvalContext& ctx) const {
+  const Instr* ins =
+      error_ip_ < program.code_.size() ? &program.code_[error_ip_] : nullptr;
+  switch (status_) {
+    case ExecStatus::Ok:
+      return "";
+    case ExecStatus::NoMessage:
+      return "no message in evaluation context";
+    case ExecStatus::PayloadUnreadable:
+      return "payload not readable (TLS or undecodable)";
+    case ExecStatus::FieldAbsent: {
+      std::string path = "?";
+      if (ins != nullptr) {
+        path = ins->op == Op::PushBadField
+                   ? program.bad_fields_[ins->a]
+                   : std::string(ofp::field_path(static_cast<ofp::FieldId>(ins->a)));
+      }
+      std::string type = "?";
+      if (ctx.message != nullptr && ctx.message->payload() != nullptr) {
+        type = ofp::to_string(ctx.message->payload()->type());
+      }
+      return "message type " + type + " has no field " + path;
+    }
+    case ExecStatus::NoStorage:
+      return "no storage in evaluation context";
+    case ExecStatus::DequeUndeclared:
+      return "undeclared deque: " + (ins != nullptr ? program.deques_[ins->a].name : "?");
+    case ExecStatus::DequeEmpty: {
+      const std::string name = ins != nullptr ? program.deques_[ins->a].name : "?";
+      const bool front = ins != nullptr && ins->op == Op::PushDequeFront;
+      return (front ? "examine_front" : "examine_end") + std::string(" on empty deque: ") + name;
+    }
+    case ExecStatus::NoRng:
+      return "no RNG in evaluation context for rand()";
+    case ExecStatus::BadRandomBound:
+      return "rand() bound must be positive";
+    case ExecStatus::TypeMismatch:
+      return std::string("expected integer operand for ") +
+             (ins != nullptr ? op_symbol(ins->op) : "?") + ", got " +
+             lang::to_string(error_value_);
+    case ExecStatus::NotBoolean:
+      return "conditional did not evaluate to a boolean/integer: " +
+             lang::to_string(error_value_);
+    case ExecStatus::BadProgram:
+      return "bad program";
+  }
+  return "?";
+}
+
+}  // namespace attain::lang

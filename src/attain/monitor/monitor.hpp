@@ -71,6 +71,19 @@ class Monitor {
   /// Keep only counters, not the full event list (for long benchmark runs).
   void set_counters_only(bool counters_only) { counters_only_ = counters_only; }
 
+  /// True when record() would store a full Event of this kind. When false,
+  /// callers skip building the string-heavy Event and call tally() instead
+  /// — same counters, none of the allocation. MessageObserved is always
+  /// "enabled" because its type/direction fields feed dedicated counters
+  /// even in counters-only mode.
+  bool enabled(EventKind kind) const {
+    return !counters_only_ || kind == EventKind::MessageObserved;
+  }
+
+  /// Counter-only fast path: counts the kind without storing an event.
+  /// Pairs with enabled() so kind counts match the record() path exactly.
+  void tally(EventKind kind, std::uint64_t n = 1) { kind_counts_[kind] += n; }
+
   /// Renders the log as text, one event per line.
   std::string to_text(std::size_t max_events = 0) const;
 

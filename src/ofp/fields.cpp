@@ -1,236 +1,307 @@
 #include "ofp/fields.hpp"
 
+#include <array>
+
 namespace attain::ofp {
 
 namespace {
 
-std::optional<FieldValue> get_match_field(const Match& m, std::string_view f) {
-  if (f == "in_port") return m.in_port;
-  if (f == "dl_src") return m.dl_src.to_u64();
-  if (f == "dl_dst") return m.dl_dst.to_u64();
-  if (f == "dl_vlan") return m.dl_vlan;
-  if (f == "dl_vlan_pcp") return m.dl_vlan_pcp;
-  if (f == "dl_type") return m.dl_type;
-  if (f == "nw_tos") return m.nw_tos;
-  if (f == "nw_proto") return m.nw_proto;
-  if (f == "nw_src") return m.nw_src.value;
-  if (f == "nw_dst") return m.nw_dst.value;
-  if (f == "tp_src") return m.tp_src;
-  if (f == "tp_dst") return m.tp_dst;
-  if (f == "wildcards") return m.wildcards;
-  if (f == "nw_src_wild_bits") return m.nw_src_wild_bits();
-  if (f == "nw_dst_wild_bits") return m.nw_dst_wild_bits();
-  return std::nullopt;
+constexpr std::uint32_t type_bit(MsgType t) { return 1u << static_cast<unsigned>(t); }
+
+constexpr std::uint32_t kAllTypes = (1u << 20) - 1;  // MsgType wire values 0..19
+
+struct FieldSpec {
+  std::string_view path;
+  std::uint32_t presence;  // message types where get_field yields a value
+};
+
+constexpr std::uint32_t kMatchTypes = type_bit(MsgType::FlowMod) | type_bit(MsgType::FlowRemoved);
+
+/// Indexed by FieldId. Order must match the enum exactly (statically
+/// asserted below via kFieldIdCount; agreement with the accessors is
+/// asserted field-by-field in test_ofp_fields.cpp).
+constexpr std::array<FieldSpec, kFieldIdCount> kFields = {{
+    {"xid", kAllTypes},
+    {"command", type_bit(MsgType::FlowMod)},
+    {"idle_timeout", type_bit(MsgType::FlowMod) | type_bit(MsgType::FlowRemoved)},
+    {"hard_timeout", type_bit(MsgType::FlowMod)},
+    {"priority", type_bit(MsgType::FlowMod) | type_bit(MsgType::FlowRemoved)},
+    {"buffer_id",
+     type_bit(MsgType::FlowMod) | type_bit(MsgType::PacketIn) | type_bit(MsgType::PacketOut)},
+    {"out_port", type_bit(MsgType::FlowMod)},
+    {"flags",
+     type_bit(MsgType::FlowMod) | type_bit(MsgType::SetConfig) | type_bit(MsgType::GetConfigReply)},
+    {"cookie", type_bit(MsgType::FlowMod) | type_bit(MsgType::FlowRemoved)},
+    {"n_actions", type_bit(MsgType::FlowMod) | type_bit(MsgType::PacketOut)},
+    {"total_len", type_bit(MsgType::PacketIn)},
+    {"in_port", type_bit(MsgType::PacketIn) | type_bit(MsgType::PacketOut)},
+    {"reason",
+     type_bit(MsgType::PacketIn) | type_bit(MsgType::FlowRemoved) | type_bit(MsgType::PortStatus)},
+    {"packet_count", type_bit(MsgType::FlowRemoved)},
+    {"byte_count", type_bit(MsgType::FlowRemoved)},
+    {"duration_sec", type_bit(MsgType::FlowRemoved)},
+    {"datapath_id", type_bit(MsgType::FeaturesReply)},
+    {"n_buffers", type_bit(MsgType::FeaturesReply)},
+    {"n_tables", type_bit(MsgType::FeaturesReply)},
+    {"n_ports", type_bit(MsgType::FeaturesReply)},
+    {"miss_send_len", type_bit(MsgType::SetConfig) | type_bit(MsgType::GetConfigReply)},
+    {"port_no", type_bit(MsgType::PortStatus) | type_bit(MsgType::PortMod)},
+    {"config", type_bit(MsgType::PortMod)},
+    {"mask", type_bit(MsgType::PortMod)},
+    {"err_type", type_bit(MsgType::Error)},
+    {"err_code", type_bit(MsgType::Error)},
+    {"stats_type", type_bit(MsgType::StatsRequest) | type_bit(MsgType::StatsReply)},
+    {"data_len", type_bit(MsgType::EchoRequest) | type_bit(MsgType::EchoReply)},
+    {"vendor", type_bit(MsgType::Vendor)},
+    {"match.in_port", kMatchTypes},
+    {"match.dl_src", kMatchTypes},
+    {"match.dl_dst", kMatchTypes},
+    {"match.dl_vlan", kMatchTypes},
+    {"match.dl_vlan_pcp", kMatchTypes},
+    {"match.dl_type", kMatchTypes},
+    {"match.nw_tos", kMatchTypes},
+    {"match.nw_proto", kMatchTypes},
+    {"match.nw_src", kMatchTypes},
+    {"match.nw_dst", kMatchTypes},
+    {"match.tp_src", kMatchTypes},
+    {"match.tp_dst", kMatchTypes},
+    {"match.wildcards", kMatchTypes},
+    {"match.nw_src_wild_bits", kMatchTypes},
+    {"match.nw_dst_wild_bits", kMatchTypes},
+}};
+
+std::optional<FieldValue> get_match_field(const Match& m, FieldId id) {
+  switch (id) {
+    case FieldId::MatchInPort: return m.in_port;
+    case FieldId::MatchDlSrc: return m.dl_src.to_u64();
+    case FieldId::MatchDlDst: return m.dl_dst.to_u64();
+    case FieldId::MatchDlVlan: return m.dl_vlan;
+    case FieldId::MatchDlVlanPcp: return m.dl_vlan_pcp;
+    case FieldId::MatchDlType: return m.dl_type;
+    case FieldId::MatchNwTos: return m.nw_tos;
+    case FieldId::MatchNwProto: return m.nw_proto;
+    case FieldId::MatchNwSrc: return m.nw_src.value;
+    case FieldId::MatchNwDst: return m.nw_dst.value;
+    case FieldId::MatchTpSrc: return m.tp_src;
+    case FieldId::MatchTpDst: return m.tp_dst;
+    case FieldId::MatchWildcards: return m.wildcards;
+    case FieldId::MatchNwSrcWildBits: return m.nw_src_wild_bits();
+    case FieldId::MatchNwDstWildBits: return m.nw_dst_wild_bits();
+    default: return std::nullopt;
+  }
 }
 
-bool set_match_field(Match& m, std::string_view f, FieldValue v) {
-  if (f == "in_port") m.in_port = static_cast<std::uint16_t>(v);
-  else if (f == "dl_src") m.dl_src = pkt::MacAddress::from_u64(v);
-  else if (f == "dl_dst") m.dl_dst = pkt::MacAddress::from_u64(v);
-  else if (f == "dl_vlan") m.dl_vlan = static_cast<std::uint16_t>(v);
-  else if (f == "dl_vlan_pcp") m.dl_vlan_pcp = static_cast<std::uint8_t>(v);
-  else if (f == "dl_type") m.dl_type = static_cast<std::uint16_t>(v);
-  else if (f == "nw_tos") m.nw_tos = static_cast<std::uint8_t>(v);
-  else if (f == "nw_proto") m.nw_proto = static_cast<std::uint8_t>(v);
-  else if (f == "nw_src") m.nw_src.value = static_cast<std::uint32_t>(v);
-  else if (f == "nw_dst") m.nw_dst.value = static_cast<std::uint32_t>(v);
-  else if (f == "tp_src") m.tp_src = static_cast<std::uint16_t>(v);
-  else if (f == "tp_dst") m.tp_dst = static_cast<std::uint16_t>(v);
-  else if (f == "wildcards") m.wildcards = static_cast<std::uint32_t>(v);
-  else if (f == "nw_src_wild_bits") m.set_nw_src_wild_bits(static_cast<std::uint32_t>(v));
-  else if (f == "nw_dst_wild_bits") m.set_nw_dst_wild_bits(static_cast<std::uint32_t>(v));
-  else return false;
+bool set_match_field(Match& m, FieldId id, FieldValue v) {
+  switch (id) {
+    case FieldId::MatchInPort: m.in_port = static_cast<std::uint16_t>(v); break;
+    case FieldId::MatchDlSrc: m.dl_src = pkt::MacAddress::from_u64(v); break;
+    case FieldId::MatchDlDst: m.dl_dst = pkt::MacAddress::from_u64(v); break;
+    case FieldId::MatchDlVlan: m.dl_vlan = static_cast<std::uint16_t>(v); break;
+    case FieldId::MatchDlVlanPcp: m.dl_vlan_pcp = static_cast<std::uint8_t>(v); break;
+    case FieldId::MatchDlType: m.dl_type = static_cast<std::uint16_t>(v); break;
+    case FieldId::MatchNwTos: m.nw_tos = static_cast<std::uint8_t>(v); break;
+    case FieldId::MatchNwProto: m.nw_proto = static_cast<std::uint8_t>(v); break;
+    case FieldId::MatchNwSrc: m.nw_src.value = static_cast<std::uint32_t>(v); break;
+    case FieldId::MatchNwDst: m.nw_dst.value = static_cast<std::uint32_t>(v); break;
+    case FieldId::MatchTpSrc: m.tp_src = static_cast<std::uint16_t>(v); break;
+    case FieldId::MatchTpDst: m.tp_dst = static_cast<std::uint16_t>(v); break;
+    case FieldId::MatchWildcards: m.wildcards = static_cast<std::uint32_t>(v); break;
+    case FieldId::MatchNwSrcWildBits: m.set_nw_src_wild_bits(static_cast<std::uint32_t>(v)); break;
+    case FieldId::MatchNwDstWildBits: m.set_nw_dst_wild_bits(static_cast<std::uint32_t>(v)); break;
+    default: return false;
+  }
   return true;
 }
 
-/// Splits "match.nw_src" into ("match", "nw_src"); no dot yields ("", path).
-std::pair<std::string_view, std::string_view> split_path(std::string_view path) {
-  const std::size_t dot = path.find('.');
-  if (dot == std::string_view::npos) return {"", path};
-  return {path.substr(0, dot), path.substr(dot + 1)};
+constexpr bool is_match_field(FieldId id) {
+  return static_cast<unsigned>(id) >= static_cast<unsigned>(FieldId::MatchInPort);
 }
 
 }  // namespace
 
-std::optional<FieldValue> get_field(const Message& msg, std::string_view path) {
-  if (path == "xid") return msg.xid;
-  const auto [head, tail] = split_path(path);
-
-  if (const auto* m = std::get_if<FlowMod>(&msg.body)) {
-    if (head == "match") return get_match_field(m->match, tail);
-    if (path == "command") return static_cast<FieldValue>(m->command);
-    if (path == "idle_timeout") return m->idle_timeout;
-    if (path == "hard_timeout") return m->hard_timeout;
-    if (path == "priority") return m->priority;
-    if (path == "buffer_id") return m->buffer_id;
-    if (path == "out_port") return m->out_port;
-    if (path == "flags") return m->flags;
-    if (path == "cookie") return m->cookie;
-    if (path == "n_actions") return m->actions.size();
-  } else if (const auto* m = std::get_if<PacketIn>(&msg.body)) {
-    if (path == "buffer_id") return m->buffer_id;
-    if (path == "total_len") return m->total_len;
-    if (path == "in_port") return m->in_port;
-    if (path == "reason") return static_cast<FieldValue>(m->reason);
-  } else if (const auto* m = std::get_if<PacketOut>(&msg.body)) {
-    if (path == "buffer_id") return m->buffer_id;
-    if (path == "in_port") return m->in_port;
-    if (path == "n_actions") return m->actions.size();
-  } else if (const auto* m = std::get_if<FlowRemoved>(&msg.body)) {
-    if (head == "match") return get_match_field(m->match, tail);
-    if (path == "reason") return static_cast<FieldValue>(m->reason);
-    if (path == "priority") return m->priority;
-    if (path == "idle_timeout") return m->idle_timeout;
-    if (path == "packet_count") return m->packet_count;
-    if (path == "byte_count") return m->byte_count;
-    if (path == "duration_sec") return m->duration_sec;
-    if (path == "cookie") return m->cookie;
-  } else if (const auto* m = std::get_if<FeaturesReply>(&msg.body)) {
-    if (path == "datapath_id") return m->datapath_id;
-    if (path == "n_buffers") return m->n_buffers;
-    if (path == "n_tables") return m->n_tables;
-    if (path == "n_ports") return m->ports.size();
-  } else if (const auto* m = std::get_if<SetConfig>(&msg.body)) {
-    if (path == "flags") return m->flags;
-    if (path == "miss_send_len") return m->miss_send_len;
-  } else if (const auto* m = std::get_if<GetConfigReply>(&msg.body)) {
-    if (path == "flags") return m->flags;
-    if (path == "miss_send_len") return m->miss_send_len;
-  } else if (const auto* m = std::get_if<PortStatus>(&msg.body)) {
-    if (path == "reason") return static_cast<FieldValue>(m->reason);
-    if (path == "port_no") return m->desc.port_no;
-  } else if (const auto* m = std::get_if<Error>(&msg.body)) {
-    if (path == "err_type") return static_cast<FieldValue>(m->type);
-    if (path == "err_code") return m->code;
-  } else if (const auto* m = std::get_if<PortMod>(&msg.body)) {
-    if (path == "port_no") return m->port_no;
-    if (path == "config") return m->config;
-    if (path == "mask") return m->mask;
-  } else if (const auto* m = std::get_if<StatsRequest>(&msg.body)) {
-    if (path == "stats_type") return static_cast<FieldValue>(m->stats_type());
-  } else if (const auto* m = std::get_if<StatsReply>(&msg.body)) {
-    if (path == "stats_type") return static_cast<FieldValue>(m->stats_type());
-  } else if (const auto* m = std::get_if<EchoRequest>(&msg.body)) {
-    if (path == "data_len") return m->data.size();
-  } else if (const auto* m = std::get_if<EchoReply>(&msg.body)) {
-    if (path == "data_len") return m->data.size();
-  } else if (const auto* m = std::get_if<Vendor>(&msg.body)) {
-    if (path == "vendor") return m->vendor;
+std::optional<FieldId> field_id(std::string_view path) {
+  for (std::size_t i = 0; i < kFields.size(); ++i) {
+    if (kFields[i].path == path) return static_cast<FieldId>(i);
   }
   return std::nullopt;
 }
 
-bool set_field(Message& msg, std::string_view path, FieldValue value) {
-  if (path == "xid") {
+std::string_view field_path(FieldId id) { return kFields[static_cast<std::size_t>(id)].path; }
+
+std::uint32_t field_presence_mask(FieldId id) {
+  return kFields[static_cast<std::size_t>(id)].presence;
+}
+
+std::optional<FieldValue> get_field(const Message& msg, FieldId id) {
+  if (id == FieldId::Xid) return msg.xid;
+
+  if (const auto* m = std::get_if<FlowMod>(&msg.body)) {
+    if (is_match_field(id)) return get_match_field(m->match, id);
+    switch (id) {
+      case FieldId::Command: return static_cast<FieldValue>(m->command);
+      case FieldId::IdleTimeout: return m->idle_timeout;
+      case FieldId::HardTimeout: return m->hard_timeout;
+      case FieldId::Priority: return m->priority;
+      case FieldId::BufferId: return m->buffer_id;
+      case FieldId::OutPort: return m->out_port;
+      case FieldId::Flags: return m->flags;
+      case FieldId::Cookie: return m->cookie;
+      case FieldId::NActions: return m->actions.size();
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<PacketIn>(&msg.body)) {
+    switch (id) {
+      case FieldId::BufferId: return m->buffer_id;
+      case FieldId::TotalLen: return m->total_len;
+      case FieldId::InPort: return m->in_port;
+      case FieldId::Reason: return static_cast<FieldValue>(m->reason);
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<PacketOut>(&msg.body)) {
+    switch (id) {
+      case FieldId::BufferId: return m->buffer_id;
+      case FieldId::InPort: return m->in_port;
+      case FieldId::NActions: return m->actions.size();
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<FlowRemoved>(&msg.body)) {
+    if (is_match_field(id)) return get_match_field(m->match, id);
+    switch (id) {
+      case FieldId::Reason: return static_cast<FieldValue>(m->reason);
+      case FieldId::Priority: return m->priority;
+      case FieldId::IdleTimeout: return m->idle_timeout;
+      case FieldId::PacketCount: return m->packet_count;
+      case FieldId::ByteCount: return m->byte_count;
+      case FieldId::DurationSec: return m->duration_sec;
+      case FieldId::Cookie: return m->cookie;
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<FeaturesReply>(&msg.body)) {
+    switch (id) {
+      case FieldId::DatapathId: return m->datapath_id;
+      case FieldId::NBuffers: return m->n_buffers;
+      case FieldId::NTables: return m->n_tables;
+      case FieldId::NPorts: return m->ports.size();
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<SetConfig>(&msg.body)) {
+    switch (id) {
+      case FieldId::Flags: return m->flags;
+      case FieldId::MissSendLen: return m->miss_send_len;
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<GetConfigReply>(&msg.body)) {
+    switch (id) {
+      case FieldId::Flags: return m->flags;
+      case FieldId::MissSendLen: return m->miss_send_len;
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<PortStatus>(&msg.body)) {
+    switch (id) {
+      case FieldId::Reason: return static_cast<FieldValue>(m->reason);
+      case FieldId::PortNo: return m->desc.port_no;
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<Error>(&msg.body)) {
+    switch (id) {
+      case FieldId::ErrType: return static_cast<FieldValue>(m->type);
+      case FieldId::ErrCode: return m->code;
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<PortMod>(&msg.body)) {
+    switch (id) {
+      case FieldId::PortNo: return m->port_no;
+      case FieldId::Config: return m->config;
+      case FieldId::Mask: return m->mask;
+      default: break;
+    }
+  } else if (const auto* m = std::get_if<StatsRequest>(&msg.body)) {
+    if (id == FieldId::StatsType) return static_cast<FieldValue>(m->stats_type());
+  } else if (const auto* m = std::get_if<StatsReply>(&msg.body)) {
+    if (id == FieldId::StatsType) return static_cast<FieldValue>(m->stats_type());
+  } else if (const auto* m = std::get_if<EchoRequest>(&msg.body)) {
+    if (id == FieldId::DataLen) return m->data.size();
+  } else if (const auto* m = std::get_if<EchoReply>(&msg.body)) {
+    if (id == FieldId::DataLen) return m->data.size();
+  } else if (const auto* m = std::get_if<Vendor>(&msg.body)) {
+    if (id == FieldId::Vendor) return m->vendor;
+  }
+  return std::nullopt;
+}
+
+bool set_field(Message& msg, FieldId id, FieldValue value) {
+  if (id == FieldId::Xid) {
     msg.xid = static_cast<std::uint32_t>(value);
     return true;
   }
-  const auto [head, tail] = split_path(path);
 
   if (auto* m = std::get_if<FlowMod>(&msg.body)) {
-    if (head == "match") return set_match_field(m->match, tail, value);
-    if (path == "command") m->command = static_cast<FlowModCommand>(value);
-    else if (path == "idle_timeout") m->idle_timeout = static_cast<std::uint16_t>(value);
-    else if (path == "hard_timeout") m->hard_timeout = static_cast<std::uint16_t>(value);
-    else if (path == "priority") m->priority = static_cast<std::uint16_t>(value);
-    else if (path == "buffer_id") m->buffer_id = static_cast<std::uint32_t>(value);
-    else if (path == "out_port") m->out_port = static_cast<std::uint16_t>(value);
-    else if (path == "flags") m->flags = static_cast<std::uint16_t>(value);
-    else if (path == "cookie") m->cookie = value;
-    else return false;
-    return true;
+    if (is_match_field(id)) return set_match_field(m->match, id, value);
+    switch (id) {
+      case FieldId::Command: m->command = static_cast<FlowModCommand>(value); return true;
+      case FieldId::IdleTimeout: m->idle_timeout = static_cast<std::uint16_t>(value); return true;
+      case FieldId::HardTimeout: m->hard_timeout = static_cast<std::uint16_t>(value); return true;
+      case FieldId::Priority: m->priority = static_cast<std::uint16_t>(value); return true;
+      case FieldId::BufferId: m->buffer_id = static_cast<std::uint32_t>(value); return true;
+      case FieldId::OutPort: m->out_port = static_cast<std::uint16_t>(value); return true;
+      case FieldId::Flags: m->flags = static_cast<std::uint16_t>(value); return true;
+      case FieldId::Cookie: m->cookie = value; return true;
+      default: return false;
+    }
   }
   if (auto* m = std::get_if<PacketIn>(&msg.body)) {
-    if (path == "buffer_id") m->buffer_id = static_cast<std::uint32_t>(value);
-    else if (path == "total_len") m->total_len = static_cast<std::uint16_t>(value);
-    else if (path == "in_port") m->in_port = static_cast<std::uint16_t>(value);
-    else if (path == "reason") m->reason = static_cast<PacketInReason>(value);
-    else return false;
-    return true;
+    switch (id) {
+      case FieldId::BufferId: m->buffer_id = static_cast<std::uint32_t>(value); return true;
+      case FieldId::TotalLen: m->total_len = static_cast<std::uint16_t>(value); return true;
+      case FieldId::InPort: m->in_port = static_cast<std::uint16_t>(value); return true;
+      case FieldId::Reason: m->reason = static_cast<PacketInReason>(value); return true;
+      default: return false;
+    }
   }
   if (auto* m = std::get_if<PacketOut>(&msg.body)) {
-    if (path == "buffer_id") m->buffer_id = static_cast<std::uint32_t>(value);
-    else if (path == "in_port") m->in_port = static_cast<std::uint16_t>(value);
-    else return false;
-    return true;
+    switch (id) {
+      case FieldId::BufferId: m->buffer_id = static_cast<std::uint32_t>(value); return true;
+      case FieldId::InPort: m->in_port = static_cast<std::uint16_t>(value); return true;
+      default: return false;
+    }
   }
   if (auto* m = std::get_if<SetConfig>(&msg.body)) {
-    if (path == "flags") m->flags = static_cast<std::uint16_t>(value);
-    else if (path == "miss_send_len") m->miss_send_len = static_cast<std::uint16_t>(value);
-    else return false;
-    return true;
+    switch (id) {
+      case FieldId::Flags: m->flags = static_cast<std::uint16_t>(value); return true;
+      case FieldId::MissSendLen: m->miss_send_len = static_cast<std::uint16_t>(value); return true;
+      default: return false;
+    }
   }
   if (auto* m = std::get_if<PortMod>(&msg.body)) {
-    if (path == "port_no") m->port_no = static_cast<std::uint16_t>(value);
-    else if (path == "config") m->config = static_cast<std::uint32_t>(value);
-    else if (path == "mask") m->mask = static_cast<std::uint32_t>(value);
-    else return false;
-    return true;
+    switch (id) {
+      case FieldId::PortNo: m->port_no = static_cast<std::uint16_t>(value); return true;
+      case FieldId::Config: m->config = static_cast<std::uint32_t>(value); return true;
+      case FieldId::Mask: m->mask = static_cast<std::uint32_t>(value); return true;
+      default: return false;
+    }
   }
   return false;
 }
 
+std::optional<FieldValue> get_field(const Message& msg, std::string_view path) {
+  const auto id = field_id(path);
+  if (!id) return std::nullopt;
+  return get_field(msg, *id);
+}
+
+bool set_field(Message& msg, std::string_view path, FieldValue value) {
+  const auto id = field_id(path);
+  if (!id) return false;
+  return set_field(msg, *id, value);
+}
+
 std::vector<std::string> field_names(MsgType type) {
-  static const std::vector<std::string> match_fields = {
-      "in_port", "dl_src",  "dl_dst", "dl_vlan", "dl_vlan_pcp",
-      "dl_type", "nw_tos",  "nw_proto", "nw_src", "nw_dst",
-      "tp_src",  "tp_dst",  "wildcards", "nw_src_wild_bits", "nw_dst_wild_bits"};
-  std::vector<std::string> names = {"xid"};
-  auto add_match = [&names] {
-    for (const std::string& f : match_fields) names.push_back("match." + f);
-  };
-  switch (type) {
-    case MsgType::FlowMod:
-      for (const char* f : {"command", "idle_timeout", "hard_timeout", "priority", "buffer_id",
-                            "out_port", "flags", "cookie", "n_actions"}) {
-        names.emplace_back(f);
-      }
-      add_match();
-      break;
-    case MsgType::PacketIn:
-      for (const char* f : {"buffer_id", "total_len", "in_port", "reason"}) names.emplace_back(f);
-      break;
-    case MsgType::PacketOut:
-      for (const char* f : {"buffer_id", "in_port", "n_actions"}) names.emplace_back(f);
-      break;
-    case MsgType::FlowRemoved:
-      for (const char* f : {"reason", "priority", "idle_timeout", "packet_count", "byte_count",
-                            "duration_sec", "cookie"}) {
-        names.emplace_back(f);
-      }
-      add_match();
-      break;
-    case MsgType::FeaturesReply:
-      for (const char* f : {"datapath_id", "n_buffers", "n_tables", "n_ports"}) {
-        names.emplace_back(f);
-      }
-      break;
-    case MsgType::SetConfig:
-    case MsgType::GetConfigReply:
-      for (const char* f : {"flags", "miss_send_len"}) names.emplace_back(f);
-      break;
-    case MsgType::PortStatus:
-      for (const char* f : {"reason", "port_no"}) names.emplace_back(f);
-      break;
-    case MsgType::Error:
-      for (const char* f : {"err_type", "err_code"}) names.emplace_back(f);
-      break;
-    case MsgType::PortMod:
-      for (const char* f : {"port_no", "config", "mask"}) names.emplace_back(f);
-      break;
-    case MsgType::StatsRequest:
-    case MsgType::StatsReply:
-      names.emplace_back("stats_type");
-      break;
-    case MsgType::EchoRequest:
-    case MsgType::EchoReply:
-      names.emplace_back("data_len");
-      break;
-    case MsgType::Vendor:
-      names.emplace_back("vendor");
-      break;
-    default:
-      break;
+  std::vector<std::string> names;
+  const std::uint32_t bit = type_bit(type);
+  // "xid" first, then plain fields, then match.* — the registry is laid out
+  // in that order already.
+  for (const FieldSpec& spec : kFields) {
+    if ((spec.presence & bit) != 0) names.emplace_back(spec.path);
   }
   return names;
 }

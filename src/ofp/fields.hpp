@@ -2,6 +2,16 @@
 // paper's attack language (§V-A). Conditional expressions reference message
 // payload fields by dotted path ("match.nw_src", "buffer_id", ...); the
 // MODIFYMESSAGE action writes them back through set_field.
+//
+// Two access surfaces share one registry:
+//   * the string API (get_field/set_field by dotted path) — used by the DSL,
+//     diagnostics, and ad-hoc callers;
+//   * the FieldId fast API — the dotted path interned once (field_id) into a
+//     small numeric id, then read/written with a switch and no parsing. The
+//     compiled rule programs (attain/lang/program.hpp) resolve every path at
+//     compile time and only ever touch the id accessors on the hot path.
+// The string accessors are implemented on top of the id accessors, so the
+// two can never disagree (asserted field-by-field in test_ofp_fields.cpp).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +27,79 @@ namespace attain::ofp {
 /// All reflected fields are numeric (addresses are exposed as their integer
 /// encodings: MACs as 48-bit, IPv4 as 32-bit, enums as their wire values).
 using FieldValue = std::uint64_t;
+
+/// One id per registered dotted path. A path like "buffer_id" that exists
+/// on several message types still has a single id; presence is a property
+/// of (id, message type) — see field_presence_mask.
+enum class FieldId : std::uint8_t {
+  Xid,
+  Command,
+  IdleTimeout,
+  HardTimeout,
+  Priority,
+  BufferId,
+  OutPort,
+  Flags,
+  Cookie,
+  NActions,
+  TotalLen,
+  InPort,
+  Reason,
+  PacketCount,
+  ByteCount,
+  DurationSec,
+  DatapathId,
+  NBuffers,
+  NTables,
+  NPorts,
+  MissSendLen,
+  PortNo,
+  Config,
+  Mask,
+  ErrType,
+  ErrCode,
+  StatsType,
+  DataLen,
+  Vendor,
+  MatchInPort,
+  MatchDlSrc,
+  MatchDlDst,
+  MatchDlVlan,
+  MatchDlVlanPcp,
+  MatchDlType,
+  MatchNwTos,
+  MatchNwProto,
+  MatchNwSrc,
+  MatchNwDst,
+  MatchTpSrc,
+  MatchTpDst,
+  MatchWildcards,
+  MatchNwSrcWildBits,
+  MatchNwDstWildBits,
+};
+
+inline constexpr std::size_t kFieldIdCount = 44;
+
+/// Interns a dotted path. Returns std::nullopt for paths no message type
+/// has ("", "match.", "bogus", "match.bogus", "xid.extra", ...). This is
+/// the only place path strings are parsed; do it once, then use the id.
+std::optional<FieldId> field_id(std::string_view path);
+
+/// The dotted path an id was interned from ("match.nw_src", ...).
+std::string_view field_path(FieldId id);
+
+/// Bitmask over MsgType wire values (bit `1u << static_cast<unsigned>(type)`)
+/// of the message types on which get_field(msg, id) yields a value. Used by
+/// the compiled-rule guard prefilter to skip whole rules on one mask test.
+std::uint32_t field_presence_mask(FieldId id);
+
+/// Reads a payload field by interned id. Returns std::nullopt if the
+/// message's type has no such field. No parsing, no allocation.
+std::optional<FieldValue> get_field(const Message& message, FieldId id);
+
+/// Writes a payload field by interned id; returns false if the field does
+/// not exist (or is read-only, e.g. "n_actions") for the message's type.
+bool set_field(Message& message, FieldId id, FieldValue value);
 
 /// Reads a payload field. Returns std::nullopt if the message type has no
 /// such field. Common paths:

@@ -316,6 +316,10 @@ class SuppressionWarmup final : public WarmupPhase {
     result->messages_interposed = bed_->injector().stats().messages_interposed;
     result->messages_suppressed = bed_->injector().stats().messages_suppressed;
     result->codec_ops_saved = bed_->channel_totals().codec_ops_saved;
+    if (const inject::AttackExecutor* exec = bed_->injector().executor()) {
+      result->rules_skipped_by_guard = exec->stats().rules_skipped_by_guard;
+      result->programs_executed = exec->stats().programs_executed;
+    }
     return result;
   }
 
@@ -441,6 +445,10 @@ class InterruptionWarmup final : public WarmupPhase {
     result->messages_interposed = bed_->injector().stats().messages_interposed;
     result->messages_suppressed = bed_->injector().stats().messages_suppressed;
     result->codec_ops_saved = bed_->channel_totals().codec_ops_saved;
+    if (const inject::AttackExecutor* exec = bed_->injector().executor()) {
+      result->rules_skipped_by_guard = exec->stats().rules_skipped_by_guard;
+      result->programs_executed = exec->stats().programs_executed;
+    }
     return result;
   }
 
@@ -505,6 +513,8 @@ void save_common(const RunResult& r, ByteWriter& w) {
   w.u64(r.messages_interposed);
   w.u64(r.messages_suppressed);
   w.u64(r.codec_ops_saved);
+  w.u64(r.rules_skipped_by_guard);
+  w.u64(r.programs_executed);
 }
 
 void load_common(RunResult& r, ByteReader& rd) {
@@ -515,6 +525,8 @@ void load_common(RunResult& r, ByteReader& rd) {
   r.messages_interposed = rd.u64();
   r.messages_suppressed = rd.u64();
   r.codec_ops_saved = rd.u64();
+  r.rules_skipped_by_guard = rd.u64();
+  r.programs_executed = rd.u64();
 }
 
 void save_f64(ByteWriter& w, double v) { w.u64(std::bit_cast<std::uint64_t>(v)); }

@@ -1,8 +1,22 @@
 #include "scenario/run.hpp"
 
+#include <atomic>
+
 #include "attain/monitor/metrics.hpp"
 
 namespace attain::scenario {
+
+namespace {
+std::atomic<bool> g_extended_control_channel_json{false};
+}  // namespace
+
+void set_extended_control_channel_json(bool enabled) {
+  g_extended_control_channel_json.store(enabled, std::memory_order_relaxed);
+}
+
+bool extended_control_channel_json() {
+  return g_extended_control_channel_json.load(std::memory_order_relaxed);
+}
 
 std::string to_string(ExperimentKind kind) {
   switch (kind) {
@@ -87,6 +101,10 @@ void RunResult::write_json(JsonWriter& w) const {
   w.field("messages_interposed", messages_interposed);
   w.field("messages_suppressed", messages_suppressed);
   w.field("codec_ops_saved", codec_ops_saved);
+  if (extended_control_channel_json()) {
+    w.field("rules_skipped_by_guard", rules_skipped_by_guard);
+    w.field("programs_executed", programs_executed);
+  }
   w.end_object();
   w.end_object();
 }

@@ -102,6 +102,13 @@ class RunResult {
   std::uint64_t messages_suppressed{0};
   std::uint64_t codec_ops_saved{0};
 
+  /// Rule-engine accounting (AttackExecutor stats; zero when no attack was
+  /// armed). Deterministic, but emitted in JSON only when
+  /// set_extended_control_channel_json(true) — the default JSON stays
+  /// byte-identical across releases (the sweep determinism contract).
+  std::uint64_t rules_skipped_by_guard{0};
+  std::uint64_t programs_executed{0};
+
   /// Short experiment tag ("suppression", "interruption", ...).
   virtual std::string kind_name() const = 0;
   /// Column headers matching to_row(); identical for all results of one
@@ -126,6 +133,13 @@ class RunResult {
 /// spec.experiment; throws std::invalid_argument for a Custom spec without
 /// a runner. This is the function the sweep engine parallelizes over.
 RunResultPtr run(const RunSpec& spec);
+
+/// Opt-in: when true, RunResult::write_json also emits the rule-engine
+/// counters (rules_skipped_by_guard, programs_executed) in the
+/// control_channel object. Off by default so the sweep JSON stays
+/// byte-identical to earlier releases. Process-wide; read at render time.
+void set_extended_control_channel_json(bool enabled);
+bool extended_control_channel_json();
 
 // ---------------------------------------------------------------------------
 // Grid builders for the paper's evaluation.

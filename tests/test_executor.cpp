@@ -256,7 +256,7 @@ attack demo {
   EXPECT_EQ(r.outgoing.size(), 1u);
 }
 
-TEST(Executor, EvalErrorTreatedAsNoMatch) {
+TEST(Executor, GuardSkipsRuleWhoseFieldCannotExist) {
   Fixture fx;
   const std::string source = R"(
 attacker { on (c1, s1) grant no_tls; }
@@ -267,13 +267,88 @@ attack demo {
 }
 )";
   AttackExecutor exec = fx.make(source);
+  // ECHO_REQUEST has no buffer_id: the compiled guard proves the conditional
+  // can only raise, so the rule is dismissed without evaluating — no
+  // EvalError event, no exception, message passes untouched.
+  const auto msg = fx.message("s1", lang::Direction::SwitchToController,
+                              ofp::make_message(1, ofp::EchoRequest{}));
+  const ExecutionResult r = exec.process(msg);
+  EXPECT_EQ(r.outgoing.size(), 1u);
+  EXPECT_EQ(exec.stats().rules_skipped_by_guard, 1u);
+  EXPECT_EQ(exec.stats().rules_evaluated, 0u);
+  EXPECT_EQ(exec.stats().eval_errors, 0u);
+  EXPECT_EQ(fx.monitor.count(monitor::EventKind::EvalError), 0u);
+}
+
+TEST(Executor, EvalErrorTreatedAsNoMatchInOracleMode) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; }
+attack demo {
+  start state s {
+    rule phi on (c1, s1) { when msg.field("buffer_id") == 1; do { drop(msg); } }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  exec.set_use_compiled(false);  // tree-walk oracle: no guard, throws + catches
   // ECHO_REQUEST has no buffer_id: conditional raises, message passes.
   const auto msg = fx.message("s1", lang::Direction::SwitchToController,
                               ofp::make_message(1, ofp::EchoRequest{}));
   const ExecutionResult r = exec.process(msg);
   EXPECT_EQ(r.outgoing.size(), 1u);
+  EXPECT_EQ(exec.stats().rules_skipped_by_guard, 0u);
   EXPECT_EQ(exec.stats().eval_errors, 1u);
   EXPECT_EQ(fx.monitor.count(monitor::EventKind::EvalError), 1u);
+}
+
+TEST(Executor, CompiledAndOracleAgreeOnSuppressionAttack) {
+  // Same message sequence through a compiled-path executor and an oracle
+  // executor: identical outgoing counts, match counts, and state.
+  const std::string source = scenario::flow_mod_suppression_dsl();
+  Fixture fx_prog;
+  Fixture fx_tree;
+  AttackExecutor prog = fx_prog.make(source);
+  AttackExecutor tree = fx_tree.make(source);
+  tree.set_use_compiled(false);
+  for (int i = 0; i < 50; ++i) {
+    const auto msg_p = fx_prog.message("s1", lang::Direction::ControllerToSwitch,
+                                       i % 3 == 0 ? fx_prog.flow_mod()
+                                                  : ofp::make_message(i, ofp::EchoRequest{}));
+    const auto msg_t = fx_tree.message("s1", lang::Direction::ControllerToSwitch,
+                                       i % 3 == 0 ? fx_tree.flow_mod()
+                                                  : ofp::make_message(i, ofp::EchoRequest{}));
+    const ExecutionResult rp = prog.process(msg_p);
+    const ExecutionResult rt = tree.process(msg_t);
+    EXPECT_EQ(rp.outgoing.size(), rt.outgoing.size()) << "message " << i;
+  }
+  EXPECT_EQ(prog.stats().rules_matched, tree.stats().rules_matched);
+  EXPECT_EQ(prog.stats().state_transitions, tree.stats().state_transitions);
+  EXPECT_EQ(prog.current_state_name(), tree.current_state_name());
+  EXPECT_GT(prog.stats().programs_executed, 0u);
+  EXPECT_EQ(tree.stats().programs_executed, 0u);
+}
+
+TEST(Executor, RulesOnOtherConnectionsNeverEvaluated) {
+  Fixture fx;
+  const std::string source = R"(
+attacker { on (c1, s1) grant no_tls; on (c1, s2) grant no_tls; }
+attack demo {
+  start state s {
+    rule phi1 on (c1, s1) { when 1; do { drop(msg); } }
+    rule phi2 on (c1, s2) { when 1; do { drop(msg); } }
+  }
+}
+)";
+  AttackExecutor exec = fx.make(source);
+  // A message on (c1, s1) must only ever see phi1: the per-connection rule
+  // bucket dismisses phi2 without counting it as evaluated or skipped.
+  const auto msg = fx.message("s1", lang::Direction::SwitchToController,
+                              ofp::make_message(1, ofp::EchoRequest{}));
+  exec.process(msg);
+  EXPECT_EQ(exec.stats().rules_evaluated, 1u);
+  EXPECT_EQ(exec.stats().rules_skipped_by_guard, 0u);
+  EXPECT_EQ(exec.stats().rules_matched, 1u);
 }
 
 TEST(Executor, RuntimeCapabilityDefenceInDepth) {

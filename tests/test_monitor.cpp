@@ -53,6 +53,28 @@ TEST(Monitor, CountersOnlyModeDropsEventBodies) {
   EXPECT_EQ(mon.observed_of_type(ofp::MsgType::FlowMod), 1u);
 }
 
+TEST(Monitor, EnabledReflectsCountersOnlyMode) {
+  Monitor mon;
+  // Full mode: every kind is worth constructing an Event for.
+  EXPECT_TRUE(mon.enabled(EventKind::EvalError));
+  EXPECT_TRUE(mon.enabled(EventKind::MessageObserved));
+  mon.set_counters_only(true);
+  // Counters-only: MessageObserved still feeds the per-type/per-connection
+  // tallies; everything else only needs its kind counted (tally()).
+  EXPECT_TRUE(mon.enabled(EventKind::MessageObserved));
+  EXPECT_FALSE(mon.enabled(EventKind::EvalError));
+  EXPECT_FALSE(mon.enabled(EventKind::RuleMatched));
+}
+
+TEST(Monitor, TallyCountsWithoutEventBodies) {
+  Monitor mon;
+  mon.tally(EventKind::EvalError);
+  mon.tally(EventKind::RuleMatched, 5);
+  EXPECT_EQ(mon.count(EventKind::EvalError), 1u);
+  EXPECT_EQ(mon.count(EventKind::RuleMatched), 5u);
+  EXPECT_TRUE(mon.events().empty());
+}
+
 TEST(Monitor, SelectFiltersEvents) {
   Monitor mon;
   Event rule_hit;

@@ -166,5 +166,76 @@ INSTANTIATE_TEST_SUITE_P(
                       MsgType::BarrierReply),
     [](const ::testing::TestParamInfo<MsgType>& info) { return to_string(info.param); });
 
+// ---------------------------------------------------------------------------
+// Path-parsing edge cases and the interned FieldId API.
+// ---------------------------------------------------------------------------
+
+TEST(FieldsEdgeCases, EmptyAndMalformedPaths) {
+  const Message m = make_message(1, sample_flow_mod());
+  EXPECT_FALSE(field_id("").has_value());
+  EXPECT_FALSE(field_id("match.").has_value());   // trailing dot, no tail
+  EXPECT_FALSE(field_id(".nw_src").has_value());  // empty head
+  EXPECT_FALSE(field_id("bogus").has_value());    // unknown head
+  EXPECT_FALSE(field_id("match.bogus").has_value());  // known head, unknown tail
+  EXPECT_FALSE(field_id("match.nw_src.extra").has_value());  // too many segments
+  EXPECT_FALSE(get_field(m, "").has_value());
+  EXPECT_FALSE(get_field(m, "match.").has_value());
+  EXPECT_FALSE(get_field(m, "match.bogus").has_value());
+}
+
+TEST(FieldsEdgeCases, KnownFieldAbsentOnType) {
+  // "buffer_id" is a real FieldId but ECHO_REQUEST does not carry it: the
+  // string API and the id API must both refuse.
+  const Message echo = make_message(1, EchoRequest{});
+  EXPECT_TRUE(field_id("buffer_id").has_value());
+  EXPECT_FALSE(get_field(echo, "buffer_id").has_value());
+  EXPECT_FALSE(get_field(echo, *field_id("buffer_id")).has_value());
+}
+
+TEST(FieldsEdgeCases, FieldIdRoundTripsThroughPath) {
+  // Every registered id maps to a path that maps back to the same id.
+  for (std::size_t i = 0; i < kFieldIdCount; ++i) {
+    const FieldId id = static_cast<FieldId>(i);
+    const std::string_view path = field_path(id);
+    ASSERT_FALSE(path.empty());
+    const auto round = field_id(path);
+    ASSERT_TRUE(round.has_value()) << path;
+    EXPECT_EQ(*round, id) << path;
+  }
+}
+
+TEST(FieldsEdgeCases, StringAndIdAccessorsAgreeOnEveryAdvertisedField) {
+  for (const MsgType type : {MsgType::Hello, MsgType::Error, MsgType::EchoRequest,
+                             MsgType::FeaturesReply, MsgType::SetConfig, MsgType::PacketIn,
+                             MsgType::FlowRemoved, MsgType::PortStatus, MsgType::PacketOut,
+                             MsgType::FlowMod, MsgType::PortMod, MsgType::StatsRequest,
+                             MsgType::Vendor}) {
+    const Message m = default_message(type);
+    for (const std::string& name : field_names(type)) {
+      const auto id = field_id(name);
+      ASSERT_TRUE(id.has_value()) << name;
+      EXPECT_EQ(get_field(m, name), get_field(m, *id)) << to_string(type) << "." << name;
+      // The presence mask must advertise exactly the types field_names lists.
+      EXPECT_TRUE((field_presence_mask(*id) >> static_cast<unsigned>(type)) & 1u)
+          << to_string(type) << "." << name;
+    }
+  }
+}
+
+TEST(FieldsEdgeCases, PresenceMaskMatchesGetFieldBehavior) {
+  // For every (type, id) pair: get_field succeeds iff the presence bit is
+  // set — the guard prefilter's soundness rests on this equivalence.
+  for (int t = 0; t < 20; ++t) {
+    const MsgType type = static_cast<MsgType>(t);
+    const Message m = default_message(type);
+    for (std::size_t i = 0; i < kFieldIdCount; ++i) {
+      const FieldId id = static_cast<FieldId>(i);
+      const bool advertised = (field_presence_mask(id) >> static_cast<unsigned>(t)) & 1u;
+      EXPECT_EQ(get_field(m, id).has_value(), advertised)
+          << to_string(type) << "." << field_path(id);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace attain::ofp

@@ -1,0 +1,254 @@
+// Differential fuzz: the compiled program evaluator against the tree-walk
+// oracle. Random expression trees are evaluated against random message
+// contexts (including sealed/undecodable payloads, empty deques, and
+// missing context pieces); for every pair the two implementations must
+// agree exactly:
+//
+//   * oracle returns a boolean  <=>  program returns Ok with the same bool;
+//   * oracle throws             <=>  program returns non-Ok, and
+//     error_detail() equals the thrown what() byte for byte;
+//   * the RNG stream advances identically (checked via a shadow generator);
+//   * a guard-rejected context is always a non-match (false or throw).
+//
+// ATTAIN_DIFF_FUZZ_ITERS overrides the iteration count (CI's sanitizer job
+// raises it; the default keeps the suite fast).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "attain/lang/program.hpp"
+#include "common/rng.hpp"
+#include "ofp/codec.hpp"
+
+namespace attain::lang {
+namespace {
+
+std::size_t fuzz_iterations() {
+  if (const char* env = std::getenv("ATTAIN_DIFF_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 10000;
+}
+
+/// Deterministic generator for random expression trees. Leaves are biased
+/// toward the constructs that exercise interning (fields, deques,
+/// properties); error cases (unknown fields, undeclared deques, bad rand
+/// bounds, string-typed operands) are generated on purpose.
+struct ExprGen {
+  Rng& rng;
+  const std::vector<std::string>& deque_names;
+
+  std::int64_t pick(std::int64_t bound) { return static_cast<std::int64_t>(rng.next_below(bound)); }
+
+  ExprPtr leaf() {
+    switch (pick(12)) {
+      case 0: return Expr::literal_int(pick(5) - 1);
+      case 1: return Expr::literal_value(Value{std::string{"s"}});  // type-mismatch fodder
+      case 2: return Expr::prop(Property::Type);
+      case 3: return Expr::prop(Property::Direction);
+      case 4:
+        return Expr::prop(static_cast<Property>(pick(7)));
+      case 5: {
+        static const char* kPaths[] = {"buffer_id",     "in_port",  "match.nw_src",
+                                       "idle_timeout",  "reason",   "total_len",
+                                       "no_such_field", "match.bad"};
+        return Expr::field(kPaths[pick(8)]);
+      }
+      case 6: {
+        const std::size_t i = static_cast<std::size_t>(pick(3));
+        const std::string name = i < deque_names.size() ? deque_names[i] : "undeclared";
+        switch (pick(3)) {
+          case 0: return Expr::deque_front(name);
+          case 1: return Expr::deque_end(name);
+          default: return Expr::deque_len(name);
+        }
+      }
+      case 7: return Expr::random(pick(4));  // bound 0 is an error case
+      default: return Expr::literal_int(pick(20));
+    }
+  }
+
+  ExprPtr gen(int depth) {
+    if (depth <= 0 || pick(3) == 0) return leaf();
+    switch (pick(8)) {
+      case 0: return Expr::negate(gen(depth - 1));
+      case 1:
+        return Expr::in_set(gen(depth - 1),
+                            {Value{pick(16)}, Value{pick(16)}, Value{std::string{"x"}}});
+      default: {
+        static const BinaryOp kOps[] = {BinaryOp::And, BinaryOp::Or, BinaryOp::Eq,
+                                        BinaryOp::Ne,  BinaryOp::Lt, BinaryOp::Le,
+                                        BinaryOp::Gt,  BinaryOp::Ge, BinaryOp::Add,
+                                        BinaryOp::Sub};
+        return Expr::binary(kOps[pick(10)], gen(depth - 1), gen(depth - 1));
+      }
+    }
+  }
+};
+
+/// A pool of message contexts covering the guard's three axes: message
+/// type, direction, and payload decodability.
+std::vector<InFlightMessage> make_message_pool() {
+  std::vector<InFlightMessage> pool;
+  auto push = [&](ofp::Message payload, Direction dir) {
+    InFlightMessage msg;
+    msg.connection =
+        ConnectionId{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 1}};
+    msg.direction = dir;
+    msg.source = dir == Direction::ControllerToSwitch ? msg.connection.controller
+                                                      : msg.connection.sw;
+    msg.destination = dir == Direction::ControllerToSwitch ? msg.connection.sw
+                                                           : msg.connection.controller;
+    msg.timestamp = static_cast<SimTime>(pool.size()) * 17;
+    msg.id = pool.size() + 1;
+    msg.envelope = chan::Envelope(std::move(payload));
+    pool.push_back(std::move(msg));
+  };
+
+  ofp::FlowMod mod;
+  mod.match = ofp::Match::wildcard_all();
+  mod.match.nw_src = pkt::Ipv4Address::parse("10.0.0.2");
+  mod.match.set_nw_src_wild_bits(0);
+  mod.idle_timeout = 9;
+  push(ofp::make_message(1, std::move(mod)), Direction::ControllerToSwitch);
+
+  ofp::PacketIn pin;
+  pin.buffer_id = 3;
+  pin.in_port = 4;
+  push(ofp::make_message(2, std::move(pin)), Direction::SwitchToController);
+
+  push(ofp::make_message(3, ofp::EchoRequest{}), Direction::ControllerToSwitch);
+  push(ofp::make_message(4, ofp::FeaturesReply{}), Direction::SwitchToController);
+  push(ofp::make_message(5, ofp::PortStatus{}), Direction::SwitchToController);
+
+  // Sealed payload (TLS): metadata readable, payload access must fail.
+  {
+    InFlightMessage sealed;
+    sealed.connection =
+        ConnectionId{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 1}};
+    sealed.direction = Direction::ControllerToSwitch;
+    sealed.source = sealed.connection.controller;
+    sealed.destination = sealed.connection.sw;
+    sealed.timestamp = 99;
+    sealed.id = pool.size() + 1;
+    sealed.envelope = chan::Envelope(ofp::make_message(6, ofp::EchoReply{}));
+    sealed.envelope.seal();
+    sealed.tls = true;
+    pool.push_back(std::move(sealed));
+  }
+
+  // Garbage wire bytes: the frame does not parse, payload() is nullptr.
+  {
+    InFlightMessage garbage;
+    garbage.connection =
+        ConnectionId{EntityId{EntityKind::Controller, 0}, EntityId{EntityKind::Switch, 1}};
+    garbage.direction = Direction::SwitchToController;
+    garbage.source = garbage.connection.sw;
+    garbage.destination = garbage.connection.controller;
+    garbage.timestamp = 100;
+    garbage.id = pool.size() + 1;
+    garbage.envelope = chan::Envelope(Bytes{0xde, 0xad, 0xbe, 0xef});
+    pool.push_back(std::move(garbage));
+  }
+  return pool;
+}
+
+TEST(ProgramDifferential, FuzzAgainstTreeOracle) {
+  const std::size_t iterations = fuzz_iterations();
+  const std::vector<InFlightMessage> pool = make_message_pool();
+
+  const std::vector<std::string> deque_names{"counters", "stash"};
+  Program::CompileEnv env;
+  env.deque_names = &deque_names;
+
+  // Three storage variants: absent, declared-but-empty, populated (with a
+  // string at the front of "stash" for type-mismatch coverage).
+  DequeStore empty_store;
+  empty_store.declare("counters");
+  empty_store.declare("stash");
+  DequeStore full_store;
+  full_store.declare("counters", {Value{std::int64_t{3}}, Value{std::int64_t{4}}});
+  full_store.declare("stash", {Value{std::string{"front"}}, Value{std::int64_t{8}}});
+  const DequeStore* stores[] = {nullptr, &empty_store, &full_store};
+
+  Rng gen_rng{20260807};
+  ProgramEvaluator evaluator;
+  std::size_t agreements_ok = 0;
+  std::size_t agreements_err = 0;
+  std::size_t guard_rejections = 0;
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    ExprGen gen{gen_rng, deque_names};
+    const ExprPtr expr = gen.gen(4);
+    const Program program = Program::compile(*expr, env);
+
+    const InFlightMessage* msg = &pool[gen_rng.next_below(pool.size())];
+    const bool with_message = gen_rng.next_below(16) != 0;  // sometimes no message
+    const DequeStore* storage = stores[gen_rng.next_below(3)];
+    const bool with_rng = gen_rng.next_below(8) != 0;  // sometimes no RNG
+
+    // Twin generators with identical seeds: the oracle consumes one, the
+    // program the other. Any divergence in rand() draw order shows up as a
+    // stream mismatch below.
+    const std::uint64_t eval_seed = gen_rng.next_u64();
+    Rng tree_rng{eval_seed};
+    Rng prog_rng{eval_seed};
+
+    EvalContext tree_ctx;
+    tree_ctx.message = with_message ? msg : nullptr;
+    tree_ctx.storage = storage;
+    tree_ctx.rng = with_rng ? &tree_rng : nullptr;
+    EvalContext prog_ctx = tree_ctx;
+    prog_ctx.rng = with_rng ? &prog_rng : nullptr;
+
+    bool tree_result = false;
+    bool tree_threw = false;
+    std::string tree_error;
+    try {
+      tree_result = evaluate_bool(*expr, tree_ctx);
+    } catch (const std::exception& err) {
+      tree_threw = true;
+      tree_error = err.what();
+    }
+
+    bool prog_result = false;
+    const ExecStatus status = evaluator.run_bool(program, prog_ctx, prog_result);
+
+    SCOPED_TRACE("iteration " + std::to_string(iter) + ": " + expr->to_string() + "\n" +
+                 program.disassemble());
+    if (tree_threw) {
+      ASSERT_NE(status, ExecStatus::Ok) << "oracle threw: " << tree_error;
+      ASSERT_EQ(evaluator.error_detail(program, prog_ctx), tree_error);
+      ++agreements_err;
+    } else {
+      ASSERT_EQ(status, ExecStatus::Ok) << "oracle returned "
+                                        << (tree_result ? "true" : "false");
+      ASSERT_EQ(prog_result, tree_result);
+      ++agreements_ok;
+    }
+
+    // RNG lockstep: both generators must have consumed the same number of
+    // draws (compared by drawing once more from each).
+    if (with_rng) {
+      ASSERT_EQ(tree_rng.next_u64(), prog_rng.next_u64()) << "RNG streams diverged";
+    }
+
+    // Guard soundness: a rejected context can only be false-or-throw.
+    if (with_message && !program.guard().admits(*msg)) {
+      ++guard_rejections;
+      ASSERT_TRUE(tree_threw || !tree_result)
+          << "guard rejected a context the oracle matched";
+    }
+  }
+
+  // The generator must actually exercise all three regimes.
+  EXPECT_GT(agreements_ok, iterations / 20);
+  EXPECT_GT(agreements_err, iterations / 20);
+  EXPECT_GT(guard_rejections, 0u);
+}
+
+}  // namespace
+}  // namespace attain::lang

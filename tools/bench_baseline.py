@@ -43,6 +43,12 @@ bench_sweep_snapshot harness:
 
   build-rel/bench/bench_sweep_snapshot --json /tmp/sweep.json
   tools/bench_baseline.py collect --harness /tmp/sweep.json --out BENCH_sweep.json
+
+...as is the compiled-rule-engine baseline from bench_injector_overhead:
+
+  build-rel/bench/bench_injector_overhead --json /tmp/injector.json
+  tools/bench_baseline.py collect --harness /tmp/injector.json \
+      --out BENCH_injector.json
 """
 
 import argparse
