@@ -677,6 +677,14 @@ class Parser {
       ofp::PacketOut out;
       out.actions = ofp::output_to(ofp::Port::Flood);
       inject.message = ofp::make_message(0, std::move(out));
+    } else if (tmpl == "packet_in") {
+      // Canned table-miss notification (reason NoMatch, nothing buffered):
+      // the volumetric PACKET_IN-flood building block — each injection
+      // forces a controller table lookup/decision with no switch involved.
+      ofp::PacketIn in;
+      in.buffer_id = ofp::kNoBuffer;
+      in.reason = ofp::PacketInReason::NoMatch;
+      inject.message = ofp::make_message(0, std::move(in));
     } else {
       fail("unknown inject template '" + tmpl + "'");
     }

@@ -87,6 +87,7 @@ chan::EnvelopeSink RuntimeInjector::controller_side_input(ConnectionId id) {
 void RuntimeInjector::arm(const dsl::CompiledAttack& attack,
                           const model::CapabilityMap& capabilities) {
   executor_ = std::make_unique<AttackExecutor>(attack, capabilities, monitor_, rng_);
+  executor_->set_use_compiled(use_compiled_);
   ATTAIN_LOG(Info, "injector") << "armed attack '" << attack.name << "' at state "
                                << executor_->current_state_name();
 }

@@ -71,6 +71,12 @@ class RuntimeInjector {
   void disarm();
   bool armed() const { return executor_ != nullptr; }
 
+  /// Selects the rule-evaluation engine for attacks armed after this call
+  /// (compiled flat programs vs. the tree-walking interpreter). Plumbed
+  /// from scenario::Options::use_compiled at testbed construction.
+  void set_use_compiled(bool enabled) { use_compiled_ = enabled; }
+  bool use_compiled() const { return use_compiled_; }
+
   void set_syscmd_handler(std::function<void(const std::string&, const std::string&)> handler);
 
   const InjectorStats& stats() const { return stats_; }
@@ -105,6 +111,7 @@ class RuntimeInjector {
   std::unique_ptr<AttackExecutor> executor_;
   std::function<void(const std::string&, const std::string&)> syscmd_handler_;
   InjectorStats stats_;
+  bool use_compiled_{true};
   std::uint64_t next_message_id_{1};
   /// SLEEP() pause: messages arriving before this instant queue up and are
   /// processed (in order) when the pause ends.

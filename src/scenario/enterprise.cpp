@@ -3,58 +3,19 @@
 #include <sstream>
 
 #include "packet/codec.hpp"
+#include "topo/generators.hpp"
 
 namespace attain::scenario {
 
 topo::SystemModel make_enterprise_model(const EnterpriseOptions& options) {
-  topo::SystemModel model;
-
-  const EntityId c1 = model.add_controller(
-      topo::ControllerSpec{"c1", pkt::Ipv4Address::parse("10.0.100.1"), 6633});
-
-  auto add_switch = [&](const std::string& name, std::uint64_t dpid, bool fail_secure) {
-    topo::SwitchSpec spec;
-    spec.name = name;
-    spec.dpid = dpid;
-    spec.num_ports = 4;
-    spec.fail_secure = fail_secure;
-    return model.add_switch(std::move(spec));
-  };
-  const EntityId s1 = add_switch("s1", 1, options.others_fail_secure);
-  const EntityId s2 = add_switch("s2", 2, options.s2_fail_secure);
-  const EntityId s3 = add_switch("s3", 3, options.others_fail_secure);
-  const EntityId s4 = add_switch("s4", 4, options.others_fail_secure);
-
-  auto add_host = [&](const std::string& name, unsigned n) {
-    topo::HostSpec spec;
-    spec.name = name;
-    spec.mac = pkt::MacAddress::from_u64(n);
-    spec.ip = pkt::Ipv4Address::parse("10.0.0." + std::to_string(n));
-    return model.add_host(std::move(spec));
-  };
-  const EntityId h1 = add_host("h1", 1);
-  const EntityId h2 = add_host("h2", 2);
-  const EntityId h3 = add_host("h3", 3);
-  const EntityId h4 = add_host("h4", 4);
-  const EntityId h5 = add_host("h5", 5);
-  const EntityId h6 = add_host("h6", 6);
-
-  model.add_link(h1, std::nullopt, s1, 1);
-  model.add_link(h2, std::nullopt, s1, 2);
-  model.add_link(s1, 3, s2, 1);
-  model.add_link(s2, 2, s3, 1);
-  model.add_link(h3, std::nullopt, s3, 2);
-  model.add_link(h4, std::nullopt, s3, 3);
-  model.add_link(s3, 4, s4, 1);
-  model.add_link(h5, std::nullopt, s4, 2);
-  model.add_link(h6, std::nullopt, s4, 3);
-
-  for (const EntityId sw : {s1, s2, s3, s4}) {
-    model.add_control_connection(c1, sw, options.tls);
-  }
-
-  model.validate();
-  return model;
+  // The Fig. 8 wiring itself lives in topo/generators.cpp now, behind
+  // TopologySpec::enterprise(); this wrapper keeps the historical entry
+  // point and its option names.
+  topo::BuildOptions build;
+  build.chokepoint_fail_secure = options.s2_fail_secure;
+  build.others_fail_secure = options.others_fail_secure;
+  build.tls = options.tls;
+  return topo::build_model(topo::TopologySpec::enterprise(), build);
 }
 
 std::string enterprise_model_dsl(const EnterpriseOptions& options) {

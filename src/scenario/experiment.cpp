@@ -1,10 +1,13 @@
 #include "scenario/experiment.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "attain/dsl/parser.hpp"
 #include "packet/codec.hpp"
+#include "topo/generators.hpp"
 
 namespace attain::scenario {
 
@@ -31,6 +34,7 @@ void Testbed::build() {
   controller_ = ctl::make_controller(options_.controller, sched_, options_.controller_processing);
 
   injector_ = std::make_unique<inject::RuntimeInjector>(sched_, model_, monitor_);
+  injector_->set_use_compiled(options_.use_compiled);
 
   // Hosts and switches.
   for (const topo::HostSpec& spec : model_.hosts()) {
@@ -42,6 +46,7 @@ void Testbed::build() {
     config.dpid = spec.dpid;
     config.num_ports = spec.num_ports;
     config.fail_secure = spec.fail_secure;
+    config.table_capacity = options_.table_capacity;
     switches_.push_back(std::make_unique<swsim::OpenFlowSwitch>(sched_, config));
   }
 
@@ -245,8 +250,15 @@ namespace {
 class SuppressionWarmup final : public WarmupPhase {
  public:
   explicit SuppressionWarmup(const RunSpec& rep) : rep_(rep) {
+    if (!rep_.topology.is_enterprise()) {
+      throw std::invalid_argument(
+          "flow-mod suppression runs on the enterprise topology only (its §VII-B "
+          "script names h1/h6); use ExperimentKind::Volumetric for generated "
+          "topologies");
+    }
     TestbedOptions options;
     options.controller = rep_.controller;
+    options.use_compiled = rep_.options.use_compiled;
     bed_ = std::make_unique<Testbed>(make_enterprise_model(), options);
     auto& sched = bed_->scheduler();
 
@@ -299,6 +311,7 @@ class SuppressionWarmup final : public WarmupPhase {
     auto result = std::make_unique<SuppressionResult>();
     result->controller = cell.controller;
     result->attack_enabled = cell.attack_enabled;
+    result->options = cell.options;
     result->virtual_time = sched.now();
     result->events_executed = sched.events_executed();
     result->ping = ping_->report();
@@ -348,7 +361,7 @@ RunSpec to_run_spec(const InterruptionConfig& config) {
   spec.experiment = ExperimentKind::ConnectionInterruption;
   spec.controller = config.controller;
   spec.attack_enabled = true;
-  spec.s2_fail_secure = config.s2_fail_secure;
+  spec.options.fail_secure = config.s2_fail_secure;
   return spec;
 }
 
@@ -390,10 +403,17 @@ namespace {
 class InterruptionWarmup final : public WarmupPhase {
  public:
   explicit InterruptionWarmup(const RunSpec& rep) : rep_(rep) {
+    if (!rep_.topology.is_enterprise()) {
+      throw std::invalid_argument(
+          "connection interruption runs on the enterprise topology only (its "
+          "§VII-C script names s2/h1/h2/h3/h6); use ExperimentKind::Volumetric "
+          "for generated topologies");
+    }
     TestbedOptions options;
     options.controller = rep_.controller;
+    options.use_compiled = rep_.options.use_compiled;
     EnterpriseOptions enterprise;
-    enterprise.s2_fail_secure = rep_.s2_fail_secure;
+    enterprise.s2_fail_secure = rep_.options.fail_secure;
     bed_ = std::make_unique<Testbed>(make_enterprise_model(enterprise), options);
     auto& sched = bed_->scheduler();
 
@@ -426,16 +446,17 @@ class InterruptionWarmup final : public WarmupPhase {
     // The fail-mode bit is only consulted once s2's control channel leaves
     // Connected (first at the t=62 s loss), so writing it at the t=55 s
     // fork point is indistinguishable from building the model with it.
-    bed_->switch_named("s2").set_fail_secure(cell.s2_fail_secure);
+    bed_->switch_named("s2").set_fail_secure(cell.options.fail_secure);
     bed_->run_until(seconds(125));
 
     auto& sched = bed_->scheduler();
     auto result = std::make_unique<InterruptionResult>();
     result->controller = cell.controller;
     result->attack_enabled = cell.attack_enabled;
+    result->options = cell.options;
     result->virtual_time = sched.now();
     result->events_executed = sched.events_executed();
-    result->s2_fail_secure = cell.s2_fail_secure;
+    result->s2_fail_secure = cell.options.fail_secure;
     result->ext_to_ext_t30 = pings_[0]->report().received() > 0;
     result->int_to_ext_t30 = pings_[1]->report().received() > 0;
     result->ext_to_int_t50 = pings_[2]->report().received() > 0;
@@ -466,6 +487,213 @@ InterruptionResult run_connection_interruption(const InterruptionConfig& config)
 }
 
 // ---------------------------------------------------------------------------
+// Experiment 3: volumetric control-plane workloads.
+// ---------------------------------------------------------------------------
+
+std::optional<double> VolumetricResult::probe_mean_rtt_ms() const {
+  const auto rtt = probe.mean_rtt_seconds();
+  if (!rtt) return std::nullopt;  // "*": every probe lost
+  return *rtt * 1e3;
+}
+
+std::vector<std::string> VolumetricResult::row_header() const {
+  return {"controller", "topology", "mode",     "injected", "PACKET_IN",
+          "FLOW_MOD",   "rejected", "misses",   "drops",    "entries",
+          "peak",       "probe RTT ms", "probe loss %"};
+}
+
+std::vector<std::string> VolumetricResult::to_row() const {
+  using monitor::TextTable;
+  return {to_string(controller),
+          topology_id,
+          attack_enabled ? to_string(volumetric) : "baseline",
+          std::to_string(flood_packets_injected),
+          std::to_string(packet_ins),
+          std::to_string(flow_mods_observed),
+          std::to_string(flow_mods_rejected),
+          std::to_string(table_misses),
+          std::to_string(miss_drops),
+          std::to_string(table_entries_final),
+          std::to_string(table_entries_peak),
+          TextTable::num_or_star(probe_mean_rtt_ms(), 3),
+          TextTable::num(probe.sent() > 0 ? probe.loss_fraction() * 100.0 : 0.0, 1)};
+}
+
+void VolumetricResult::write_json_fields(JsonWriter& w) const {
+  w.field("volumetric", to_string(volumetric));
+  w.field("topology", topology_id);
+  w.field("flood_packets_injected", flood_packets_injected);
+  w.field("packet_ins", packet_ins);
+  w.field("packet_outs", packet_outs);
+  w.field("flow_mods_observed", flow_mods_observed);
+  w.field("flow_mods_rejected", flow_mods_rejected);
+  w.field("table_misses", table_misses);
+  w.field("miss_drops", miss_drops);
+  w.field("table_entries_final", table_entries_final);
+  w.field("table_entries_peak", table_entries_peak);
+  w.key("probe").begin_object();
+  w.field("sent", static_cast<std::uint64_t>(probe.sent()));
+  w.field("received", static_cast<std::uint64_t>(probe.received()));
+  w.field("loss", probe.sent() > 0 ? probe.loss_fraction() : 0.0);
+  w.field_or_null("mean_rtt_ms", probe_mean_rtt_ms());
+  w.end_object();
+}
+
+namespace {
+
+/// Phase A of a volumetric cell: testbed built on the cell's (generated)
+/// topology, background probe ping and the 1 s occupancy sampler scripted.
+/// The flood itself — kind, flow count, batching, timing — is a fork-time
+/// parameter applied by finish(). The schedule must stay in lockstep with
+/// volumetric_end() in scenario/run.cpp.
+class VolumetricWarmup final : public WarmupPhase {
+ public:
+  explicit VolumetricWarmup(const RunSpec& rep) : rep_(rep) {
+    TestbedOptions options;
+    options.controller = rep_.controller;
+    options.use_compiled = rep_.options.use_compiled;
+    options.table_capacity = rep_.table_capacity;
+    topo::BuildOptions build;
+    build.chokepoint_fail_secure = rep_.options.fail_secure;
+    bed_ = std::make_unique<Testbed>(topo::build_model(rep_.topology, build), options);
+    auto& sched = bed_->scheduler();
+
+    // Timing: switches connect at t=1 s, the probe crosses the fabric from
+    // t=3 s (one trial per second, sized to outlast the default-start flood
+    // window plus settle time), flood per the cell's attack_start.
+    bed_->connect_switches_at(seconds(1));
+
+    const auto& hosts = bed_->model().hosts();
+    const topo::HostSpec& src = hosts.front();
+    const topo::HostSpec& dst = hosts.back();
+    const unsigned trials = static_cast<unsigned>(rep_.flood_duration / kSecond) + 10;
+    ping_ = std::make_unique<dpl::PingApp>(bed_->host(src.name), dst.ip, /*icmp_id=*/300);
+    sched.at(seconds(3), [this, trials] { ping_->start(trials); });
+    end_ = seconds(3) + static_cast<SimTime>(trials) * kSecond + 2 * kSecond;
+
+    // Occupancy sampler: total live entries across the fabric every second.
+    // Scripted in the shared prefix so cold and warm runs execute identical
+    // event sequences.
+    for (SimTime t = seconds(2); t < end_; t += kSecond) {
+      sched.at(t, [this] { peak_ = std::max(peak_, total_entries()); });
+    }
+  }
+
+  void advance_to(SimTime deadline) override { bed_->run_until(deadline); }
+
+  RunResultPtr finish(const RunSpec& cell) override {
+    if (cell.attack_enabled) schedule_flood(cell);
+    bed_->run_until(end_);
+
+    auto& sched = bed_->scheduler();
+    auto result = std::make_unique<VolumetricResult>();
+    result->controller = cell.controller;
+    result->attack_enabled = cell.attack_enabled;
+    result->options = cell.options;
+    result->virtual_time = sched.now();
+    result->events_executed = sched.events_executed();
+    result->volumetric = cell.volumetric;
+    result->topology_id = cell.topology.id();
+    result->flood_packets_injected = injected_;
+    const monitor::Monitor& mon = bed_->monitor();
+    result->packet_ins = mon.observed_of_type(ofp::MsgType::PacketIn);
+    result->packet_outs = mon.observed_of_type(ofp::MsgType::PacketOut);
+    result->flow_mods_observed = mon.observed_of_type(ofp::MsgType::FlowMod);
+    for (const topo::SwitchSpec& spec : bed_->model().switches()) {
+      const swsim::SwitchCounters& c = bed_->switch_named(spec.name).counters();
+      result->flow_mods_rejected += c.flow_mods_rejected;
+      result->table_misses += c.table_misses;
+      result->miss_drops += c.miss_drops;
+    }
+    result->table_entries_final = total_entries();
+    result->table_entries_peak = std::max(peak_, result->table_entries_final);
+    result->probe = ping_->report();
+    result->messages_interposed = bed_->injector().stats().messages_interposed;
+    result->messages_suppressed = bed_->injector().stats().messages_suppressed;
+    result->codec_ops_saved = bed_->channel_totals().codec_ops_saved;
+    return result;
+  }
+
+ private:
+  std::uint64_t total_entries() const {
+    std::uint64_t total = 0;
+    for (const topo::SwitchSpec& spec : bed_->model().switches()) {
+      total += bed_->switch_named(spec.name).flow_table().size();
+    }
+    return total;
+  }
+
+  /// Schedules the flood: one injection source per host-bearing switch
+  /// (the first attached host's port, in model order), one scheduler event
+  /// per source per batch interval. Every spoofed frame carries a distinct
+  /// source address drawn from the source's disjoint 192.0.0.0/2 slice, so
+  /// each opens a fresh flow toward the last host:
+  ///   PacketInFlood / TableOverflow — the source's flood_flows flows are
+  ///   spread evenly across the batches (each frame a fresh table miss);
+  ///   SlowRate — every batch re-sends the same flood_flows flows, keeping
+  ///   idle timers refreshed so the entries pin the table indefinitely.
+  void schedule_flood(const RunSpec& cell) {
+    const topo::SystemModel& model = bed_->model();
+    const topo::HostSpec& victim = model.hosts().back();
+    const pkt::MacAddress victim_mac = victim.mac;
+    const pkt::Ipv4Address victim_ip = victim.ip;
+
+    struct Source {
+      std::string sw;
+      std::uint16_t port;
+    };
+    std::vector<Source> sources;
+    std::unordered_set<std::uint32_t> seen;
+    for (const topo::HostSpec& h : model.hosts()) {
+      const auto [sw, port] = model.attachment_of(model.require(h.name));
+      if (seen.insert(sw.index).second) sources.push_back({model.name_of(sw), port});
+    }
+
+    auto& sched = bed_->scheduler();
+    const SimTime start = resolved_attack_start(cell);
+    const SimTime batch_gap = std::max<SimTime>(1, cell.flood_batch);
+    const std::uint64_t batches =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(cell.flood_duration / batch_gap));
+    const bool slow_rate = cell.volumetric == VolumetricKind::SlowRate;
+
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const std::uint64_t base = static_cast<std::uint64_t>(s) * cell.flood_flows;
+      for (std::uint64_t b = 0; b < batches; ++b) {
+        const std::uint64_t lo = slow_rate ? 0 : b * cell.flood_flows / batches;
+        const std::uint64_t hi = slow_rate ? cell.flood_flows : (b + 1) * cell.flood_flows / batches;
+        if (lo == hi) continue;
+        sched.at(start + static_cast<SimTime>(b) * batch_gap,
+                 [this, name = sources[s].sw, port = sources[s].port, base, lo, hi, victim_mac,
+                  victim_ip] {
+                   swsim::OpenFlowSwitch& sw = bed_->switch_named(name);
+                   for (std::uint64_t f = lo; f < hi; ++f) {
+                     pkt::TcpHeader tcp;
+                     tcp.src_port = static_cast<std::uint16_t>(40000 + (f & 0x3fff));
+                     tcp.dst_port = 80;
+                     tcp.flags = pkt::kTcpSyn;
+                     pkt::Packet p = pkt::make_tcp(
+                         pkt::MacAddress::from_u64(0x0aad00000000ULL | (base + f)), victim_mac,
+                         pkt::Ipv4Address{static_cast<std::uint32_t>(0xc0000000u + base + f)},
+                         victim_ip, tcp, /*payload_size=*/0, /*tag=*/0);
+                     sw.on_packet(port, std::move(p));
+                     ++injected_;
+                   }
+                 });
+      }
+    }
+  }
+
+  RunSpec rep_;
+  std::unique_ptr<Testbed> bed_;
+  std::unique_ptr<dpl::PingApp> ping_;
+  std::uint64_t injected_{0};
+  std::uint64_t peak_{0};
+  SimTime end_{0};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // RunSpec dispatch (declared in scenario/run.hpp).
 // ---------------------------------------------------------------------------
 
@@ -475,6 +703,8 @@ WarmupPhasePtr warm_up(const RunSpec& representative) {
       return std::make_unique<SuppressionWarmup>(representative);
     case ExperimentKind::ConnectionInterruption:
       return std::make_unique<InterruptionWarmup>(representative);
+    case ExperimentKind::Volumetric:
+      return std::make_unique<VolumetricWarmup>(representative);
     case ExperimentKind::Custom:
       break;
   }
@@ -504,10 +734,14 @@ namespace {
 
 constexpr std::uint8_t kSuppressionTag = 1;
 constexpr std::uint8_t kInterruptionTag = 2;
+constexpr std::uint8_t kVolumetricTag = 3;
 
 void save_common(const RunResult& r, ByteWriter& w) {
   w.u8(static_cast<std::uint8_t>(r.controller));
   w.u8(r.attack_enabled ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>((r.options.fail_secure ? 1 : 0) |
+                                 (r.options.use_compiled ? 2 : 0) |
+                                 (r.options.extended_control_channel_json ? 4 : 0)));
   w.u64(static_cast<std::uint64_t>(r.virtual_time));
   w.u64(r.events_executed);
   w.u64(r.messages_interposed);
@@ -520,6 +754,10 @@ void save_common(const RunResult& r, ByteWriter& w) {
 void load_common(RunResult& r, ByteReader& rd) {
   r.controller = static_cast<ControllerKind>(rd.u8());
   r.attack_enabled = rd.u8() != 0;
+  const std::uint8_t opts = rd.u8();
+  r.options.fail_secure = (opts & 1) != 0;
+  r.options.use_compiled = (opts & 2) != 0;
+  r.options.extended_control_channel_json = (opts & 4) != 0;
   r.virtual_time = static_cast<SimTime>(rd.u64());
   r.events_executed = rd.u64();
   r.messages_interposed = rd.u64();
@@ -565,6 +803,30 @@ void save_result(const RunResult& result, ByteWriter& w) {
     w.u8(i->attack_reached_sigma3 ? 1 : 0);
     return;
   }
+  if (const auto* v = dynamic_cast<const VolumetricResult*>(&result)) {
+    w.u8(kVolumetricTag);
+    save_common(result, w);
+    w.u8(static_cast<std::uint8_t>(v->volumetric));
+    w.u32(static_cast<std::uint32_t>(v->topology_id.size()));
+    w.raw({reinterpret_cast<const std::uint8_t*>(v->topology_id.data()), v->topology_id.size()});
+    w.u64(v->flood_packets_injected);
+    w.u64(v->packet_ins);
+    w.u64(v->packet_outs);
+    w.u64(v->flow_mods_observed);
+    w.u64(v->flow_mods_rejected);
+    w.u64(v->table_misses);
+    w.u64(v->miss_drops);
+    w.u64(v->table_entries_final);
+    w.u64(v->table_entries_peak);
+    w.u32(static_cast<std::uint32_t>(v->probe.trials.size()));
+    for (const dpl::PingTrial& trial : v->probe.trials) {
+      w.u16(trial.seq);
+      w.u64(static_cast<std::uint64_t>(trial.sent_at));
+      w.u8(trial.rtt.has_value() ? 1 : 0);
+      if (trial.rtt) w.u64(static_cast<std::uint64_t>(*trial.rtt));
+    }
+    return;
+  }
   throw std::invalid_argument("save_result: unsupported result type: " + result.kind_name());
 }
 
@@ -603,6 +865,33 @@ RunResultPtr load_result(ByteReader& r) {
       i->int_to_ext_t95 = r.u8() != 0;
       i->attack_reached_sigma3 = r.u8() != 0;
       return i;
+    }
+    case kVolumetricTag: {
+      auto v = std::make_unique<VolumetricResult>();
+      load_common(*v, r);
+      v->volumetric = static_cast<VolumetricKind>(r.u8());
+      const std::uint32_t id_len = r.u32();
+      const Bytes id_bytes = r.raw(id_len);
+      v->topology_id.assign(id_bytes.begin(), id_bytes.end());
+      v->flood_packets_injected = r.u64();
+      v->packet_ins = r.u64();
+      v->packet_outs = r.u64();
+      v->flow_mods_observed = r.u64();
+      v->flow_mods_rejected = r.u64();
+      v->table_misses = r.u64();
+      v->miss_drops = r.u64();
+      v->table_entries_final = r.u64();
+      v->table_entries_peak = r.u64();
+      const std::uint32_t trials = r.u32();
+      v->probe.trials.reserve(trials);
+      for (std::uint32_t i = 0; i < trials; ++i) {
+        dpl::PingTrial trial;
+        trial.seq = r.u16();
+        trial.sent_at = static_cast<SimTime>(r.u64());
+        if (r.u8() != 0) trial.rtt = static_cast<SimTime>(r.u64());
+        v->probe.trials.push_back(trial);
+      }
+      return v;
     }
     default:
       throw DecodeError("load_result: unknown result tag " + std::to_string(tag));

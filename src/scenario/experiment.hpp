@@ -43,6 +43,11 @@ struct TestbedOptions {
   /// Record only counters in the monitor (full event logs get large under
   /// the iperf workloads).
   bool monitor_counters_only{true};
+  /// Rule-evaluation engine for the injector (scenario::Options::use_compiled).
+  bool use_compiled{true};
+  /// Per-switch flow-table entry cap (0 = unlimited); the table-overflow
+  /// attack's target surface.
+  std::uint32_t table_capacity{0};
 };
 
 /// A fully wired simulated deployment of one system model. All components
@@ -194,6 +199,48 @@ class InterruptionResult : public RunResult {
 };
 
 InterruptionResult run_connection_interruption(const InterruptionConfig& config);
+
+// ---------------------------------------------------------------------------
+// Experiment 3: volumetric control-plane workloads (PACKET_IN flood, flow-
+// table overflow, slow-rate starvation) on any generated topology.
+// ---------------------------------------------------------------------------
+
+class VolumetricResult : public RunResult {
+ public:
+  VolumetricKind volumetric{VolumetricKind::PacketInFlood};
+  std::string topology_id;
+
+  /// Attack-side accounting: spoofed frames injected at the edge, and the
+  /// control-plane storm they provoked.
+  std::uint64_t flood_packets_injected{0};
+  std::uint64_t packet_ins{0};
+  std::uint64_t packet_outs{0};
+  std::uint64_t flow_mods_observed{0};
+  /// FLOW_MOD ADDs refused by capped tables (summed over every switch);
+  /// nonzero is the table-overflow attack's success observable.
+  std::uint64_t flow_mods_rejected{0};
+  std::uint64_t table_misses{0};
+  std::uint64_t miss_drops{0};
+  /// Flow-table occupancy summed over every switch: at the end of the run,
+  /// and the peak seen by the 1 s occupancy sampler.
+  std::uint64_t table_entries_final{0};
+  std::uint64_t table_entries_peak{0};
+
+  /// Victim-side observable: a background ping crossing the fabric for the
+  /// whole flood window.
+  dpl::PingReport probe;
+
+  /// Probe mean RTT in ms; std::nullopt when no echo ever returned ("*").
+  std::optional<double> probe_mean_rtt_ms() const;
+
+  std::string kind_name() const override { return "volumetric"; }
+  std::vector<std::string> row_header() const override;
+  std::vector<std::string> to_row() const override;
+  RunResultPtr clone() const override { return std::make_unique<VolumetricResult>(*this); }
+
+ protected:
+  void write_json_fields(JsonWriter& w) const override;
+};
 
 /// Renders Table II (the paper's transposed layout: questions as rows,
 /// controller × fail-mode as columns) from the six runs.

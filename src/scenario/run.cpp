@@ -1,5 +1,6 @@
 #include "scenario/run.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "attain/monitor/metrics.hpp"
@@ -22,7 +23,17 @@ std::string to_string(ExperimentKind kind) {
   switch (kind) {
     case ExperimentKind::FlowModSuppression: return "suppression";
     case ExperimentKind::ConnectionInterruption: return "interruption";
+    case ExperimentKind::Volumetric: return "volumetric";
     case ExperimentKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+std::string to_string(VolumetricKind kind) {
+  switch (kind) {
+    case VolumetricKind::PacketInFlood: return "packet-in-flood";
+    case VolumetricKind::TableOverflow: return "table-overflow";
+    case VolumetricKind::SlowRate: return "slow-rate";
   }
   return "?";
 }
@@ -41,6 +52,11 @@ std::string attack_start_suffix(SimTime start) {
 std::string RunSpec::id() const {
   if (!name.empty()) return name;
   std::string id = to_string(experiment);
+  if (experiment == ExperimentKind::Volumetric) {
+    id += '/' + to_string(volumetric) + '/' + topology.id();
+  } else if (!topology.is_enterprise()) {
+    id += '/' + topology.id();
+  }
   id += '/';
   id += to_string(controller);
   switch (experiment) {
@@ -48,7 +64,10 @@ std::string RunSpec::id() const {
       id += attack_enabled ? "/attack" : "/baseline";
       break;
     case ExperimentKind::ConnectionInterruption:
-      id += s2_fail_secure ? "/fail-secure" : "/fail-safe";
+      id += options.fail_secure ? "/fail-secure" : "/fail-safe";
+      if (!attack_enabled) id += "/baseline";
+      break;
+    case ExperimentKind::Volumetric:
       if (!attack_enabled) id += "/baseline";
       break;
     case ExperimentKind::Custom:
@@ -72,13 +91,34 @@ void RunSpec::write_json(JsonWriter& w) const {
       w.field("iperf_gap_us", static_cast<std::int64_t>(iperf_gap));
       break;
     case ExperimentKind::ConnectionInterruption:
-      w.field("s2_fail_secure", s2_fail_secure);
+      w.field("s2_fail_secure", options.fail_secure);
+      break;
+    case ExperimentKind::Volumetric:
+      w.field("volumetric", to_string(volumetric));
+      w.field("fail_secure", options.fail_secure);
+      w.field("flood_flows", static_cast<std::uint64_t>(flood_flows));
+      w.field("flood_duration_us", static_cast<std::int64_t>(flood_duration));
+      w.field("flood_batch_us", static_cast<std::int64_t>(flood_batch));
+      w.field("table_capacity", static_cast<std::uint64_t>(table_capacity));
       break;
     case ExperimentKind::Custom:
       break;
   }
-  // Only explicit starts are encoded, keeping the default grids' JSON
-  // byte-identical to earlier releases (the sweep determinism contract).
+  // The default topology and default options are left implicit, keeping the
+  // historical grids' JSON byte-identical to earlier releases (the sweep
+  // determinism contract). Non-default values round-trip explicitly.
+  if (!topology.is_enterprise()) {
+    w.key("topology");
+    topology.write_json(w);
+  }
+  if (options.use_compiled != Options{}.use_compiled ||
+      options.extended_control_channel_json != Options{}.extended_control_channel_json) {
+    w.key("options").begin_object();
+    w.field("use_compiled", options.use_compiled);
+    w.field("extended_control_channel_json", options.extended_control_channel_json);
+    w.end_object();
+  }
+  // Only explicit starts are encoded, for the same reason.
   if (attack_start >= 0) w.field("attack_start_us", static_cast<std::int64_t>(attack_start));
   w.end_object();
 }
@@ -101,7 +141,7 @@ void RunResult::write_json(JsonWriter& w) const {
   w.field("messages_interposed", messages_interposed);
   w.field("messages_suppressed", messages_suppressed);
   w.field("codec_ops_saved", codec_ops_saved);
-  if (extended_control_channel_json()) {
+  if (options.extended_control_channel_json || extended_control_channel_json()) {
     w.field("rules_skipped_by_guard", rules_skipped_by_guard);
     w.field("programs_executed", programs_executed);
   }
@@ -115,38 +155,177 @@ std::string RunResult::to_json() const {
   return w.str();
 }
 
-std::vector<RunSpec> table2_grid() {
+GridBuilder& GridBuilder::experiment(ExperimentKind kind) {
+  experiment_ = kind;
+  return *this;
+}
+
+GridBuilder& GridBuilder::volumetric(VolumetricKind kind) {
+  experiment_ = ExperimentKind::Volumetric;
+  volumetrics_.push_back(kind);
+  return *this;
+}
+
+GridBuilder& GridBuilder::controllers(std::vector<ControllerKind> kinds) {
+  controllers_ = std::move(kinds);
+  return *this;
+}
+
+GridBuilder& GridBuilder::topology(topo::TopologySpec spec) {
+  spec.check();
+  topologies_.push_back(std::move(spec));
+  return *this;
+}
+
+GridBuilder& GridBuilder::attack_modes(std::vector<bool> modes) {
+  attack_modes_ = std::move(modes);
+  return *this;
+}
+
+GridBuilder& GridBuilder::fail_modes(std::vector<bool> modes) {
+  fail_modes_ = std::move(modes);
+  return *this;
+}
+
+GridBuilder& GridBuilder::attack_starts(std::vector<SimTime> starts) {
+  attack_starts_ = std::move(starts);
+  return *this;
+}
+
+GridBuilder& GridBuilder::workload(unsigned ping_trials, unsigned iperf_trials,
+                                   SimTime iperf_duration, SimTime iperf_gap) {
+  ping_trials_ = ping_trials;
+  iperf_trials_ = iperf_trials;
+  iperf_duration_ = iperf_duration;
+  iperf_gap_ = iperf_gap;
+  return *this;
+}
+
+GridBuilder& GridBuilder::flood(std::uint32_t flows, SimTime duration, SimTime batch) {
+  flood_flows_ = flows;
+  flood_duration_ = duration;
+  flood_batch_ = batch;
+  return *this;
+}
+
+GridBuilder& GridBuilder::table_capacity(std::uint32_t capacity) {
+  table_capacity_ = capacity;
+  return *this;
+}
+
+GridBuilder& GridBuilder::options(Options base) {
+  options_ = base;
+  return *this;
+}
+
+std::vector<RunSpec> GridBuilder::build() const {
+  // Resolve per-experiment axis defaults.
+  std::vector<ControllerKind> controllers = controllers_;
+  if (controllers.empty()) controllers = all_controller_kinds();
+  std::vector<topo::TopologySpec> topologies = topologies_;
+  if (topologies.empty()) topologies = {topo::TopologySpec::enterprise()};
+  std::vector<bool> attack_modes = attack_modes_;
+  if (attack_modes.empty()) {
+    attack_modes = experiment_ == ExperimentKind::ConnectionInterruption
+                       ? std::vector<bool>{true}
+                       : std::vector<bool>{false, true};
+  }
+  std::vector<bool> fail_modes = fail_modes_;
+  if (fail_modes.empty()) {
+    fail_modes = experiment_ == ExperimentKind::ConnectionInterruption
+                     ? std::vector<bool>{false, true}
+                     : std::vector<bool>{options_.fail_secure};
+  }
+  std::vector<VolumetricKind> volumetrics = volumetrics_;
+  if (volumetrics.empty()) volumetrics = {VolumetricKind::PacketInFlood};
+
+  auto base_cell = [&](const topo::TopologySpec& topology, ControllerKind controller) {
+    RunSpec spec;
+    spec.experiment = experiment_;
+    spec.controller = controller;
+    spec.topology = topology;
+    spec.options = options_;
+    spec.ping_trials = ping_trials_;
+    spec.iperf_trials = iperf_trials_;
+    spec.iperf_duration = iperf_duration_;
+    spec.iperf_gap = iperf_gap_;
+    spec.flood_flows = flood_flows_;
+    spec.flood_duration = flood_duration_;
+    spec.flood_batch = flood_batch_;
+    spec.table_capacity = table_capacity_;
+    return spec;
+  };
+
+  // The attack axis for one (topology, controller, ...) slot: either the
+  // plain on/off modes, or the campaign expansion (baseline cell when the
+  // axis includes "off", then one attack cell per start).
+  auto emit_attack_axis = [&](std::vector<RunSpec>& grid, const RunSpec& base) {
+    if (attack_starts_.empty()) {
+      for (const bool attack : attack_modes) {
+        RunSpec cell = base;
+        cell.attack_enabled = attack;
+        grid.push_back(std::move(cell));
+      }
+      return;
+    }
+    if (std::find(attack_modes.begin(), attack_modes.end(), false) != attack_modes.end()) {
+      RunSpec baseline = base;
+      baseline.attack_enabled = false;
+      grid.push_back(std::move(baseline));
+    }
+    for (const SimTime start : attack_starts_) {
+      RunSpec cell = base;
+      cell.attack_enabled = true;
+      cell.attack_start = start;
+      grid.push_back(std::move(cell));
+    }
+  };
+
   std::vector<RunSpec> grid;
-  for (const ControllerKind kind : all_controller_kinds()) {
-    for (const bool secure : {false, true}) {
-      RunSpec spec;
-      spec.experiment = ExperimentKind::ConnectionInterruption;
-      spec.controller = kind;
-      spec.attack_enabled = true;
-      spec.s2_fail_secure = secure;
-      grid.push_back(std::move(spec));
+  for (const topo::TopologySpec& topology : topologies) {
+    for (const ControllerKind controller : controllers) {
+      switch (experiment_) {
+        case ExperimentKind::ConnectionInterruption:
+          for (const bool secure : fail_modes) {
+            RunSpec base = base_cell(topology, controller);
+            base.options.fail_secure = secure;
+            emit_attack_axis(grid, base);
+          }
+          break;
+        case ExperimentKind::Volumetric:
+          for (const VolumetricKind vkind : volumetrics) {
+            for (const bool secure : fail_modes) {
+              RunSpec base = base_cell(topology, controller);
+              base.volumetric = vkind;
+              base.options.fail_secure = secure;
+              emit_attack_axis(grid, base);
+            }
+          }
+          break;
+        case ExperimentKind::FlowModSuppression:
+        case ExperimentKind::Custom:
+          for (const bool secure : fail_modes) {
+            RunSpec base = base_cell(topology, controller);
+            base.options.fail_secure = secure;
+            emit_attack_axis(grid, base);
+          }
+          break;
+      }
     }
   }
   return grid;
 }
 
+std::vector<RunSpec> table2_grid() {
+  return GridBuilder().experiment(ExperimentKind::ConnectionInterruption).build();
+}
+
 std::vector<RunSpec> fig11_grid(unsigned ping_trials, unsigned iperf_trials,
                                 SimTime iperf_duration, SimTime iperf_gap) {
-  std::vector<RunSpec> grid;
-  for (const ControllerKind kind : all_controller_kinds()) {
-    for (const bool attack : {false, true}) {
-      RunSpec spec;
-      spec.experiment = ExperimentKind::FlowModSuppression;
-      spec.controller = kind;
-      spec.attack_enabled = attack;
-      spec.ping_trials = ping_trials;
-      spec.iperf_trials = iperf_trials;
-      spec.iperf_duration = iperf_duration;
-      spec.iperf_gap = iperf_gap;
-      grid.push_back(std::move(spec));
-    }
-  }
-  return grid;
+  return GridBuilder()
+      .experiment(ExperimentKind::FlowModSuppression)
+      .workload(ping_trials, iperf_trials, iperf_duration, iperf_gap)
+      .build();
 }
 
 std::vector<RunSpec> fig11_campaign_grid(std::vector<SimTime> attack_starts,
@@ -155,27 +334,11 @@ std::vector<RunSpec> fig11_campaign_grid(std::vector<SimTime> attack_starts,
   if (attack_starts.empty()) {
     attack_starts = {seconds(5), seconds(35), seconds(45)};
   }
-  std::vector<RunSpec> grid;
-  for (const ControllerKind kind : all_controller_kinds()) {
-    RunSpec base;
-    base.experiment = ExperimentKind::FlowModSuppression;
-    base.controller = kind;
-    base.ping_trials = ping_trials;
-    base.iperf_trials = iperf_trials;
-    base.iperf_duration = iperf_duration;
-    base.iperf_gap = iperf_gap;
-
-    RunSpec baseline = base;
-    baseline.attack_enabled = false;
-    grid.push_back(std::move(baseline));
-    for (const SimTime start : attack_starts) {
-      RunSpec attack = base;
-      attack.attack_enabled = true;
-      attack.attack_start = start;
-      grid.push_back(std::move(attack));
-    }
-  }
-  return grid;
+  return GridBuilder()
+      .experiment(ExperimentKind::FlowModSuppression)
+      .workload(ping_trials, iperf_trials, iperf_duration, iperf_gap)
+      .attack_starts(std::move(attack_starts))
+      .build();
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +364,34 @@ SimTime suppression_end(const RunSpec& spec) {
          2 * kSecond;
 }
 
+/// Shared-prefix signature tokens for the axes every experiment carries:
+/// the topology (enterprise implied for the historical signatures) and the
+/// rule-evaluation engine (compiled implied; it changes the armed
+/// executor's trajectory, so interpreter cells never share a prefix with
+/// compiled ones).
+std::string common_signature_suffix(const RunSpec& spec) {
+  std::string sig;
+  if (!spec.topology.is_enterprise()) sig += "/" + spec.topology.id();
+  if (!spec.options.use_compiled) sig += "/interp";
+  return sig;
+}
+
+}  // namespace
+
+namespace {
+
+/// End of the volumetric probe script: switches connect at t=1 s, the
+/// probe ping starts at t=3 s (one trial per second, sized to outlast the
+/// flood window), then a 2 s drain. Mirrors VolumetricWarmup's schedule.
+unsigned volumetric_probe_trials(const RunSpec& spec) {
+  return static_cast<unsigned>(spec.flood_duration / kSecond) + 10;
+}
+
+SimTime volumetric_end(const RunSpec& spec) {
+  return seconds(3) + static_cast<SimTime>(volumetric_probe_trials(spec)) * kSecond +
+         2 * kSecond;
+}
+
 }  // namespace
 
 std::optional<std::string> warmup_signature(const RunSpec& spec) {
@@ -214,7 +405,7 @@ std::optional<std::string> warmup_signature(const RunSpec& spec) {
       sig += "/i" + std::to_string(spec.iperf_trials);
       sig += "/d" + std::to_string(spec.iperf_duration);
       sig += "/g" + std::to_string(spec.iperf_gap);
-      return sig;
+      return sig + common_signature_suffix(spec);
     }
     case ExperimentKind::ConnectionInterruption: {
       // The arm time is part of the prefix here (the injector observes the
@@ -224,7 +415,18 @@ std::optional<std::string> warmup_signature(const RunSpec& spec) {
       sig += to_string(spec.controller);
       sig += spec.attack_enabled ? "/attack" : "/baseline";
       sig += "/t" + std::to_string(resolved_attack_start(spec));
-      return sig;
+      return sig + common_signature_suffix(spec);
+    }
+    case ExperimentKind::Volumetric: {
+      // The flood itself (shape, flow count, batching, timing) is applied
+      // at fork time; the probe script depends only on flood_duration. The
+      // table cap and chokepoint fail mode are build-time parameters.
+      std::string sig = "volumetric/";
+      sig += to_string(spec.controller);
+      sig += "/d" + std::to_string(spec.flood_duration);
+      sig += "/cap" + std::to_string(spec.table_capacity);
+      if (spec.options.fail_secure) sig += "/secure";
+      return sig + common_signature_suffix(spec);
     }
     case ExperimentKind::Custom:
       return std::nullopt;
@@ -242,7 +444,17 @@ RunSpec warmup_representative(const RunSpec& spec) {
       rep.attack_start = -1;
       break;
     case ExperimentKind::ConnectionInterruption:
-      rep.s2_fail_secure = false;
+      rep.options.fail_secure = false;
+      break;
+    case ExperimentKind::Volumetric:
+      // Everything outside the signature normalizes to the defaults; the
+      // flood is scheduled by finish(), so the representative is a pure
+      // baseline.
+      rep.attack_enabled = false;
+      rep.attack_start = -1;
+      rep.volumetric = VolumetricKind::PacketInFlood;
+      rep.flood_flows = RunSpec{}.flood_flows;
+      rep.flood_batch = RunSpec{}.flood_batch;
       break;
     case ExperimentKind::Custom:
       break;
@@ -261,6 +473,8 @@ SimTime fork_time(const RunSpec& spec) {
       // connection at t=62 s; t=55 s is safely after σ2 has fired and
       // before any read.
       return seconds(55);
+    case ExperimentKind::Volumetric:
+      return spec.attack_enabled ? resolved_attack_start(spec) : volumetric_end(spec);
     case ExperimentKind::Custom:
       break;
   }

@@ -19,6 +19,7 @@
 #include "common/json.hpp"
 #include "common/types.hpp"
 #include "ctl/factory.hpp"
+#include "topo/generators.hpp"
 
 namespace attain::scenario {
 
@@ -31,10 +32,42 @@ using ctl::to_string;
 enum class ExperimentKind {
   FlowModSuppression,    // §VII-B / Fig. 11
   ConnectionInterruption,  // §VII-C / Table II
+  Volumetric,            // DDoS workload class (ROADMAP: flooding / slow-rate)
   Custom,                // user-supplied runner in RunSpec::custom
 };
 
 std::string to_string(ExperimentKind kind);
+
+/// The volumetric (DDoS) workload shapes. All three inject spoofed
+/// data-plane traffic at every host-bearing edge switch with per-switch
+/// event batching (one scheduler event per switch per batch interval), so
+/// event counts stay affordable on enterprise-scale fabrics.
+enum class VolumetricKind {
+  PacketInFlood,   // every packet a fresh flow: table miss -> PACKET_IN storm
+  TableOverflow,   // fresh flows against a capped flow table: TABLE_FULL errors
+  SlowRate,        // a small flow set re-sent each batch, pinning table entries
+};
+
+std::string to_string(VolumetricKind kind);
+
+/// Cross-cutting run options, replacing the former post-construction
+/// setters (set_extended_control_channel_json and friends). Carried by
+/// value on RunSpec and RunResult and round-tripped through to_json /
+/// save_result.
+struct Options {
+  /// Fail mode of the topology's chokepoint switch (s2 for the enterprise
+  /// net — the Table II knob; the first core/spine for generated fabrics).
+  bool fail_secure{false};
+  /// Rule-evaluation engine: compiled flat programs (default) vs. the
+  /// tree-walking interpreter.
+  bool use_compiled{true};
+  /// Emit the rule-engine counters in the result JSON's control_channel
+  /// object (off by default: the sweep JSON stays byte-identical to
+  /// earlier releases).
+  bool extended_control_channel_json{false};
+
+  friend bool operator==(const Options&, const Options&) = default;
+};
 
 class RunResult;
 using RunResultPtr = std::unique_ptr<RunResult>;
@@ -47,8 +80,16 @@ struct RunSpec {
   ControllerKind controller{ControllerKind::Pox};
   bool attack_enabled{true};
 
-  /// Connection interruption: the Table II fail-mode knob.
-  bool s2_fail_secure{false};
+  /// The network under test. Defaults to the enterprise net, keeping
+  /// pre-topology specs' ids and JSON byte-identical. Suppression and
+  /// interruption run their §VII scripts on the enterprise net only;
+  /// volumetric cells accept any topology.
+  topo::TopologySpec topology{};
+
+  /// Cross-cutting knobs (fail mode, rule engine, JSON extras). For
+  /// interruption cells options.fail_secure is the Table II
+  /// "s2 fail-secure" axis.
+  Options options{};
 
   /// When the injector arms (virtual time). Negative means the
   /// experiment's §VII script default: 5 s for suppression, 10 s for
@@ -61,6 +102,15 @@ struct RunSpec {
   unsigned iperf_trials{5};
   SimTime iperf_duration{3 * kSecond};
   SimTime iperf_gap{2 * kSecond};
+
+  /// Volumetric workload shape: which attack, how many distinct flows per
+  /// edge switch, for how long, and the per-switch batching interval.
+  VolumetricKind volumetric{VolumetricKind::PacketInFlood};
+  std::uint32_t flood_flows{256};
+  SimTime flood_duration{10 * kSecond};
+  SimTime flood_batch{100 * kMillisecond};
+  /// Per-switch flow-table cap (0 = unlimited); the TableOverflow target.
+  std::uint32_t table_capacity{0};
 
   /// Explicit cell id; when empty, id() derives one from the fields.
   std::string name;
@@ -91,6 +141,10 @@ class RunResult {
   ControllerKind controller{ControllerKind::Pox};
   bool attack_enabled{false};
 
+  /// The spec's options, echoed into the result so JSON rendering and the
+  /// binary round-trip are self-contained (no process-global state needed).
+  Options options{};
+
   /// Virtual time the cell simulated (scheduler clock at teardown) and the
   /// number of events the scheduler executed — both deterministic.
   SimTime virtual_time{0};
@@ -104,7 +158,8 @@ class RunResult {
 
   /// Rule-engine accounting (AttackExecutor stats; zero when no attack was
   /// armed). Deterministic, but emitted in JSON only when
-  /// set_extended_control_channel_json(true) — the default JSON stays
+  /// options.extended_control_channel_json (or the legacy process-global
+  /// set_extended_control_channel_json(true)) — the default JSON stays
   /// byte-identical across releases (the sweep determinism contract).
   std::uint64_t rules_skipped_by_guard{0};
   std::uint64_t programs_executed{0};
@@ -134,16 +189,70 @@ class RunResult {
 /// a runner. This is the function the sweep engine parallelizes over.
 RunResultPtr run(const RunSpec& spec);
 
-/// Opt-in: when true, RunResult::write_json also emits the rule-engine
-/// counters (rules_skipped_by_guard, programs_executed) in the
-/// control_channel object. Off by default so the sweep JSON stays
-/// byte-identical to earlier releases. Process-wide; read at render time.
+/// Legacy process-global variant of Options::extended_control_channel_json;
+/// prefer the per-spec option. Either source being true enables the extra
+/// counters at render time.
 void set_extended_control_channel_json(bool enabled);
 bool extended_control_channel_json();
 
 // ---------------------------------------------------------------------------
-// Grid builders for the paper's evaluation.
+// Grid construction. GridBuilder composes the axes (topology x controller x
+// attack x fail mode x attack start x volumetric shape); the named
+// functions below are thin wrappers preserving the paper grids' exact cell
+// order and bytes.
 // ---------------------------------------------------------------------------
+
+/// Fluent builder for sweep grids. Unset axes take the experiment's
+/// defaults, so e.g. GridBuilder().experiment(interruption).build() is
+/// exactly table2_grid(). Cell order is row-major over
+/// topologies (outer) x controllers x the experiment's inner axes — the
+/// historical grid orders fall out as the single-topology case.
+class GridBuilder {
+ public:
+  GridBuilder& experiment(ExperimentKind kind);
+  /// Adds one volumetric shape (implies ExperimentKind::Volumetric).
+  GridBuilder& volumetric(VolumetricKind kind);
+  GridBuilder& controllers(std::vector<ControllerKind> kinds);
+  /// Adds one topology to the axis (default: enterprise only).
+  GridBuilder& topology(topo::TopologySpec spec);
+  /// Attack on/off axis (default per experiment: suppression and
+  /// volumetric {baseline, attack}; interruption {attack}).
+  GridBuilder& attack_modes(std::vector<bool> modes);
+  /// Chokepoint fail-mode axis (default: interruption {safe, secure};
+  /// others {safe}).
+  GridBuilder& fail_modes(std::vector<bool> modes);
+  /// Campaign axis: one attack cell per start (plus a baseline when the
+  /// attack axis includes false). Empty = the experiment's default start.
+  GridBuilder& attack_starts(std::vector<SimTime> starts);
+  /// Suppression workload shape.
+  GridBuilder& workload(unsigned ping_trials, unsigned iperf_trials, SimTime iperf_duration,
+                        SimTime iperf_gap);
+  /// Volumetric workload shape.
+  GridBuilder& flood(std::uint32_t flows, SimTime duration, SimTime batch);
+  GridBuilder& table_capacity(std::uint32_t capacity);
+  /// Base options applied to every cell (fail_modes overrides fail_secure).
+  GridBuilder& options(Options base);
+
+  std::vector<RunSpec> build() const;
+
+ private:
+  ExperimentKind experiment_{ExperimentKind::FlowModSuppression};
+  std::vector<VolumetricKind> volumetrics_;
+  std::vector<ControllerKind> controllers_;
+  std::vector<topo::TopologySpec> topologies_;
+  std::vector<bool> attack_modes_;
+  std::vector<bool> fail_modes_;
+  std::vector<SimTime> attack_starts_;
+  unsigned ping_trials_{60};
+  unsigned iperf_trials_{5};
+  SimTime iperf_duration_{3 * kSecond};
+  SimTime iperf_gap_{2 * kSecond};
+  std::uint32_t flood_flows_{256};
+  SimTime flood_duration_{10 * kSecond};
+  SimTime flood_batch_{100 * kMillisecond};
+  std::uint32_t table_capacity_{0};
+  Options options_{};
+};
 
 /// Table II grid: {Floodlight, POX, Ryu} × {fail-safe, fail-secure}.
 std::vector<RunSpec> table2_grid();
@@ -191,10 +300,10 @@ std::optional<std::string> warmup_signature(const RunSpec& spec);
 RunSpec warmup_representative(const RunSpec& spec);
 
 /// Virtual time at which `spec` diverges from its group's shared prefix:
-/// the attack arm time for suppression attack cells, the workload end for
-/// suppression baselines (the whole run is shared), and t=55 s for
-/// interruption cells (after σ2, before the fail-mode bit is first read at
-/// the t=62 s connection loss). Throws for Custom specs.
+/// the attack arm time for suppression and volumetric attack cells, the
+/// workload end for their baselines (the whole run is shared), and t=55 s
+/// for interruption cells (after σ2, before the fail-mode bit is first
+/// read at the t=62 s connection loss). Throws for Custom specs.
 SimTime fork_time(const RunSpec& spec);
 
 /// A paused in-flight experiment: testbed built and workload scripted, but
@@ -215,8 +324,8 @@ using WarmupPhasePtr = std::unique_ptr<WarmupPhase>;
 WarmupPhasePtr warm_up(const RunSpec& representative);
 
 /// Binary round-trip for shipping results across the snapshot fork's
-/// process boundary. Suppression and interruption results only; custom
-/// result types throw std::invalid_argument.
+/// process boundary. Suppression, interruption, and volumetric results
+/// only; custom result types throw std::invalid_argument.
 void save_result(const RunResult& result, ByteWriter& w);
 RunResultPtr load_result(ByteReader& r);
 

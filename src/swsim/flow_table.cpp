@@ -200,6 +200,11 @@ void FlowTable::add(const ofp::FlowMod& mod, SimTime now) {
     return;
   }
 
+  if (capacity_ != 0 && live_count_ >= capacity_) {
+    ++adds_rejected_;
+    return;
+  }
+
   const std::uint32_t id = acquire_slot();
   Slot& slot = slots_[id];
   FlowEntry& entry = slot.entry;

@@ -96,6 +96,15 @@ class FlowTable {
   std::size_t size() const { return live_count_; }
   void clear();
 
+  /// Caps live entries (0 = unlimited, the default). An ADD of a new
+  /// (match, priority) against a full table is rejected and counted;
+  /// ADD-replace of an existing entry still succeeds (it takes no slot).
+  /// Models hardware TCAM exhaustion — the flow-table overflow attack's
+  /// target (OFPFMFC_ALL_TABLES_FULL at the switch layer).
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t adds_rejected() const { return adds_rejected_; }
+
   /// Introspection for tests/benches: number of distinct wildcard masks
   /// (tier-2 buckets) currently live, and pending wheel timers.
   std::size_t distinct_wildcard_masks() const { return buckets_.size(); }
@@ -144,6 +153,8 @@ class FlowTable {
   std::uint32_t tail_{kNil};
   std::size_t live_count_{0};
   std::uint64_t next_seq_{0};
+  std::size_t capacity_{0};
+  std::uint64_t adds_rejected_{0};
 
   std::unordered_map<pkt::FlowKey, IdList, pkt::FlowKeyHash> exact_;
   std::vector<Bucket> buckets_;

@@ -6,7 +6,9 @@
 namespace attain::swsim {
 
 OpenFlowSwitch::OpenFlowSwitch(sim::Scheduler& sched, SwitchConfig config)
-    : sched_(sched), config_(std::move(config)) {}
+    : sched_(sched), config_(std::move(config)) {
+  table_.set_capacity(config_.table_capacity);
+}
 
 void OpenFlowSwitch::set_control_sender(chan::EnvelopeSink send_control) {
   send_control_ = std::move(send_control);
@@ -95,7 +97,7 @@ void OpenFlowSwitch::handle_message(const ofp::Message& msg) {
       echo_misses_ = 0;
       break;
     case MsgType::FlowMod:
-      handle_flow_mod(msg.as<ofp::FlowMod>());
+      handle_flow_mod(msg.xid, msg.as<ofp::FlowMod>());
       break;
     case MsgType::PacketOut:
       handle_packet_out(msg.as<ofp::PacketOut>());
@@ -120,10 +122,18 @@ void OpenFlowSwitch::handle_message(const ofp::Message& msg) {
   }
 }
 
-void OpenFlowSwitch::handle_flow_mod(const ofp::FlowMod& mod) {
+void OpenFlowSwitch::handle_flow_mod(std::uint32_t xid, const ofp::FlowMod& mod) {
   ++counters_.flow_mods_applied;
+  const std::uint64_t rejected_before = table_.adds_rejected();
   for (const ExpiredEntry& removed : table_.apply(mod, sched_.now())) {
     if ((removed.entry.flags & ofp::kFlowModSendFlowRem) != 0) send_flow_removed(removed);
+  }
+  if (table_.adds_rejected() != rejected_before) {
+    ++counters_.flow_mods_rejected;
+    ofp::Error reply;
+    reply.type = ofp::ErrorType::FlowModFailed;
+    reply.code = 0;  // OFPFMFC_ALL_TABLES_FULL
+    send_message(ofp::make_message(xid, std::move(reply)));
   }
   // A FLOW_MOD carrying a buffer id also releases the buffered packet
   // through the new actions (this is the POX l2_learning idiom whose

@@ -30,6 +30,10 @@ struct SwitchConfig {
   bool fail_secure{false};
   std::uint32_t buffer_capacity{256};
   std::uint16_t miss_send_len{128};
+  /// Flow-table entry cap (0 = unlimited). A FLOW_MOD ADD against a full
+  /// table draws an OFPET_FLOW_MOD_FAILED / ALL_TABLES_FULL error — the
+  /// table-overflow attack's observable.
+  std::uint32_t table_capacity{0};
   /// Echo liveness: a request every `echo_interval`; the connection is
   /// declared dead after `echo_miss_limit` consecutive unanswered echoes.
   SimTime echo_interval{5 * kSecond};
@@ -45,6 +49,7 @@ struct SwitchCounters {
   std::uint64_t miss_drops{0};          // misses dropped (fail-secure or buffer exhaustion)
   std::uint64_t packet_in_sent{0};
   std::uint64_t flow_mods_applied{0};
+  std::uint64_t flow_mods_rejected{0};  // ADDs refused by a full flow table
   std::uint64_t packet_outs_applied{0};
   std::uint64_t flow_removed_sent{0};
   std::uint64_t echo_requests_sent{0};
@@ -103,7 +108,7 @@ class OpenFlowSwitch {
 
  private:
   void handle_message(const ofp::Message& msg);
-  void handle_flow_mod(const ofp::FlowMod& mod);
+  void handle_flow_mod(std::uint32_t xid, const ofp::FlowMod& mod);
   void handle_packet_out(const ofp::PacketOut& out);
   void handle_stats_request(std::uint32_t xid, const ofp::StatsRequest& req);
   void apply_actions(const ofp::ActionList& actions, pkt::Packet packet, std::uint16_t in_port);

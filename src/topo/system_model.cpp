@@ -12,6 +12,10 @@ std::string describe(EntityKind kind, std::uint32_t index) {
   return to_string(kind) + "#" + std::to_string(index);
 }
 
+std::uint64_t control_conn_key(ConnectionId id) {
+  return (static_cast<std::uint64_t>(id.controller.index) << 32) | id.sw.index;
+}
+
 }  // namespace
 
 void SystemModel::check_new_name(const std::string& name) const {
@@ -21,6 +25,7 @@ void SystemModel::check_new_name(const std::string& name) const {
 EntityId SystemModel::add_controller(ControllerSpec spec) {
   check_new_name(spec.name);
   const EntityId id{EntityKind::Controller, static_cast<std::uint32_t>(controllers_.size())};
+  names_.emplace(spec.name, id);
   controllers_.push_back(std::move(spec));
   return id;
 }
@@ -28,6 +33,7 @@ EntityId SystemModel::add_controller(ControllerSpec spec) {
 EntityId SystemModel::add_switch(SwitchSpec spec) {
   check_new_name(spec.name);
   const EntityId id{EntityKind::Switch, static_cast<std::uint32_t>(switches_.size())};
+  names_.emplace(spec.name, id);
   switches_.push_back(std::move(spec));
   return id;
 }
@@ -35,6 +41,11 @@ EntityId SystemModel::add_switch(SwitchSpec spec) {
 EntityId SystemModel::add_host(HostSpec spec) {
   check_new_name(spec.name);
   const EntityId id{EntityKind::Host, static_cast<std::uint32_t>(hosts_.size())};
+  names_.emplace(spec.name, id);
+  // First-added host wins on address clashes, matching the old linear scan;
+  // validate() does not require address uniqueness, only lookups use it.
+  hosts_by_ip_.emplace(spec.ip.value, id.index);
+  hosts_by_mac_.emplace(spec.mac.to_u64(), id.index);
   hosts_.push_back(std::move(spec));
   return id;
 }
@@ -44,10 +55,18 @@ void SystemModel::check_port_free(EntityId sw, std::uint16_t port) const {
   if (port == 0 || port > spec.num_ports) {
     throw ModelError("port " + std::to_string(port) + " out of range on " + spec.name);
   }
-  for (const LinkSpec& link : links_) {
-    if ((link.a == sw && link.a_port == port) || (link.b == sw && link.b_port == port)) {
-      throw ModelError("port " + std::to_string(port) + " on " + spec.name + " already wired");
-    }
+  if (wired_ports_.contains(port_key(sw, port))) {
+    throw ModelError("port " + std::to_string(port) + " on " + spec.name + " already wired");
+  }
+}
+
+void SystemModel::index_link_endpoint(EntityId entity, std::optional<std::uint16_t> port,
+                                      std::size_t link_index, EntityId peer) {
+  if (entity.kind == EntityKind::Switch) {
+    wired_ports_.emplace(port_key(entity, *port), link_index);
+  } else {
+    linked_hosts_.insert(entity.index);
+    if (peer.kind == EntityKind::Switch) host_attach_.emplace(entity.index, link_index);
   }
 }
 
@@ -63,17 +82,18 @@ void SystemModel::add_link(EntityId a, std::optional<std::uint16_t> a_port, Enti
     } else {
       if (port) throw ModelError("host link endpoints take no port (NULL in N_D)");
       host(id);  // bounds check
-      for (const LinkSpec& link : links_) {
-        if (link.a == id || link.b == id) {
-          throw ModelError("host " + name_of(id) + " is already attached");
-        }
+      if (linked_hosts_.contains(id.index)) {
+        throw ModelError("host " + name_of(id) + " is already attached");
       }
     }
   };
   check_endpoint(a, a_port);
   check_endpoint(b, b_port);
   if (a == b) throw ModelError("self-loop link on " + name_of(a));
+  const std::size_t link_index = links_.size();
   links_.push_back(LinkSpec{a, a_port, b, b_port});
+  index_link_endpoint(a, a_port, link_index, b);
+  index_link_endpoint(b, b_port, link_index, a);
 }
 
 void SystemModel::add_control_connection(EntityId controller, EntityId sw, bool tls) {
@@ -87,6 +107,7 @@ void SystemModel::add_control_connection(EntityId controller, EntityId sw, bool 
     throw ModelError("duplicate control connection (" + name_of(controller) + "," + name_of(sw) +
                      ")");
   }
+  control_conn_keys_.insert(control_conn_key(id));
   control_conns_.push_back(ControlConnSpec{id, tls});
 }
 
@@ -96,12 +117,10 @@ void SystemModel::validate() const {
   if (hosts_.size() < 2) throw ModelError("|H| >= 2 violated: fewer than two hosts");
   // Every switch must appear in at least one control connection, else it can
   // never receive forwarding state.
+  std::unordered_set<std::uint32_t> connected_switches;
+  for (const ControlConnSpec& c : control_conns_) connected_switches.insert(c.id.sw.index);
   for (std::uint32_t i = 0; i < switches_.size(); ++i) {
-    const EntityId sw{EntityKind::Switch, i};
-    const bool connected =
-        std::any_of(control_conns_.begin(), control_conns_.end(),
-                    [&](const ControlConnSpec& c) { return c.id.sw == sw; });
-    if (!connected) {
+    if (!connected_switches.contains(i)) {
       throw ModelError("switch " + switches_[i].name + " has no control-plane connection");
     }
   }
@@ -110,12 +129,12 @@ void SystemModel::validate() const {
     attachment_of(EntityId{EntityKind::Host, i});
   }
   // dpids must be unique (they identify switches during the handshake).
+  std::unordered_map<std::uint64_t, std::size_t> dpids;
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    for (std::size_t j = i + 1; j < switches_.size(); ++j) {
-      if (switches_[i].dpid == switches_[j].dpid) {
-        throw ModelError("duplicate dpid between " + switches_[i].name + " and " +
-                         switches_[j].name);
-      }
+    const auto [it, inserted] = dpids.emplace(switches_[i].dpid, i);
+    if (!inserted) {
+      throw ModelError("duplicate dpid between " + switches_[it->second].name + " and " +
+                       switches_[i].name);
     }
   }
 }
@@ -142,16 +161,9 @@ const HostSpec& SystemModel::host(EntityId id) const {
 }
 
 std::optional<EntityId> SystemModel::find(const std::string& name) const {
-  for (std::uint32_t i = 0; i < controllers_.size(); ++i) {
-    if (controllers_[i].name == name) return EntityId{EntityKind::Controller, i};
-  }
-  for (std::uint32_t i = 0; i < switches_.size(); ++i) {
-    if (switches_[i].name == name) return EntityId{EntityKind::Switch, i};
-  }
-  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i].name == name) return EntityId{EntityKind::Host, i};
-  }
-  return std::nullopt;
+  const auto it = names_.find(name);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
 }
 
 EntityId SystemModel::require(const std::string& name) const {
@@ -170,38 +182,34 @@ const std::string& SystemModel::name_of(EntityId id) const {
 }
 
 std::optional<EntityId> SystemModel::host_by_ip(pkt::Ipv4Address ip) const {
-  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i].ip == ip) return EntityId{EntityKind::Host, i};
-  }
-  return std::nullopt;
+  const auto it = hosts_by_ip_.find(ip.value);
+  if (it == hosts_by_ip_.end()) return std::nullopt;
+  return EntityId{EntityKind::Host, it->second};
 }
 
 std::optional<EntityId> SystemModel::host_by_mac(pkt::MacAddress mac) const {
-  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i].mac == mac) return EntityId{EntityKind::Host, i};
-  }
-  return std::nullopt;
+  const auto it = hosts_by_mac_.find(mac.to_u64());
+  if (it == hosts_by_mac_.end()) return std::nullopt;
+  return EntityId{EntityKind::Host, it->second};
 }
 
 std::pair<EntityId, std::uint16_t> SystemModel::attachment_of(EntityId host_id) const {
   host(host_id);
-  for (const LinkSpec& link : links_) {
-    if (link.a == host_id && link.b.kind == EntityKind::Switch) {
-      return {link.b, link.b_port.value()};
-    }
-    if (link.b == host_id && link.a.kind == EntityKind::Switch) {
-      return {link.a, link.a_port.value()};
-    }
+  const auto it = host_attach_.find(host_id.index);
+  if (it == host_attach_.end()) {
+    throw ModelError("host " + name_of(host_id) + " is not attached to any switch");
   }
-  throw ModelError("host " + name_of(host_id) + " is not attached to any switch");
+  const LinkSpec& link = links_[it->second];
+  if (link.a == host_id) return {link.b, link.b_port.value()};
+  return {link.a, link.a_port.value()};
 }
 
 std::optional<SystemModel::Peer> SystemModel::peer_of(EntityId sw, std::uint16_t port) const {
-  for (const LinkSpec& link : links_) {
-    if (link.a == sw && link.a_port == port) return Peer{link.b, link.b_port};
-    if (link.b == sw && link.b_port == port) return Peer{link.a, link.a_port};
-  }
-  return std::nullopt;
+  const auto it = wired_ports_.find(port_key(sw, port));
+  if (it == wired_ports_.end()) return std::nullopt;
+  const LinkSpec& link = links_[it->second];
+  if (link.a == sw && link.a_port == port) return Peer{link.b, link.b_port};
+  return Peer{link.a, link.a_port};
 }
 
 std::vector<PathHop> SystemModel::shortest_path(EntityId src_host, EntityId dst_host) const {
@@ -247,8 +255,7 @@ std::vector<PathHop> SystemModel::shortest_path(EntityId src_host, EntityId dst_
 }
 
 bool SystemModel::has_control_connection(ConnectionId id) const {
-  return std::any_of(control_conns_.begin(), control_conns_.end(),
-                     [&](const ControlConnSpec& c) { return c.id == id; });
+  return control_conn_keys_.contains(control_conn_key(id));
 }
 
 }  // namespace attain::topo

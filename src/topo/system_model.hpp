@@ -7,6 +7,8 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -133,12 +135,29 @@ class SystemModel {
  private:
   void check_new_name(const std::string& name) const;
   void check_port_free(EntityId sw, std::uint16_t port) const;
+  void index_link_endpoint(EntityId entity, std::optional<std::uint16_t> port,
+                           std::size_t link_index, EntityId peer);
+  static std::uint64_t port_key(EntityId sw, std::uint16_t port) {
+    return (static_cast<std::uint64_t>(sw.kind) << 48) |
+           (static_cast<std::uint64_t>(sw.index) << 16) | port;
+  }
 
   std::vector<ControllerSpec> controllers_;
   std::vector<SwitchSpec> switches_;
   std::vector<HostSpec> hosts_;
   std::vector<LinkSpec> links_;
   std::vector<ControlConnSpec> control_conns_;
+
+  // Hash indices kept in lockstep with the vectors by the adders. Generated
+  // topologies reach 10^5 hosts and links; the O(n)-scan lookups these
+  // replace made model construction quadratic.
+  std::unordered_map<std::string, EntityId> names_;
+  std::unordered_map<std::uint64_t, std::size_t> wired_ports_;    // port_key -> link idx
+  std::unordered_set<std::uint32_t> linked_hosts_;                // hosts on any link
+  std::unordered_map<std::uint32_t, std::size_t> host_attach_;    // host -> switch link idx
+  std::unordered_map<std::uint32_t, std::uint32_t> hosts_by_ip_;  // ip -> host idx
+  std::unordered_map<std::uint64_t, std::uint32_t> hosts_by_mac_;
+  std::unordered_set<std::uint64_t> control_conn_keys_;  // (ctrl idx << 32) | sw idx
 };
 
 }  // namespace attain::topo

@@ -344,6 +344,43 @@ TEST(FlowTableClassifier, PermanentEntriesNeverEnterTheWheel) {
   EXPECT_EQ(table.pending_timers(), 1u);
 }
 
+TEST(FlowTableClassifier, CapacityRejectsNewAddsButNotReplacements) {
+  FlowTable table;
+  table.set_capacity(2);
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+  table.apply(add_mod(ofp::Match::l2_only(1, p.eth.src, p.eth.dst), 50, 3), 0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.adds_rejected(), 0u);
+
+  // A third distinct flow bounces off the cap.
+  table.apply(add_mod(ofp::Match::wildcard_all(), 10, 4), 0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.adds_rejected(), 1u);
+
+  // OF1.0 ADD-replace of a resident entry still succeeds at capacity.
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 9), 0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.adds_rejected(), 1u);
+  const FlowEntry* hit = table.match_packet(p, 1, 0, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(output_port(*hit), 9);
+}
+
+TEST(FlowTableClassifier, FreedSlotsReopenTheCap) {
+  FlowTable table;
+  table.set_capacity(1);
+  const pkt::Packet p = sample_packet();
+  table.apply(add_mod(ofp::Match::from_packet(p, 1), 100, 2), 0);
+  ofp::FlowMod del;
+  del.command = ofp::FlowModCommand::Delete;
+  del.match = ofp::Match::wildcard_all();
+  table.apply(del, 1);
+  table.apply(add_mod(ofp::Match::wildcard_all(), 10, 4), 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.adds_rejected(), 0u);
+}
+
 TEST(FlowTableClassifier, KeyOverloadAgreesWithPacketOverload) {
   FlowTable table;
   const pkt::Packet p = sample_packet();

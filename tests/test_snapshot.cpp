@@ -35,7 +35,7 @@ RunSpec interruption(ControllerKind kind, bool secure) {
   spec.experiment = ExperimentKind::ConnectionInterruption;
   spec.controller = kind;
   spec.attack_enabled = true;
-  spec.s2_fail_secure = secure;
+  spec.options.fail_secure = secure;
   return spec;
 }
 
@@ -113,7 +113,7 @@ TEST(WarmupRepresentative, NormalizesForkTimeParameters) {
             scenario::warmup_representative(baseline).to_json());
 
   const RunSpec secure = interruption(ControllerKind::Ryu, true);
-  EXPECT_FALSE(scenario::warmup_representative(secure).s2_fail_secure);
+  EXPECT_FALSE(scenario::warmup_representative(secure).options.fail_secure);
   EXPECT_EQ(scenario::warmup_representative(secure).to_json(),
             scenario::warmup_representative(interruption(ControllerKind::Ryu, false)).to_json());
 }

@@ -93,7 +93,7 @@ TEST(RunSpec, DerivedIdsAreStable) {
 
   spec.experiment = ExperimentKind::ConnectionInterruption;
   spec.attack_enabled = true;
-  spec.s2_fail_secure = true;
+  spec.options.fail_secure = true;
   EXPECT_EQ(spec.id(), "interruption/Ryu/fail-secure");
 
   spec.name = "my-cell";

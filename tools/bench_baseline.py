@@ -7,7 +7,8 @@ Two subcommands (stdlib only, no third-party deps):
             and custom-harness --json output files (--harness, repeatable)
             into one baseline document written to --out.
 
-  check     Compare a fresh google-benchmark JSON run (--current) and/or
+  check     Compare fresh google-benchmark JSON runs (--current, repeatable;
+            files are merged, later files win on name clashes) and/or
             custom-harness --json runs (--current-harness, repeatable)
             against one or more committed baselines (--baseline,
             repeatable — files are merged, later files win on name
@@ -123,7 +124,9 @@ def harness_seconds(doc):
 def cmd_check(args):
     baseline = merged_baseline(args.baseline)
     base = baseline["benchmarks"]
-    current = dict(gbench_entries(load_json(args.current))) if args.current else {}
+    current = {}
+    for path in args.current:
+        current.update(gbench_entries(load_json(path)))
 
     failures = []
     compared = 0
@@ -198,8 +201,9 @@ def main():
     p_check = sub.add_parser("check", help="fail if current run regressed vs baseline")
     p_check.add_argument("--baseline", action="append", required=True,
                          help="committed baseline JSON (repeatable; files are merged)")
-    p_check.add_argument("--current",
-                         help="fresh google-benchmark JSON to compare")
+    p_check.add_argument("--current", action="append", default=[],
+                         help="fresh google-benchmark JSON to compare (repeatable; "
+                              "files are merged, later files win on name clashes)")
     p_check.add_argument("--current-harness", action="append", default=[],
                          help="fresh custom-harness --json output to compare (repeatable)")
     p_check.add_argument("--max-slowdown", type=float, default=5.0,
