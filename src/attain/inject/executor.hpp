@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "attain/dsl/compiler.hpp"
+#include "common/arena.hpp"
 #include "attain/inject/modifier.hpp"
 
 namespace attain::inject {
@@ -28,10 +29,10 @@ struct SysCmdCall {
 
 /// Everything one message's processing produced.
 struct ExecutionResult {
-  std::vector<OutMessage> outgoing;
+  OutMessageList outgoing;
   /// Accumulated SLEEP() time: the injector pauses processing this long.
   SimTime sleep{0};
-  std::vector<SysCmdCall> syscmds;
+  mem::vector<SysCmdCall> syscmds;
 };
 
 struct ExecutorStats {
@@ -94,7 +95,7 @@ class AttackExecutor {
   lang::ProgramEvaluator evaluator_;
   /// Per-state rule indices bucketed by connection, built once at
   /// construction (rule order within a bucket preserved).
-  std::vector<std::map<ConnectionId, std::vector<std::uint32_t>>> rule_buckets_;
+  std::vector<mem::map<ConnectionId, mem::vector<std::uint32_t>>> rule_buckets_;
   /// Hoisted modifier context: the std::function id/xid allocators are
   /// built once here instead of twice per matched rule.
   ModifierContext mod_ctx_;

@@ -58,7 +58,7 @@ lang::Value eval_or_default(const lang::ExprPtr& expr, const ModifierContext& ct
 
 }  // namespace
 
-bool apply_action(const lang::ActionSpec& action, std::vector<OutMessage>& out,
+bool apply_action(const lang::ActionSpec& action, OutMessageList& out,
                   ModifierContext& ctx) {
   using namespace lang;
 

@@ -23,6 +23,10 @@ struct OutMessage {
   SimTime delay{0};
 };
 
+/// Slab-backed (common/arena.hpp): one list per executor invocation on the
+/// per-message hot path, so its storage recycles across frames.
+using OutMessageList = std::vector<OutMessage, mem::SlabAllocator<OutMessage>>;
+
 struct ModifierContext {
   /// The message that triggered the rule (msg_in of Algorithm 1).
   const lang::InFlightMessage* original{nullptr};
@@ -47,7 +51,7 @@ struct ModifierContext {
 /// Applies a message-level action to `out`. Returns false (with an
 /// EvalError monitor event) when the action could not be applied — e.g.
 /// modifying an unreadable payload or replaying from an empty deque.
-bool apply_action(const lang::ActionSpec& action, std::vector<OutMessage>& out,
+bool apply_action(const lang::ActionSpec& action, OutMessageList& out,
                   ModifierContext& ctx);
 
 }  // namespace attain::inject

@@ -9,13 +9,13 @@ void DequeStore::declare(const std::string& name, std::vector<Value> initial) {
   initial_.push_back(std::move(initial));
 }
 
-const std::deque<Value>& DequeStore::require(const std::string& name) const {
+const mem::deque<Value>& DequeStore::require(const std::string& name) const {
   const auto it = index_.find(name);
   if (it == index_.end()) throw StorageError("undeclared deque: " + name);
   return deques_[it->second];
 }
 
-std::deque<Value>& DequeStore::require(const std::string& name) {
+mem::deque<Value>& DequeStore::require(const std::string& name) {
   const auto it = index_.find(name);
   if (it == index_.end()) throw StorageError("undeclared deque: " + name);
   return deques_[it->second];

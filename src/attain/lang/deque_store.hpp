@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "attain/lang/value.hpp"
+#include "common/arena.hpp"
 
 namespace attain::lang {
 
@@ -74,11 +75,11 @@ class DequeStore {
   std::size_t size_at(std::size_t slot) const { return deques_[slot].size(); }
 
  private:
-  const std::deque<Value>& require(const std::string& name) const;
-  std::deque<Value>& require(const std::string& name);
+  const mem::deque<Value>& require(const std::string& name) const;
+  mem::deque<Value>& require(const std::string& name);
 
   // Parallel, declaration-ordered; index_ maps name -> slot.
-  std::vector<std::deque<Value>> deques_;
+  std::vector<mem::deque<Value>> deques_;
   std::vector<std::vector<Value>> initial_;
   std::map<std::string, std::size_t> index_;
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "attain/lang/value.hpp"
+#include "common/arena.hpp"
 #include "ofp/constants.hpp"
 
 namespace attain::monitor {
@@ -38,6 +39,9 @@ enum class EventKind : std::uint8_t {
 
 std::string to_string(EventKind kind);
 
+/// Slab-backed event log storage (common/arena.hpp): the log grows during a
+/// run and is torn down wholesale with the testbed, so its pages recycle
+/// across sweep cells instead of churning the general heap.
 struct Event {
   EventKind kind{EventKind::MessageObserved};
   SimTime time{0};
@@ -55,7 +59,9 @@ class Monitor {
  public:
   void record(Event event);
 
-  const std::vector<Event>& events() const { return events_; }
+  using EventList = std::vector<Event, mem::SlabAllocator<Event>>;
+
+  const EventList& events() const { return events_; }
   void clear();
 
   /// Number of events of a kind.
@@ -92,10 +98,10 @@ class Monitor {
   std::string to_csv() const;
 
  private:
-  std::vector<Event> events_;
-  std::map<EventKind, std::uint64_t> kind_counts_;
-  std::map<ofp::MsgType, std::uint64_t> type_counts_;
-  std::map<std::pair<ConnectionId, lang::Direction>, std::uint64_t> conn_counts_;
+  EventList events_;
+  mem::map<EventKind, std::uint64_t> kind_counts_;
+  mem::map<ofp::MsgType, std::uint64_t> type_counts_;
+  mem::map<std::pair<ConnectionId, lang::Direction>, std::uint64_t> conn_counts_;
   bool counters_only_{false};
 };
 

@@ -106,6 +106,15 @@ EnvelopeSink Channel::controller_sender() {
 
 void Channel::add_stage(std::unique_ptr<Stage> stage) {
   stages_.push_back(std::move(stage));
+  const std::size_t index = stages_.size() - 1;
+  std::array<EnvelopeSink, 2> sinks;
+  for (const Direction direction :
+       {Direction::SwitchToController, Direction::ControllerToSwitch}) {
+    sinks[static_cast<std::size_t>(direction)] = [this, index, direction](Envelope e) {
+      run_stage(index + 1, direction, std::move(e));
+    };
+  }
+  next_sinks_.push_back(std::move(sinks));
 }
 
 void Channel::arrive_at_proxy(Direction direction, Envelope envelope) {
@@ -129,9 +138,7 @@ void Channel::run_stage(std::size_t index, Direction direction, Envelope envelop
     return;
   }
   Stage& stage = *stages_[index];
-  const EnvelopeSink next = [this, index, direction](Envelope e) {
-    run_stage(index + 1, direction, std::move(e));
-  };
+  const EnvelopeSink& next = next_sinks_[index][static_cast<std::size_t>(direction)];
   stage.on_envelope(*this, direction, std::move(envelope), next);
 }
 

@@ -27,6 +27,7 @@
 
 #include "attain/monitor/monitor.hpp"
 #include "chan/envelope.hpp"
+#include "common/arena.hpp"
 #include "common/json.hpp"
 #include "sim/link.hpp"
 #include "sim/scheduler.hpp"
@@ -60,7 +61,11 @@ struct TraceEntry {
 /// Bounded ring of the most recent TraceEntry records (oldest evicted).
 class TraceRing {
  public:
-  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {}
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {
+    // The ring is a run-scoped buffer: grab the whole capacity up front so
+    // steady-state pushes never grow the vector.
+    entries_.reserve(capacity_);
+  }
 
   void push(TraceEntry entry);
 
@@ -75,7 +80,7 @@ class TraceRing {
 
  private:
   std::size_t capacity_;
-  std::vector<TraceEntry> entries_;  // ring storage, wraps at capacity_
+  mem::vector<TraceEntry> entries_;  // ring storage, wraps at capacity_
   std::size_t head_{0};              // index of the oldest entry once full
   std::uint64_t total_{0};
 };
@@ -173,6 +178,11 @@ class Channel {
   sim::Pipe<Envelope> proxy_to_controller_;
 
   std::vector<std::unique_ptr<Stage>> stages_;
+  /// Pre-bound continuation sinks, one per (stage, direction): stage i's
+  /// `next` forwards to stage i+1. Built in add_stage() so the per-frame
+  /// dispatch constructs no std::function (the capture exceeds the
+  /// small-buffer size, so building one per frame was a heap round-trip).
+  std::vector<std::array<EnvelopeSink, 2>> next_sinks_;
   EnvelopeSink switch_sink_;
   EnvelopeSink controller_sink_;
 

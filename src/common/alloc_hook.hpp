@@ -1,0 +1,47 @@
+// Global-allocation counting, for the zero-steady-state-allocation guard
+// tests and the memory bench harness.
+//
+// The counters live here as inline atomics so any TU can read them; the
+// actual operator new/delete replacement lives in alloc_hook.cpp, which is
+// deliberately NOT part of attain_lib. A binary opts in by listing
+// alloc_hook.cpp among its sources — the replacement then applies
+// binary-wide (ODR: one global operator new per program). Binaries that do
+// not opt in see counters frozen at zero and installed() == false, so
+// guard code can skip itself instead of asserting on a dead counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace attain::memhook {
+
+// Relaxed ordering throughout: the counters are statistics, not
+// synchronization. Reads race with other threads' allocations by design;
+// guard tests quiesce their own thread's window instead.
+inline std::atomic<std::uint64_t> g_news{0};
+inline std::atomic<std::uint64_t> g_deletes{0};
+inline std::atomic<bool> g_installed{false};
+/// Debug aid: when set, every counted allocation prints its stack to
+/// stderr (async-signal-safe backtrace_symbols_fd; no heap use). The
+/// memory-guard tests enable it inside their measured window so a failure
+/// names the allocation site instead of just a count.
+inline std::atomic<bool> g_backtrace_on_alloc{false};
+
+/// True when alloc_hook.cpp is linked into this binary.
+inline bool installed() { return g_installed.load(std::memory_order_relaxed); }
+
+/// Global operator-new calls since process start (0 if not installed).
+inline std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+
+/// Global operator-delete calls since process start (0 if not installed).
+inline std::uint64_t deletes() { return g_deletes.load(std::memory_order_relaxed); }
+
+/// Snapshot for windowed measurement: allocations between two scopes.
+struct Window {
+  std::uint64_t news_at_open{0};
+
+  static Window open() { return Window{news()}; }
+  std::uint64_t allocations() const { return news() - news_at_open; }
+};
+
+}  // namespace attain::memhook

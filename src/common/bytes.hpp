@@ -9,9 +9,15 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
+
 namespace attain {
 
-using Bytes = std::vector<std::uint8_t>;
+/// Wire-byte buffer. Slab-backed: capacity recycles through the calling
+/// thread's size-class freelists (mem::thread_slab()), so the per-frame
+/// encode/decode buffers of a warmed-up simulate loop never touch the
+/// general heap.
+using Bytes = std::vector<std::uint8_t, mem::SlabAllocator<std::uint8_t>>;
 
 /// Error thrown when a decoder runs past the end of its buffer or meets a
 /// malformed structure. Codecs never read out of bounds.
@@ -23,6 +29,10 @@ class DecodeError : public std::runtime_error {
 /// Appends big-endian scalar values to a growable byte buffer.
 class ByteWriter {
  public:
+  /// Pre-sizes the buffer (capacity hint, e.g. from a message header's
+  /// length field) so body encoding appends without regrowth.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

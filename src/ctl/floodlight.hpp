@@ -19,6 +19,7 @@
 
 #include <map>
 
+#include "common/arena.hpp"
 #include "ctl/controller.hpp"
 #include "packet/packet.hpp"
 
@@ -43,7 +44,7 @@ class FloodlightForwarding : public Controller {
 
   /// Discovered directed links (both directions appear once discovery has
   /// run on both endpoints). Exposed for tests and monitors.
-  const std::map<PortRef, PortRef>& links() const { return links_; }
+  const mem::map<PortRef, PortRef>& links() const { return links_; }
   std::size_t device_count() const { return device_table_.size(); }
   std::uint64_t lldp_probes_sent() const { return lldp_probes_sent_; }
 
@@ -67,9 +68,9 @@ class FloodlightForwarding : public Controller {
   /// switch of `to`, leaving on to.port. Empty if not connected.
   std::vector<PathHop> route(PortRef from, PortRef to) const;
 
-  std::map<std::uint64_t, ConnHandle> conn_by_dpid_;
-  std::map<PortRef, PortRef> links_;               // discovered topology
-  std::map<std::uint64_t, PortRef> device_table_;  // MAC -> attachment point
+  mem::map<std::uint64_t, ConnHandle> conn_by_dpid_;
+  mem::map<PortRef, PortRef> links_;               // discovered topology
+  mem::map<std::uint64_t, PortRef> device_table_;  // MAC -> attachment point
   std::uint64_t lldp_probes_sent_{0};
 };
 

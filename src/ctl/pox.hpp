@@ -13,6 +13,7 @@
 
 #include <map>
 
+#include "common/arena.hpp"
 #include "ctl/controller.hpp"
 #include "packet/packet.hpp"
 
@@ -36,7 +37,7 @@ class PoxL2Learning : public Controller {
  private:
   /// MAC -> port, per connection (POX instantiates one LearningSwitch per
   /// datapath).
-  std::map<ConnHandle, std::map<std::uint64_t, std::uint16_t>> tables_;
+  mem::map<ConnHandle, mem::map<std::uint64_t, std::uint16_t>> tables_;
 };
 
 }  // namespace attain::ctl

@@ -12,6 +12,7 @@
 
 #include <map>
 
+#include "common/arena.hpp"
 #include "ctl/controller.hpp"
 #include "packet/packet.hpp"
 
@@ -28,7 +29,7 @@ class RyuSimpleSwitch : public Controller {
   void on_packet_in(ConnHandle conn, const ofp::PacketIn& pin) override;
 
  private:
-  std::map<ConnHandle, std::map<std::uint64_t, std::uint16_t>> tables_;
+  mem::map<ConnHandle, mem::map<std::uint64_t, std::uint16_t>> tables_;
 };
 
 }  // namespace attain::ctl

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "packet/packet.hpp"
 #include "sim/scheduler.hpp"
@@ -75,11 +76,11 @@ class Host {
   pkt::Ipv4Address ip_;
   std::function<void(pkt::Packet)> send_;
   std::function<void(const pkt::Packet&)> icmp_echo_handler_;
-  std::map<std::uint16_t, std::function<void(const pkt::Packet&)>> tcp_ports_;
+  mem::map<std::uint16_t, std::function<void(const pkt::Packet&)>> tcp_ports_;
 
-  std::map<std::uint32_t, pkt::MacAddress> arp_cache_;
-  std::map<std::uint32_t, std::deque<PendingSend>> arp_pending_;
-  std::map<std::uint32_t, sim::EventHandle> arp_timers_;
+  mem::map<std::uint32_t, pkt::MacAddress> arp_cache_;
+  mem::map<std::uint32_t, mem::deque<PendingSend>> arp_pending_;
+  mem::map<std::uint32_t, sim::EventHandle> arp_timers_;
   HostStackCounters counters_;
 
   static constexpr SimTime kArpTimeout = 1 * kSecond;

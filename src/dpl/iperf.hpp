@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 
+#include "common/arena.hpp"
 #include "dpl/host.hpp"
 
 namespace attain::dpl {
@@ -48,7 +49,7 @@ class IperfServer {
   std::uint16_t port_;
   std::uint32_t expected_{0};  // next expected byte (cumulative)
   /// seq -> end-of-segment for segments received ahead of `expected_`.
-  std::map<std::uint32_t, std::uint32_t> out_of_order_;
+  mem::map<std::uint32_t, std::uint32_t> out_of_order_;
   std::uint64_t discarded_{0};
 
   static constexpr std::size_t kReassemblyLimit = 4096;

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "dpl/host.hpp"
 
 namespace attain::dpl {
@@ -19,7 +20,8 @@ struct PingTrial {
 };
 
 struct PingReport {
-  std::vector<PingTrial> trials;
+  /// Slab-backed: one push per trial during the simulate loop.
+  mem::vector<PingTrial> trials;
 
   std::size_t sent() const { return trials.size(); }
   std::size_t received() const;

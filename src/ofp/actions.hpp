@@ -81,7 +81,10 @@ using Action = std::variant<ActionOutput, ActionSetVlanVid, ActionSetVlanPcp, Ac
                             ActionSetDlSrc, ActionSetDlDst, ActionSetNwSrc, ActionSetNwDst,
                             ActionSetNwTos, ActionSetTpSrc, ActionSetTpDst, ActionEnqueue>;
 
-using ActionList = std::vector<Action>;
+/// Slab-backed (see common/arena.hpp): action lists ride inside every
+/// FLOW_MOD / PACKET_OUT on the hot path, so their storage recycles
+/// through the thread's size-class freelists instead of the general heap.
+using ActionList = std::vector<Action, mem::SlabAllocator<Action>>;
 
 ActionType action_type(const Action& action);
 

@@ -433,6 +433,52 @@ Body decode_body(MsgType type, ByteReader& r) {
   throw DecodeError("unknown message type " + std::to_string(static_cast<int>(type)));
 }
 
+/// Upper-bound body sizes for the pre-encode reserve() in encode(). Exact
+/// for every hot-path message (PacketIn/Out, FlowMod, EchoRequest/Reply);
+/// variable-length stats replies fall back to a per-entry bound. A hint
+/// only sizes the buffer, so an overestimate costs slack bytes, never
+/// correctness — but keeping it tight keeps slab classes small.
+struct BodySizeHint {
+  std::size_t operator()(const Hello&) const { return 0; }
+  std::size_t operator()(const Error& m) const { return 4 + m.data.size(); }
+  std::size_t operator()(const EchoRequest& m) const { return m.data.size(); }
+  std::size_t operator()(const EchoReply& m) const { return m.data.size(); }
+  std::size_t operator()(const Vendor& m) const { return 4 + m.data.size(); }
+  std::size_t operator()(const FeaturesRequest&) const { return 0; }
+  std::size_t operator()(const FeaturesReply& m) const { return 24 + m.ports.size() * 48; }
+  std::size_t operator()(const GetConfigRequest&) const { return 0; }
+  std::size_t operator()(const GetConfigReply&) const { return 4; }
+  std::size_t operator()(const SetConfig&) const { return 4; }
+  std::size_t operator()(const PacketIn& m) const { return 10 + m.data.size(); }
+  std::size_t operator()(const FlowRemoved&) const { return 80; }
+  std::size_t operator()(const PortStatus&) const { return 56; }
+  std::size_t operator()(const PacketOut& m) const {
+    return 8 + actions_wire_size(m.actions) + m.data.size();
+  }
+  std::size_t operator()(const FlowMod& m) const {
+    return 64 + actions_wire_size(m.actions);
+  }
+  std::size_t operator()(const PortMod&) const { return 24; }
+  std::size_t operator()(const StatsRequest&) const { return 48; }
+  std::size_t operator()(const StatsReply& m) const {
+    struct Sub {
+      std::size_t operator()(const DescStats&) const { return 1056; }
+      std::size_t operator()(const std::vector<FlowStatsEntry>& entries) const {
+        std::size_t total = 0;
+        for (const FlowStatsEntry& e : entries) total += 88 + actions_wire_size(e.actions);
+        return total;
+      }
+      std::size_t operator()(const AggregateStats&) const { return 24; }
+      std::size_t operator()(const std::vector<PortStatsEntry>& entries) const {
+        return entries.size() * 56;
+      }
+    };
+    return 4 + std::visit(Sub{}, m.body);
+  }
+  std::size_t operator()(const BarrierRequest&) const { return 0; }
+  std::size_t operator()(const BarrierReply&) const { return 0; }
+};
+
 }  // namespace
 
 CodecOpCounters& codec_ops() {
@@ -445,6 +491,7 @@ void reset_codec_ops() { codec_ops() = CodecOpCounters{}; }
 Bytes encode(const Message& message) {
   ++codec_ops().encodes;
   ByteWriter w;
+  w.reserve(kHeaderSize + std::visit(BodySizeHint{}, message.body));
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(message.type()));
   w.u16(0);  // length patched below

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "attain/dsl/parser.hpp"
+#include "common/arena.hpp"
 #include "packet/codec.hpp"
 #include "topo/generators.hpp"
 
@@ -723,7 +724,12 @@ RunResultPtr run(const RunSpec& spec) {
   // warm-start byte-determinism guarantee structural.
   WarmupPhasePtr phase = warm_up(warmup_representative(spec));
   phase->advance_to(fork_time(spec));
-  return phase->finish(spec);
+  RunResultPtr result = phase->finish(spec);
+  // One cell done: mark the boundary so per-cell allocation deltas (bench
+  // harness, memory-guard tests) can key off it. The thread slab persists —
+  // the next cell on this thread reuses its freelists.
+  mem::run_boundary();
+  return result;
 }
 
 // ---------------------------------------------------------------------------

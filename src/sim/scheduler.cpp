@@ -24,7 +24,7 @@ Scheduler::Scheduler() {
 
 Scheduler::~Scheduler() { Logger::instance().set_clock({}); }
 
-std::uint32_t Scheduler::acquire_slot(std::function<void()> fn) {
+std::uint32_t Scheduler::acquire_slot(Task fn) {
   std::uint32_t index;
   if (!free_slots_.empty()) {
     index = free_slots_.back();
@@ -49,7 +49,7 @@ void Scheduler::release_slot(std::uint32_t index) {
   free_slots_.push_back(index);
 }
 
-EventHandle Scheduler::at(SimTime when, std::function<void()> fn) {
+EventHandle Scheduler::at(SimTime when, Task fn) {
   // Clamp instead of throwing: a stale timer (e.g. one computed from a
   // deadline that already elapsed) fires immediately rather than running
   // virtual time backwards through the event loop.
@@ -60,7 +60,7 @@ EventHandle Scheduler::at(SimTime when, std::function<void()> fn) {
   return EventHandle{this, slot, gen};
 }
 
-EventHandle Scheduler::after(SimTime delay, std::function<void()> fn) {
+EventHandle Scheduler::after(SimTime delay, Task fn) {
   return at(now_ + delay, std::move(fn));
 }
 
@@ -70,7 +70,7 @@ void Scheduler::dispatch(const QueuedEvent& ev) {
   // The queue entry owns its slot for exactly one generation, so a
   // generation mismatch is impossible here; cancelled is the only flag.
   const bool fire = !slot.cancelled;
-  std::function<void()> fn;
+  Task fn;
   if (fire) fn = std::move(slot.fn);
   // Recycle before invoking: the callback may schedule new events into the
   // slot we just freed, which is fine — `fn` was moved out first.

@@ -4,20 +4,20 @@
 //
 // Events live in a slab-recycled pool: the priority queue holds plain
 // 24-byte records and cancellation uses (slot, generation) tags, so
-// scheduling an event performs no allocation beyond the pooled
-// std::function state (which is itself recycled, and allocation-free for
-// callables that fit the small-buffer optimization — every hot-path lambda
-// in the simulator does). The seed's per-event shared_ptr<bool> control
-// block is gone; bench_flow_lookup and the sweep benches measure the
-// difference on large grids.
+// scheduling an event performs no allocation at all in steady state. The
+// callback is a sim::Task whose inline buffer is sized for the fattest
+// hot-path lambda (a pipe delivery carrying a chan::Envelope); oversized
+// callables recycle through the thread's slab pool, and the pool/queue
+// vectors themselves are slab-backed, so once the pool reaches its
+// high-water mark the event loop never touches the general heap.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
+#include "sim/task.hpp"
 
 namespace attain::sim {
 
@@ -62,10 +62,10 @@ class Scheduler {
   /// Schedules `fn` to run at absolute virtual time `when`. A `when` in the
   /// past is clamped to now(): stale timers fire immediately instead of
   /// running time backwards (or blowing up mid-simulation).
-  EventHandle at(SimTime when, std::function<void()> fn);
+  EventHandle at(SimTime when, Task fn);
 
   /// Schedules `fn` to run `delay` microseconds from now.
-  EventHandle after(SimTime delay, std::function<void()> fn);
+  EventHandle after(SimTime delay, Task fn);
 
   /// Runs events until the queue drains.
   void run();
@@ -84,7 +84,7 @@ class Scheduler {
 
   /// Pooled event state; the heap refers to it by slot index + generation.
   struct Slot {
-    std::function<void()> fn;
+    Task fn;
     std::uint32_t gen{0};
     bool cancelled{false};
     bool pending{false};
@@ -102,7 +102,7 @@ class Scheduler {
     }
   };
 
-  std::uint32_t acquire_slot(std::function<void()> fn);
+  std::uint32_t acquire_slot(Task fn);
   /// Recycles a slot: bumps the generation (invalidating handles) and
   /// returns the std::function state to the pool for reuse.
   void release_slot(std::uint32_t slot);
@@ -111,9 +111,9 @@ class Scheduler {
   SimTime now_{0};
   std::uint64_t seq_{0};
   std::uint64_t executed_{0};
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
-  std::vector<Slot> pool_;
-  std::vector<std::uint32_t> free_slots_;
+  std::priority_queue<QueuedEvent, mem::vector<QueuedEvent>, Later> queue_;
+  mem::vector<Slot> pool_;
+  mem::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace attain::sim

@@ -1,0 +1,121 @@
+// Move-only callable for scheduler events. std::function<void()> has a
+// ~16-byte small-buffer: every pipe-delivery lambda (which captures the
+// in-flight payload — a chan::Envelope is a few hundred bytes) spilled to
+// the general heap, one malloc/free per frame per hop. Task keeps a large
+// inline buffer sized for the fattest hot-path lambda, so scheduling is
+// allocation-free; the rare oversized callable lives on the calling
+// thread's slab pool (mem::thread_slab()), which recycles it.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/arena.hpp"
+
+namespace attain::sim {
+
+class Task {
+ public:
+  /// Sized for a pipe-delivery lambda carrying an Envelope (decoded
+  /// message + wire bytes caches) with slack for capture padding.
+  static constexpr std::size_t kInlineSize = 384;
+
+  Task() noexcept = default;
+  Task(std::nullptr_t) noexcept {}
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, Task> &&
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Task(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    if constexpr (sizeof(Fn) <= kInlineSize) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    } else {
+      heap_ = mem::thread_slab().allocate(sizeof(Fn));
+      heap_size_ = sizeof(Fn);
+      ::new (heap_) Fn(std::forward<F>(f));
+    }
+    vt_ = &vtable_of<Fn>;
+  }
+
+  Task(Task&& other) noexcept { steal(other); }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+
+  Task& operator=(std::nullptr_t) noexcept {
+    destroy();
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { destroy(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(target()); }
+
+  /// True when the callable lives in the inline buffer (introspection for
+  /// tests asserting the hot-path lambdas stay allocation-free).
+  bool inline_storage() const noexcept { return vt_ != nullptr && heap_ == nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*move_construct)(void* dst, void* src);  // src destroyed
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable vtable_of{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  void* target() noexcept { return heap_ != nullptr ? heap_ : static_cast<void*>(buf_); }
+
+  void steal(Task& other) noexcept {
+    vt_ = other.vt_;
+    heap_ = other.heap_;
+    heap_size_ = other.heap_size_;
+    if (vt_ != nullptr && heap_ == nullptr) {
+      vt_->move_construct(buf_, other.buf_);
+    }
+    other.vt_ = nullptr;
+    other.heap_ = nullptr;
+    other.heap_size_ = 0;
+  }
+
+  void destroy() noexcept {
+    if (vt_ == nullptr) return;
+    vt_->destroy(target());
+    if (heap_ != nullptr) {
+      mem::thread_slab().deallocate(heap_, heap_size_);
+      heap_ = nullptr;
+      heap_size_ = 0;
+    }
+    vt_ = nullptr;
+  }
+
+  const VTable* vt_{nullptr};
+  void* heap_{nullptr};
+  std::size_t heap_size_{0};
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace attain::sim

@@ -28,7 +28,7 @@ void TimerWheel::place(SimTime deadline, std::uint64_t cookie, std::int64_t now_
 }
 
 void TimerWheel::cascade(int level, std::size_t slot) {
-  std::vector<Timer> moved = std::move(slots_[static_cast<std::size_t>(level)][slot]);
+  mem::vector<Timer> moved = std::move(slots_[static_cast<std::size_t>(level)][slot]);
   slots_[static_cast<std::size_t>(level)][slot].clear();
   const std::int64_t now_tick = tick_of(now_);
   for (const Timer& t : moved) {
@@ -36,7 +36,7 @@ void TimerWheel::cascade(int level, std::size_t slot) {
   }
 }
 
-void TimerWheel::advance(SimTime now, std::vector<std::uint64_t>& due) {
+void TimerWheel::advance(SimTime now, mem::vector<std::uint64_t>& due) {
   if (now < now_) return;  // monotonicity guard (no-op on equal/backward)
   if (pending_ == 0) {
     now_ = now;
@@ -56,7 +56,7 @@ void TimerWheel::advance(SimTime now, std::vector<std::uint64_t>& due) {
         }
       }
     }
-    std::vector<Timer>& slot = slots_[0][static_cast<std::size_t>(t & (kSlots - 1))];
+    mem::vector<Timer>& slot = slots_[0][static_cast<std::size_t>(t & (kSlots - 1))];
     if (slot.empty()) continue;
     if (t < final_tick) {
       // Every timer here has a deadline inside a fully elapsed tick.

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 
 namespace attain::sim {
@@ -33,7 +34,7 @@ class TimerWheel {
   /// Appends every cookie whose deadline is <= `now` to `due` (deadline
   /// order is NOT guaranteed — callers needing an order sort the popped
   /// set) and advances the wheel clock. `now` must be monotone.
-  void advance(SimTime now, std::vector<std::uint64_t>& due);
+  void advance(SimTime now, mem::vector<std::uint64_t>& due);
 
   std::size_t pending() const { return pending_; }
   SimTime now() const { return now_; }
@@ -56,7 +57,7 @@ class TimerWheel {
   void place(SimTime deadline, std::uint64_t cookie, std::int64_t now_tick);
   void cascade(int level, std::size_t slot);
 
-  std::array<std::array<std::vector<Timer>, kSlots>, kLevels> slots_;
+  std::array<std::array<mem::vector<Timer>, kSlots>, kLevels> slots_;
   SimTime now_;
   std::size_t pending_{0};
 };

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "attain/monitor/metrics.hpp"
+#include "common/arena.hpp"
 #include "snap/snapshot.hpp"
 
 namespace attain::sweep {
@@ -309,6 +310,9 @@ SweepReport SweepRunner::run(const std::vector<scenario::RunSpec>& grid) const {
       const WorkItem& item = items[i];
       if (item.warm) {
         run_warm_item(item);
+        // run() marks boundaries for cold cells; warm tails complete in
+        // forked children, so mark the parent's boundary per group here.
+        mem::run_boundary();
       } else {
         CellOutcome& cell = report.cells[item.cells.front()];
         run_cold(cell, 1);

@@ -159,7 +159,7 @@ void FlowTable::arm_timer(std::uint32_t id) {
 // ---------------------------------------------------------------------------
 // FLOW_MOD commands
 
-std::vector<ExpiredEntry> FlowTable::apply(const ofp::FlowMod& mod, SimTime now) {
+ExpiredList FlowTable::apply(const ofp::FlowMod& mod, SimTime now) {
   switch (mod.command) {
     case ofp::FlowModCommand::Add:
       add(mod, now);
@@ -252,7 +252,7 @@ void FlowTable::modify(const ofp::FlowMod& mod, SimTime now, bool strict) {
   if (!any) add(mod, now);  // OF1.0: MODIFY with no match behaves like ADD
 }
 
-std::vector<ExpiredEntry> FlowTable::erase(const ofp::FlowMod& mod, bool strict) {
+ExpiredList FlowTable::erase(const ofp::FlowMod& mod, bool strict) {
   std::vector<std::uint32_t> victims;
   if (strict) {
     const std::uint32_t id = find_strict(mod.match, mod.priority);
@@ -265,7 +265,7 @@ std::vector<ExpiredEntry> FlowTable::erase(const ofp::FlowMod& mod, bool strict)
       }
     }
   }
-  std::vector<ExpiredEntry> removed;
+  ExpiredList removed;
   removed.reserve(victims.size());
   for (const std::uint32_t id : victims) {
     removed.push_back(ExpiredEntry{slots_[id].entry, ofp::FlowRemovedReason::Delete});
@@ -317,7 +317,7 @@ const FlowEntry* FlowTable::match_packet(const pkt::Packet& packet, std::uint16_
 // ---------------------------------------------------------------------------
 // Expiry
 
-std::vector<ExpiredEntry> FlowTable::expire(SimTime now) {
+ExpiredList FlowTable::expire(SimTime now) {
   due_scratch_.clear();
   wheel_.advance(now, due_scratch_);
 
@@ -350,7 +350,7 @@ std::vector<ExpiredEntry> FlowTable::expire(SimTime now) {
   // depends on.
   std::sort(victims.begin(), victims.end(),
             [](const Victim& a, const Victim& b) { return a.seq < b.seq; });
-  std::vector<ExpiredEntry> expired;
+  ExpiredList expired;
   expired.reserve(victims.size());
   for (const Victim& victim : victims) {
     expired.push_back(ExpiredEntry{slots_[victim.id].entry, victim.reason});

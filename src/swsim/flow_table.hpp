@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "ofp/messages.hpp"
 #include "packet/flow_key.hpp"
@@ -60,12 +61,16 @@ struct ExpiredEntry {
   ofp::FlowRemovedReason reason{ofp::FlowRemovedReason::IdleTimeout};
 };
 
+/// Slab-backed eviction list: expire()/apply() return one per call on the
+/// steady-state path, so its storage recycles instead of churning the heap.
+using ExpiredList = std::vector<ExpiredEntry, mem::SlabAllocator<ExpiredEntry>>;
+
 class FlowTable {
  public:
   /// Applies a FLOW_MOD. Returns entries removed by Delete/DeleteStrict
   /// (the switch decides whether each warrants a FLOW_REMOVED, based on
   /// the entry's SEND_FLOW_REM flag).
-  std::vector<ExpiredEntry> apply(const ofp::FlowMod& mod, SimTime now);
+  ExpiredList apply(const ofp::FlowMod& mod, SimTime now);
 
   /// Highest-precedence matching entry for `key` (the packet's canonical
   /// 12-tuple, extracted once at ingress), or nullptr on table miss.
@@ -87,7 +92,7 @@ class FlowTable {
   /// Removes entries whose idle or hard timeout has elapsed, in insertion
   /// order. When both timeouts elapsed by `now`, the hard timeout wins the
   /// FLOW_REMOVED reason (checked first, as the seed scan did).
-  std::vector<ExpiredEntry> expire(SimTime now);
+  ExpiredList expire(SimTime now);
 
   /// Live entries in insertion order (snapshot of pointers; invalidated by
   /// the next mutating call).
@@ -125,16 +130,16 @@ class FlowTable {
   };
 
   /// Entry ids sorted by (priority desc, seq asc) — front() is the winner.
-  using IdList = std::vector<std::uint32_t>;
+  using IdList = mem::vector<std::uint32_t>;
   struct Bucket {
     std::uint32_t wildcards{0};
-    std::unordered_map<pkt::FlowKey, IdList, pkt::FlowKeyHash> by_key;
+    mem::unordered_map<pkt::FlowKey, IdList, pkt::FlowKeyHash> by_key;
     std::size_t entry_count{0};
   };
 
   void add(const ofp::FlowMod& mod, SimTime now);
   void modify(const ofp::FlowMod& mod, SimTime now, bool strict);
-  std::vector<ExpiredEntry> erase(const ofp::FlowMod& mod, bool strict);
+  ExpiredList erase(const ofp::FlowMod& mod, bool strict);
 
   std::uint32_t find_strict(const ofp::Match& match, std::uint16_t priority) const;
   std::uint32_t acquire_slot();
@@ -147,8 +152,8 @@ class FlowTable {
     return (static_cast<std::uint64_t>(gen) << 32) | id;
   }
 
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
+  mem::vector<Slot> slots_;
+  mem::vector<std::uint32_t> free_slots_;
   std::uint32_t head_{kNil};
   std::uint32_t tail_{kNil};
   std::size_t live_count_{0};
@@ -156,12 +161,12 @@ class FlowTable {
   std::size_t capacity_{0};
   std::uint64_t adds_rejected_{0};
 
-  std::unordered_map<pkt::FlowKey, IdList, pkt::FlowKeyHash> exact_;
-  std::vector<Bucket> buckets_;
-  std::unordered_map<std::uint32_t, std::size_t> bucket_of_;  // wildcards -> buckets_ index
+  mem::unordered_map<pkt::FlowKey, IdList, pkt::FlowKeyHash> exact_;
+  mem::vector<Bucket> buckets_;
+  mem::unordered_map<std::uint32_t, std::size_t> bucket_of_;  // wildcards -> buckets_ index
 
   sim::TimerWheel wheel_;
-  std::vector<std::uint64_t> due_scratch_;
+  mem::vector<std::uint64_t> due_scratch_;
 };
 
 }  // namespace attain::swsim

@@ -30,7 +30,7 @@ namespace attain::swsim {
 
 class NaiveFlowTable {
  public:
-  std::vector<ExpiredEntry> apply(const ofp::FlowMod& mod, SimTime now) {
+  ExpiredList apply(const ofp::FlowMod& mod, SimTime now) {
     switch (mod.command) {
       case ofp::FlowModCommand::Add:
         add(mod, now);
@@ -70,8 +70,8 @@ class NaiveFlowTable {
     return best;
   }
 
-  std::vector<ExpiredEntry> expire(SimTime now) {
-    std::vector<ExpiredEntry> expired;
+  ExpiredList expire(SimTime now) {
+    ExpiredList expired;
     std::erase_if(entries_, [&](const FlowEntry& entry) {
       ofp::FlowRemovedReason reason;
       if (entry.hard_timeout != 0 &&
@@ -152,8 +152,8 @@ class NaiveFlowTable {
     if (!any) add(mod, now);  // OF1.0: MODIFY with no match behaves like ADD
   }
 
-  std::vector<ExpiredEntry> erase(const ofp::FlowMod& mod, bool strict) {
-    std::vector<ExpiredEntry> removed;
+  ExpiredList erase(const ofp::FlowMod& mod, bool strict) {
+    ExpiredList removed;
     std::erase_if(entries_, [&](const FlowEntry& entry) {
       const bool hit = (strict ? entry.priority == mod.priority &&
                                      entry.match.strictly_equals(mod.match)

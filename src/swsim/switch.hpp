@@ -145,11 +145,11 @@ class OpenFlowSwitch {
     SimTime buffered_at{0};
   };
   static constexpr SimTime kBufferTtl = 10 * kSecond;
-  std::map<std::uint32_t, Buffered> buffers_;
+  mem::map<std::uint32_t, Buffered> buffers_;
   std::uint32_t next_buffer_id_{1};
 
   // Standalone (fail-safe) learning table: MAC -> port.
-  std::map<std::uint64_t, std::uint16_t> standalone_macs_;
+  mem::map<std::uint64_t, std::uint16_t> standalone_macs_;
 
   // Administratively/link-down ports (egress suppressed).
   std::set<std::uint16_t> down_ports_;

@@ -37,7 +37,7 @@ struct Fixture {
     ctx.next_xid = [this] { return ++xid_counter; };
   }
 
-  std::vector<OutMessage> out_list() { return {OutMessage{original, 0}}; }
+  OutMessageList out_list() { return {OutMessage{original, 0}}; }
 };
 
 TEST(Modifier, DropClearsList) {
@@ -177,7 +177,7 @@ TEST(Modifier, ReorderViaPrependShift) {
     apply_action(lang::ActPrepend{"stack", nullptr}, out, fx.ctx);
   }
   fx.ctx.original = &fx.original;
-  auto out = std::vector<OutMessage>{};
+  auto out = OutMessageList{};
   for (int i = 0; i < 3; ++i) {
     apply_action(lang::ActSendStored{"stack", false, true}, out, fx.ctx);
   }

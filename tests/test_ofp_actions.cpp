@@ -7,7 +7,7 @@
 namespace attain::ofp {
 namespace {
 
-std::vector<Action> representative_actions() {
+ActionList representative_actions() {
   return {
       ActionOutput{3, 0xffff},
       ActionOutput{static_cast<std::uint16_t>(Port::Flood), 128},

@@ -3,6 +3,7 @@
 // <= now, never early, never lost — but the cascade machinery has enough
 // edge cases (level boundaries, far deadlines, past deadlines) to deserve
 // direct coverage alongside a naive sorted-map reference.
+#include "common/arena.hpp"
 #include "sim/timer_wheel.hpp"
 
 #include <gtest/gtest.h>
@@ -16,7 +17,9 @@
 namespace attain::sim {
 namespace {
 
-std::vector<std::uint64_t> sorted(std::vector<std::uint64_t> v) {
+template <typename Vec>
+std::vector<std::uint64_t> sorted(const Vec& v_in) {
+  std::vector<std::uint64_t> v(v_in.begin(), v_in.end());
   std::sort(v.begin(), v.end());
   return v;
 }
@@ -24,21 +27,21 @@ std::vector<std::uint64_t> sorted(std::vector<std::uint64_t> v) {
 TEST(TimerWheel, FiresAtExactDeadline) {
   TimerWheel wheel;
   wheel.schedule(5 * kSecond, 1);
-  std::vector<std::uint64_t> due;
+  mem::vector<std::uint64_t> due;
   wheel.advance(5 * kSecond - 1, due);
   EXPECT_TRUE(due.empty());
   wheel.advance(5 * kSecond, due);
-  EXPECT_EQ(due, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(due, (mem::vector<std::uint64_t>{1}));
   EXPECT_EQ(wheel.pending(), 0u);
 }
 
 TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
   TimerWheel wheel;
-  std::vector<std::uint64_t> due;
+  mem::vector<std::uint64_t> due;
   wheel.advance(10 * kSecond, due);
   wheel.schedule(3 * kSecond, 7);  // already elapsed
   wheel.advance(10 * kSecond, due);
-  EXPECT_EQ(due, (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(due, (mem::vector<std::uint64_t>{7}));
 }
 
 TEST(TimerWheel, FarDeadlinesCascadeDownTheLevels) {
@@ -47,13 +50,13 @@ TEST(TimerWheel, FarDeadlinesCascadeDownTheLevels) {
   TimerWheel wheel;
   const SimTime far = 3600 * kSecond;  // one hour: well into the upper levels
   wheel.schedule(far, 42);
-  std::vector<std::uint64_t> due;
+  mem::vector<std::uint64_t> due;
   for (SimTime t = 100 * kSecond; t < far; t += 100 * kSecond) {
     wheel.advance(t, due);
     EXPECT_TRUE(due.empty()) << "fired early at t=" << t;
   }
   wheel.advance(far, due);
-  EXPECT_EQ(due, (std::vector<std::uint64_t>{42}));
+  EXPECT_EQ(due, (mem::vector<std::uint64_t>{42}));
 }
 
 TEST(TimerWheel, SameTickTimersPartitionByDeadline) {
@@ -63,12 +66,12 @@ TEST(TimerWheel, SameTickTimersPartitionByDeadline) {
   const SimTime base = 1 * kSecond;
   wheel.schedule(base + 10, 1);
   wheel.schedule(base + 20, 2);
-  std::vector<std::uint64_t> due;
+  mem::vector<std::uint64_t> due;
   wheel.advance(base + 15, due);
-  EXPECT_EQ(due, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(due, (mem::vector<std::uint64_t>{1}));
   due.clear();
   wheel.advance(base + 20, due);
-  EXPECT_EQ(due, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(due, (mem::vector<std::uint64_t>{2}));
 }
 
 TEST(TimerWheel, ResetDropsPendingTimers) {
@@ -77,14 +80,14 @@ TEST(TimerWheel, ResetDropsPendingTimers) {
   wheel.schedule(2 * kSecond, 2);
   wheel.reset(wheel.now());
   EXPECT_EQ(wheel.pending(), 0u);
-  std::vector<std::uint64_t> due;
+  mem::vector<std::uint64_t> due;
   wheel.advance(10 * kSecond, due);
   EXPECT_TRUE(due.empty());
 }
 
 TEST(TimerWheel, AdvanceIsMonotoneEvenWhenCalledWithStaleNow) {
   TimerWheel wheel;
-  std::vector<std::uint64_t> due;
+  mem::vector<std::uint64_t> due;
   wheel.advance(10 * kSecond, due);
   const SimTime before = wheel.now();
   wheel.advance(5 * kSecond, due);  // stale caller: must not rewind
@@ -114,7 +117,7 @@ TEST(TimerWheel, FuzzAgainstSortedMapReference) {
       ++next_cookie;
     } else {
       now += static_cast<SimTime>(rng.next_below(5 * kSecond));
-      std::vector<std::uint64_t> due;
+      mem::vector<std::uint64_t> due;
       wheel.advance(now, due);
       std::vector<std::uint64_t> expected;
       for (auto it = reference.begin(); it != reference.end() && it->first <= now;) {
