@@ -102,6 +102,15 @@ std::string ByteReader::fixed_string(std::size_t width) {
   return s;
 }
 
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 std::string to_hex(std::span<const std::uint8_t> data) {
   static constexpr char digits[] = "0123456789abcdef";
   std::string out;

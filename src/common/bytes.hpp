@@ -91,4 +91,13 @@ class ByteReader {
 /// no separators) — used by logs and fuzz-test diagnostics.
 std::string to_hex(std::span<const std::uint8_t> data);
 
+/// FNV-1a over a byte span: the stable 64-bit content digest used by the
+/// campaign journal records, the distributed result frames, and
+/// scenario::result_digest. Not cryptographic — it detects truncation and
+/// corruption, not adversaries.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data);
+inline std::uint64_t fnv1a64(const std::string& s) {
+  return fnv1a64({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
 }  // namespace attain

@@ -904,6 +904,12 @@ RunResultPtr load_result(ByteReader& r) {
   }
 }
 
+std::uint64_t result_digest(const RunResult& result) {
+  ByteWriter w;
+  save_result(result, w);
+  return fnv1a64(w.bytes());
+}
+
 // ---------------------------------------------------------------------------
 
 std::string render_table2(const std::vector<InterruptionResult>& results) {

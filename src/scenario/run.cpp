@@ -481,6 +481,17 @@ SimTime fork_time(const RunSpec& spec) {
   throw std::invalid_argument("fork_time: custom cells have no shared warm-up");
 }
 
+std::uint64_t grid_digest(const std::vector<RunSpec>& grid) {
+  // Digest the concatenated spec documents with a separator the JSON can
+  // never contain, so cell boundaries stay unambiguous.
+  std::string doc;
+  for (const RunSpec& spec : grid) {
+    doc += spec.to_json();
+    doc += '\n';
+  }
+  return fnv1a64(doc);
+}
+
 std::string render_results_table(const std::vector<const RunResult*>& results) {
   const RunResult* first = nullptr;
   for (const RunResult* r : results) {

@@ -329,6 +329,17 @@ WarmupPhasePtr warm_up(const RunSpec& representative);
 void save_result(const RunResult& result, ByteWriter& w);
 RunResultPtr load_result(ByteReader& r);
 
+/// Stable content digest of a result: fnv1a64 over its save_result
+/// encoding. The campaign journal (sweep/journal.*) stores it per record
+/// so a resumed campaign can verify what it loaded. Throws like
+/// save_result for custom result types.
+std::uint64_t result_digest(const RunResult& result);
+
+/// Stable digest of a whole grid (over the specs' JSON forms, in grid
+/// order). A campaign journal is bound to this value: resuming against a
+/// different grid is an error, not a silent partial re-run.
+std::uint64_t grid_digest(const std::vector<RunSpec>& grid);
+
 /// Renders homogeneous results as one aligned table via the
 /// row_header()/to_row() interface (null entries are skipped).
 std::string render_results_table(const std::vector<const RunResult*>& results);

@@ -1,11 +1,12 @@
 #include "snap/snapshot.hpp"
 
 #include <algorithm>
-#include <array>
 #include <bit>
 #include <chrono>
 #include <cstdio>
 #include <numeric>
+
+#include "snap/wire.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ATTAIN_SNAP_POSIX 1
@@ -80,33 +81,6 @@ bool fork_supported() {
 
 namespace {
 
-void write_all(int fd, const Bytes& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // reader gone; the parent will see a truncated blob
-    }
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-Bytes read_all(int fd) {
-  Bytes data;
-  std::array<std::uint8_t, 4096> buf;
-  for (;;) {
-    const ssize_t n = ::read(fd, buf.data(), buf.size());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;
-    data.insert(data.end(), buf.begin(), buf.begin() + n);
-  }
-  return data;
-}
-
 void wait_pid(pid_t pid) {
   int status = 0;
   while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
@@ -130,7 +104,9 @@ void wait_pid(pid_t pid) {
   } catch (...) {
     blob = encode_outcome(false, "unknown exception", 0.0, nullptr);
   }
-  write_all(fd, blob);
+  // A failed write means the reader is gone; the parent sees a truncated
+  // blob and falls back to a cold run.
+  wire::write_exact(fd, blob);
   ::close(fd);
   ::_exit(0);
 }
@@ -224,7 +200,7 @@ std::vector<TailOutcome> run_group(const scenario::RunSpec& rep,
   // to its own pipe and blobs are far below the pipe buffer; no tail's
   // progress depends on another pipe being drained first.
   for (std::size_t k = 0; k < cells.size(); ++k) {
-    const Bytes blob = read_all(pipes[k][0]);
+    const Bytes blob = wire::read_stream(pipes[k][0]);
     ::close(pipes[k][0]);
     if (!blob.empty()) outcomes[k] = decode_outcome(blob);
   }

@@ -1,0 +1,113 @@
+#include "snap/wire.hpp"
+
+#include <array>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+
+#include <cerrno>
+#define ATTAIN_WIRE_POSIX 1
+#endif
+
+namespace attain::snap::wire {
+
+#if defined(ATTAIN_WIRE_POSIX)
+
+bool write_exact(int fd, std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::array<std::uint8_t, 4> header{
+      static_cast<std::uint8_t>(len >> 24), static_cast<std::uint8_t>(len >> 16),
+      static_cast<std::uint8_t>(len >> 8), static_cast<std::uint8_t>(len)};
+  return write_exact(fd, header) && write_exact(fd, payload);
+}
+
+namespace {
+
+/// Reads exactly n bytes. Returns the count actually read: n on success,
+/// less when the stream ended or errored first.
+std::size_t read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::read(fd, buf + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;
+    off += static_cast<std::size_t>(got);
+  }
+  return off;
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, Bytes& out, std::size_t max_payload) {
+  std::array<std::uint8_t, 4> header;
+  const std::size_t got = read_exact(fd, header.data(), header.size());
+  if (got == 0) return FrameStatus::Eof;
+  if (got != header.size()) return FrameStatus::Error;
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (len > max_payload) return FrameStatus::Error;
+  out.resize(len);
+  if (read_exact(fd, out.data(), len) != len) return FrameStatus::Error;
+  return FrameStatus::Ok;
+}
+
+Bytes read_stream(int fd) {
+  Bytes data;
+  std::array<std::uint8_t, 4096> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf.begin(), buf.begin() + n);
+  }
+  return data;
+}
+
+#else  // !ATTAIN_WIRE_POSIX
+
+bool write_exact(int, std::span<const std::uint8_t>) { return false; }
+bool write_frame(int, std::span<const std::uint8_t>) { return false; }
+FrameStatus read_frame(int, Bytes&, std::size_t) { return FrameStatus::Error; }
+Bytes read_stream(int) { return {}; }
+
+#endif
+
+Bytes seal(ByteWriter&& body_writer) {
+  Bytes body = std::move(body_writer).take();
+  const std::uint64_t digest = fnv1a64(body);
+  ByteWriter sealed;
+  sealed.reserve(body.size() + 8);
+  sealed.raw(body);
+  sealed.u64(digest);
+  return std::move(sealed).take();
+}
+
+bool unseal(const Bytes& payload, std::span<const std::uint8_t>& body) {
+  if (payload.size() < 8) return false;
+  body = {payload.data(), payload.size() - 8};
+  ByteReader tail({payload.data() + payload.size() - 8, 8});
+  return tail.u64() == fnv1a64(body);
+}
+
+}  // namespace attain::snap::wire

@@ -1,0 +1,108 @@
+// Sharded multi-process campaign runner: a coordinator that partitions a
+// grid into warm-start-signature-affine shards (sweep::plan_work_items)
+// and feeds a pool of forked worker *processes* over per-worker pipe
+// pairs, generalizing the snap:: per-cell pipe + save_result/load_result
+// protocol into length-prefixed, digest-checked frames (snap/wire.hpp).
+//
+// Why processes, not more threads: each worker owns a whole heap, its own
+// mem::thread_slab() arenas, and its own snap:: COW warm-up lineage — so
+// process isolation composes with (rather than replaces) the warm-start
+// and slab wins, a crashing cell takes down only its worker, and the
+// campaign spans every core the machine has without sharing one
+// fork-snapshot ancestry.
+//
+// Guarantees:
+//  - The merged results document is byte-identical to a single-process
+//    SweepRunner run of the same grid (both runners execute the cell core
+//    in sweep.hpp; outcomes land by grid index).
+//  - A worker that dies (crash, SIGKILL, corrupt frame, timeout) is
+//    respawned and its lost cells re-run *cold* with the full retry
+//    budget — exactly SweepRunner's infrastructure-failure semantics.
+//  - With a journal (sweep/journal.hpp), a killed coordinator resumes
+//    from the completed-cell set instead of recomputing it, and the
+//    resumed campaign's merged document is byte-identical to an
+//    uninterrupted run.
+#pragma once
+
+#include "sweep/sweep.hpp"
+
+namespace attain::sweep {
+
+/// True when worker processes can be forked here (same conditions as
+/// snap::fork_supported). When false, DistributedRunner degrades to an
+/// in-process SweepRunner sweep (journal support included).
+bool distributed_supported();
+
+struct DistributedOptions {
+  /// Worker processes; 0 = std::thread::hardware_concurrency().
+  unsigned workers{0};
+  /// Executions per cell before giving up (1 = no retry).
+  unsigned max_attempts{1};
+  /// Per-cell wall budget, checked cooperatively on completion (see
+  /// SweepOptions::cell_timeout_seconds).
+  double cell_timeout_seconds{0.0};
+  /// Opt-in warm-start inside each worker: a worker runs its shard's
+  /// signature groups from COW snapshot forks (snap::run_group), so the
+  /// warm-start win multiplies with process parallelism.
+  bool warm_start{false};
+  /// Concurrent tail processes per warm group (per worker).
+  int warm_tail_processes{4};
+  /// Bounded dispatch window: work items in flight per worker. Small
+  /// values keep the task pipes shallow (backpressure); larger values
+  /// hide dispatch latency.
+  std::size_t in_flight_per_worker{2};
+  /// Append-only campaign journal path; empty disables journaling.
+  std::string journal_path;
+  /// With a journal_path: load the journal first and skip its completed
+  /// cells (the journal must match this grid — see CampaignJournal).
+  /// Without resume, the journal is created fresh (truncating any old
+  /// file).
+  bool resume{false};
+  /// Worker-death budget per cell: a cell that keeps killing workers is
+  /// marked Failed after this many respawn-and-retry rounds.
+  unsigned max_cell_respawns{2};
+  /// Kill (SIGKILL) and respawn a worker that has in-flight work but has
+  /// streamed no frame for this long; 0 disables the watchdog.
+  double worker_timeout_seconds{0.0};
+  /// Same contract as SweepOptions::on_progress: exactly once per cell.
+  /// Cells restored from the journal fire first, in grid order.
+  std::function<void(const Progress&)> on_progress;
+};
+
+/// A SweepReport plus the distributed accounting: how the campaign was
+/// sharded, how many workers served it, and what the failure/resume
+/// machinery did.
+struct DistributedReport {
+  SweepReport sweep;            // cells in grid order; sweep.threads = workers
+  unsigned workers{0};          // worker processes initially spawned
+  std::size_t shards{0};        // work items dispatched (incl. re-dispatches)
+  std::size_t respawns{0};      // workers respawned after death/corruption
+  std::size_t resumed_cells{0}; // outcomes restored from the journal
+  std::size_t journal_records{0};  // records appended this run
+
+  /// The deterministic merged document — byte-identical to
+  /// SweepRunner's results_json() for the same grid.
+  std::string results_json() const { return sweep.results_json(); }
+  /// Full document: timing + distributed accounting + per-cell details.
+  std::string to_json() const;
+  /// Human summary: the sweep summary plus worker/shard/respawn/resume
+  /// accounting.
+  std::string summary() const;
+};
+
+class DistributedRunner {
+ public:
+  explicit DistributedRunner(DistributedOptions options = {});
+
+  /// Runs the campaign to completion; never throws for cell errors.
+  /// Throws std::runtime_error for campaign-level errors only: an
+  /// unwritable journal, or resuming against a mismatched grid.
+  DistributedReport run(const std::vector<scenario::RunSpec>& grid) const;
+
+  unsigned resolved_workers() const;
+
+ private:
+  DistributedOptions options_;
+};
+
+}  // namespace attain::sweep

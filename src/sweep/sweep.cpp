@@ -155,6 +155,110 @@ std::string SweepReport::summary() const {
   return out;
 }
 
+void run_cell_cold(CellOutcome& cell, unsigned first_attempt, const CellExecOptions& options) {
+  const unsigned max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  for (unsigned attempt = first_attempt; attempt <= max_attempts; ++attempt) {
+    cell.attempts = attempt;
+    const auto start = Clock::now();
+    try {
+      cell.result = scenario::run(cell.spec);
+      cell.wall_seconds = elapsed_seconds(start);
+      cell.error.clear();
+      cell.status = (options.cell_timeout_seconds > 0.0 &&
+                     cell.wall_seconds > options.cell_timeout_seconds)
+                        ? CellStatus::TimedOut
+                        : CellStatus::Ok;
+      return;
+    } catch (const std::exception& e) {
+      cell.wall_seconds = elapsed_seconds(start);
+      cell.error = e.what();
+    } catch (...) {
+      cell.wall_seconds = elapsed_seconds(start);
+      cell.error = "unknown exception";
+    }
+  }
+  cell.status = CellStatus::Failed;
+  cell.result.reset();
+}
+
+std::size_t run_warm_group(const std::vector<scenario::RunSpec>& cells,
+                          const std::vector<CellOutcome*>& outcomes,
+                          const CellExecOptions& options,
+                          const std::function<void(CellOutcome&, bool warm)>& on_final) {
+  const unsigned max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  snap::GroupOptions group_options;
+  group_options.max_live_tails = options.warm_tail_processes;
+  std::vector<snap::TailOutcome> tails =
+      snap::run_group(scenario::warmup_representative(cells.front()), cells, group_options);
+
+  std::size_t warm_cells = 0;
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    CellOutcome& cell = *outcomes[k];
+    snap::TailOutcome& out = tails[k];
+    bool warm = false;
+    if (out.completed && out.ok && out.result) {
+      warm = true;
+      ++warm_cells;
+      cell.attempts = 1;
+      cell.wall_seconds = out.wall_seconds;
+      cell.error.clear();
+      cell.result = std::move(out.result);
+      cell.status = (options.cell_timeout_seconds > 0.0 &&
+                     cell.wall_seconds > options.cell_timeout_seconds)
+                        ? CellStatus::TimedOut
+                        : CellStatus::Ok;
+    } else if (out.completed) {
+      // The cell itself threw inside the tail — the same exception a cold
+      // run would have raised, so it consumes attempt 1; any remaining
+      // budget runs cold.
+      cell.attempts = 1;
+      cell.wall_seconds = out.wall_seconds;
+      cell.error = out.error;
+      if (max_attempts > 1) {
+        run_cell_cold(cell, 2, options);
+      } else {
+        cell.status = CellStatus::Failed;
+        cell.result.reset();
+      }
+    } else {
+      // Infrastructure failure (fork/pipe/crashed child), not a cell
+      // failure: the full cold attempt budget applies.
+      run_cell_cold(cell, 1, options);
+    }
+    if (on_final) on_final(cell, warm);
+  }
+  return warm_cells;
+}
+
+std::vector<WorkItem> plan_work_items(const std::vector<scenario::RunSpec>& grid,
+                                      bool warm_start, const std::vector<bool>* skip) {
+  std::vector<WorkItem> items;
+  std::map<std::string, std::vector<std::size_t>> groups;
+  std::vector<std::size_t> singles;
+  const bool group_cells = warm_start && snap::fork_supported();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (skip != nullptr && (*skip)[i]) continue;
+    if (group_cells) {
+      if (const auto sig = scenario::warmup_signature(grid[i])) {
+        groups[*sig].push_back(i);
+        continue;
+      }
+    }
+    singles.push_back(i);
+  }
+  for (auto& [sig, members] : groups) {
+    if (members.size() >= 2) {
+      items.push_back(WorkItem{std::move(members), true});
+    } else {
+      singles.push_back(members.front());  // nothing to share with
+    }
+  }
+  for (const std::size_t i : singles) items.push_back(WorkItem{{i}, false});
+  std::sort(items.begin(), items.end(),
+            [](const WorkItem& a, const WorkItem& b) { return a.cells.front() < b.cells.front(); });
+  return items;
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
 unsigned SweepRunner::resolved_threads() const {
@@ -170,42 +274,12 @@ SweepReport SweepRunner::run(const std::vector<scenario::RunSpec>& grid) const {
   for (std::size_t i = 0; i < grid.size(); ++i) report.cells[i].spec = grid[i];
 
   const auto sweep_start = Clock::now();
-  const unsigned max_attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
+  CellExecOptions exec;
+  exec.max_attempts = options_.max_attempts;
+  exec.cell_timeout_seconds = options_.cell_timeout_seconds;
+  exec.warm_tail_processes = options_.warm_tail_processes;
 
-  // The unit of work claimed by a worker: either one cold cell, or a warm
-  // group — cells sharing one warm-up signature, run from a shared
-  // snapshot fork. Items are ordered by first grid index so claiming stays
-  // deterministic.
-  struct WorkItem {
-    std::vector<std::size_t> cells;
-    bool warm{false};
-  };
-  std::vector<WorkItem> items;
-  {
-    std::map<std::string, std::vector<std::size_t>> groups;
-    std::vector<std::size_t> singles;
-    if (options_.warm_start && snap::fork_supported()) {
-      for (std::size_t i = 0; i < grid.size(); ++i) {
-        if (const auto sig = scenario::warmup_signature(grid[i])) {
-          groups[*sig].push_back(i);
-        } else {
-          singles.push_back(i);
-        }
-      }
-    } else {
-      for (std::size_t i = 0; i < grid.size(); ++i) singles.push_back(i);
-    }
-    for (auto& [sig, members] : groups) {
-      if (members.size() >= 2) {
-        items.push_back(WorkItem{std::move(members), true});
-      } else {
-        singles.push_back(members.front());  // nothing to share with
-      }
-    }
-    for (const std::size_t i : singles) items.push_back(WorkItem{{i}, false});
-    std::sort(items.begin(), items.end(),
-              [](const WorkItem& a, const WorkItem& b) { return a.cells.front() < b.cells.front(); });
-  }
+  const std::vector<WorkItem> items = plan_work_items(grid, options_.warm_start);
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
@@ -228,79 +302,19 @@ SweepReport SweepRunner::run(const std::vector<scenario::RunSpec>& grid) const {
     }
   };
 
-  // Runs attempts first_attempt..max_attempts cold on this thread. Earlier
-  // attempts (a warm tail whose cell threw) are already accounted in
-  // cell.attempts/error.
-  auto run_cold = [&](CellOutcome& cell, unsigned first_attempt) {
-    for (unsigned attempt = first_attempt; attempt <= max_attempts; ++attempt) {
-      cell.attempts = attempt;
-      const auto start = Clock::now();
-      try {
-        cell.result = scenario::run(cell.spec);
-        cell.wall_seconds = elapsed_seconds(start);
-        cell.error.clear();
-        cell.status = (options_.cell_timeout_seconds > 0.0 &&
-                       cell.wall_seconds > options_.cell_timeout_seconds)
-                          ? CellStatus::TimedOut
-                          : CellStatus::Ok;
-        return;
-      } catch (const std::exception& e) {
-        cell.wall_seconds = elapsed_seconds(start);
-        cell.error = e.what();
-      } catch (...) {
-        cell.wall_seconds = elapsed_seconds(start);
-        cell.error = "unknown exception";
-      }
-    }
-    cell.status = CellStatus::Failed;
-    cell.result.reset();
-  };
-
   auto run_warm_item = [&](const WorkItem& item) {
     std::vector<scenario::RunSpec> cells;
+    std::vector<CellOutcome*> outcomes;
     cells.reserve(item.cells.size());
-    for (const std::size_t i : item.cells) cells.push_back(grid[i]);
-    snap::GroupOptions group_options;
-    group_options.max_live_tails = options_.warm_tail_processes;
-    std::vector<snap::TailOutcome> outcomes =
-        snap::run_group(scenario::warmup_representative(cells.front()), cells, group_options);
-
-    bool any_warm = false;
-    for (std::size_t k = 0; k < item.cells.size(); ++k) {
-      CellOutcome& cell = report.cells[item.cells[k]];
-      snap::TailOutcome& out = outcomes[k];
-      if (out.completed && out.ok && out.result) {
-        any_warm = true;
-        warm_cell_count.fetch_add(1);
-        cell.attempts = 1;
-        cell.wall_seconds = out.wall_seconds;
-        cell.error.clear();
-        cell.result = std::move(out.result);
-        cell.status = (options_.cell_timeout_seconds > 0.0 &&
-                       cell.wall_seconds > options_.cell_timeout_seconds)
-                          ? CellStatus::TimedOut
-                          : CellStatus::Ok;
-      } else if (out.completed) {
-        // The cell itself threw inside the tail — the same exception a
-        // cold run would have raised, so it consumes attempt 1; any
-        // remaining budget runs cold.
-        cell.attempts = 1;
-        cell.wall_seconds = out.wall_seconds;
-        cell.error = out.error;
-        if (max_attempts > 1) {
-          run_cold(cell, 2);
-        } else {
-          cell.status = CellStatus::Failed;
-          cell.result.reset();
-        }
-      } else {
-        // Infrastructure failure (fork/pipe/crashed child), not a cell
-        // failure: the full cold attempt budget applies.
-        run_cold(cell, 1);
-      }
-      finalize(cell);
+    outcomes.reserve(item.cells.size());
+    for (const std::size_t i : item.cells) {
+      cells.push_back(grid[i]);
+      outcomes.push_back(&report.cells[i]);
     }
-    if (any_warm) warm_group_count.fetch_add(1);
+    const std::size_t warm = run_warm_group(
+        cells, outcomes, exec, [&](CellOutcome& cell, bool) { finalize(cell); });
+    warm_cell_count.fetch_add(warm);
+    if (warm > 0) warm_group_count.fetch_add(1);
   };
 
   auto worker = [&] {
@@ -315,7 +329,7 @@ SweepReport SweepRunner::run(const std::vector<scenario::RunSpec>& grid) const {
         mem::run_boundary();
       } else {
         CellOutcome& cell = report.cells[item.cells.front()];
-        run_cold(cell, 1);
+        run_cell_cold(cell, 1, exec);
         finalize(cell);
       }
     }

@@ -36,6 +36,14 @@ struct CellOutcome {
   unsigned attempts{0};                   // executions incl. retries
   double wall_seconds{0.0};               // last attempt's wall time
   scenario::RunResultPtr result;          // null unless Ok/TimedOut
+  /// Distributed-runner accounting (sweep/distributed.*): global
+  /// allocations the worker process performed while running this cell, and
+  /// its thread slab's reserved bytes after the cell's teardown boundary —
+  /// the per-worker steady-state memory guard reads these. Zero for
+  /// thread-pool sweeps and when alloc_hook is not linked into the binary.
+  /// Deliberately absent from the deterministic JSON.
+  std::uint64_t worker_allocations{0};
+  std::uint64_t worker_slab_reserved{0};
 
   /// Deterministic JSON for this cell: spec + status + result, no timing.
   void write_json(JsonWriter& w) const;
@@ -122,5 +130,57 @@ class SweepRunner {
  private:
   SweepOptions options_;
 };
+
+// ---------------------------------------------------------------------------
+// Cell-execution core: the per-cell semantics (retry budget, cooperative
+// timeout, warm-group fallback rules) shared verbatim by the thread-pool
+// SweepRunner above and the multi-process DistributedRunner
+// (sweep/distributed.hpp). Because both runners call exactly these
+// functions, an N-worker campaign's merged results are byte-identical to
+// a single-process sweep by construction.
+// ---------------------------------------------------------------------------
+
+struct CellExecOptions {
+  unsigned max_attempts{1};
+  double cell_timeout_seconds{0.0};
+  int warm_tail_processes{4};
+};
+
+/// Runs attempts first_attempt..max_attempts of `cell.spec` cold on the
+/// calling thread, filling status/attempts/wall/error/result. Earlier
+/// attempts (e.g. a warm tail whose cell threw) are assumed already
+/// accounted in cell.attempts/error by the caller.
+void run_cell_cold(CellOutcome& cell, unsigned first_attempt, const CellExecOptions& options);
+
+/// Runs one warm-signature group from a shared COW snapshot fork
+/// (snap::run_group), applying SweepRunner's fallback semantics per cell:
+/// a tail that reported a cell exception consumes attempt 1 and retries
+/// cold; a tail that never reported (infrastructure failure) re-runs cold
+/// with the full budget. `outcomes` is parallel to `cells` (specs already
+/// filled in). `on_final(cell, warm)` fires exactly once per cell when its
+/// outcome is final; `warm` says the result came from a forked tail.
+/// Returns the number of warm (forked) results.
+std::size_t run_warm_group(const std::vector<scenario::RunSpec>& cells,
+                           const std::vector<CellOutcome*>& outcomes,
+                           const CellExecOptions& options,
+                           const std::function<void(CellOutcome&, bool warm)>& on_final);
+
+/// One unit of claimable work: a single cold cell, or a whole
+/// warm-signature group (cells sharing one warm-up, run from one fork —
+/// never split across threads or worker processes, which is what makes
+/// shard assignment warm-start-signature-affine).
+struct WorkItem {
+  std::vector<std::size_t> cells;  // grid indices
+  bool warm{false};
+};
+
+/// Partitions `grid` into work items, ordered by first grid index so
+/// claiming stays deterministic. With warm_start, cells sharing a
+/// warmup_signature group into one item (singleton groups run cold).
+/// `skip` (optional, grid-sized) excludes cells — the resume path: cells
+/// already completed in a journal are not re-planned.
+std::vector<WorkItem> plan_work_items(const std::vector<scenario::RunSpec>& grid,
+                                      bool warm_start,
+                                      const std::vector<bool>* skip = nullptr);
 
 }  // namespace attain::sweep

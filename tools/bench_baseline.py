@@ -7,6 +7,13 @@ Two subcommands (stdlib only, no third-party deps):
             and custom-harness --json output files (--harness, repeatable)
             into one baseline document written to --out.
 
+  list      Print what the committed baselines track: every baseline file
+            (positional, repeatable; defaults to ./BENCH_*.json), its
+            google-benchmark entries with their recorded times, and its
+            harness documents with their numeric metrics — gated *_seconds
+            metrics are marked. Use it to see at a glance which benches a
+            CI regression gate covers.
+
   check     Compare fresh google-benchmark JSON runs (--current, repeatable;
             files are merged, later files win on name clashes) and/or
             custom-harness --json runs (--current-harness, repeatable)
@@ -53,6 +60,7 @@ bench_sweep_snapshot harness:
 """
 
 import argparse
+import glob
 import json
 import sys
 
@@ -185,6 +193,42 @@ def cmd_check(args):
     return 0
 
 
+def cmd_list(args):
+    paths = args.baselines
+    if not paths:
+        paths = sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        sys.exit("no baseline files given and no BENCH_*.json in the current directory")
+    total_benchmarks = 0
+    total_metrics = 0
+    for path in paths:
+        doc = load_json(path)
+        if doc.get("schema") != 1:
+            sys.exit(f"{path}: unknown schema {doc.get('schema')!r}")
+        benchmarks = doc.get("benchmarks", {})
+        harness = doc.get("harness", {})
+        print(f"{path}: {len(benchmarks)} benchmark(s), {len(harness)} harness document(s)")
+        for name in sorted(benchmarks):
+            rec = benchmarks[name]
+            unit = rec.get("time_unit", "ns")
+            print(f"  [gbench]  {name}: {rec.get('real_time', 0.0):.1f} {unit}")
+            total_benchmarks += 1
+        for bench_name in sorted(harness):
+            hdoc = harness[bench_name]
+            mode = hdoc.get("mode", "?")
+            print(f"  [harness] {bench_name} (mode: {mode})")
+            for key in sorted(hdoc.get("metrics", {})):
+                value = hdoc["metrics"][key]
+                if not isinstance(value, (int, float)):
+                    continue
+                gated = "gated" if key.endswith("_seconds") else "info"
+                print(f"            {key}: {value:.3f} [{gated}]")
+                total_metrics += 1
+    print(f"\n{len(paths)} baseline file(s), {total_benchmarks} benchmark(s), "
+          f"{total_metrics} harness metric(s) tracked")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -197,6 +241,11 @@ def main():
                            help="custom-harness --json output (repeatable)")
     p_collect.add_argument("--out", required=True, help="baseline file to write")
     p_collect.set_defaults(func=cmd_collect)
+
+    p_list = sub.add_parser("list", help="print tracked baselines and their metrics")
+    p_list.add_argument("baselines", nargs="*",
+                        help="baseline JSON files (default: ./BENCH_*.json)")
+    p_list.set_defaults(func=cmd_list)
 
     p_check = sub.add_parser("check", help="fail if current run regressed vs baseline")
     p_check.add_argument("--baseline", action="append", required=True,
