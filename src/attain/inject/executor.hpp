@@ -67,6 +67,20 @@ class AttackExecutor {
   /// actual sends, which the proxy performs with the returned list).
   ExecutionResult process(const lang::InFlightMessage& msg);
 
+  /// Batch prefilter: true when process() for any message of this shape on
+  /// `conn` is guaranteed to run zero rules — every rule in the current
+  /// state's bucket carries a compiled program whose guard rejects the
+  /// (direction, type, decodability) shape, so outgoing == [msg], no state
+  /// or storage change, no monitor events. An empty bucket qualifies
+  /// trivially. `type` is absent for sealed/undecodable frames, mirroring
+  /// InFlightMessage::payload() == nullptr in Guard::admits().
+  bool plan_guard_skip(ConnectionId conn, lang::Direction direction,
+                       std::optional<ofp::MsgType> type) const;
+
+  /// Counter mirror of process() for a message plan_guard_skip() accepted:
+  /// one processed message, every bucket rule skipped by its guard.
+  void tally_guard_skip(ConnectionId conn);
+
   /// Oracle mode: evaluate conditionals with the tree-walk instead of the
   /// compiled programs (also disables the guard prefilter, restoring the
   /// seed's evaluate-and-catch semantics). On by default.

@@ -23,6 +23,15 @@ class InjectorStage : public chan::Stage {
     injector_.on_envelope(connection_, direction, std::move(envelope));
   }
 
+  bool plan_fast(chan::Channel&, const chan::BatchShape& shape) override {
+    return injector_.plan_fast(connection_, shape);
+  }
+
+  bool on_envelope_fast(chan::Channel&, chan::Direction, chan::Envelope&) override {
+    injector_.on_envelope_fast(connection_);
+    return true;  // the channel forward()s, matching the scalar do_send
+  }
+
  private:
   RuntimeInjector& injector_;
   ConnectionId connection_;
@@ -157,6 +166,29 @@ void RuntimeInjector::on_envelope(ConnectionId id, chan::Direction direction,
     return;
   }
   process_now(msg);
+}
+
+bool RuntimeInjector::plan_fast(ConnectionId id, const chan::BatchShape& shape) const {
+  if (sched_.now() < paused_until_) return false;  // SLEEP() queueing in effect
+  const auto endpoint = endpoints_.find(id);
+  if (endpoint == endpoints_.end()) return false;
+  // The side-input (channel-less) path records MessageObserved here rather
+  // than in a tap stage; keep it on the scalar path.
+  if (endpoint->second.channel == nullptr) return false;
+  // Seal state must already match so on_envelope()'s seal step is a no-op.
+  if (endpoint->second.tls != shape.sealed) return false;
+  // A full-event monitor would store a MessageForwarded Event per frame.
+  if (monitor_.enabled(monitor::EventKind::MessageForwarded)) return false;
+  if (!executor_) return true;  // disarmed: pure proxy
+  return executor_->plan_guard_skip(id, shape.direction, shape.type);
+}
+
+void RuntimeInjector::on_envelope_fast(ConnectionId id) {
+  ++stats_.messages_interposed;
+  ++next_message_id_;  // the id this frame would have been assigned
+  if (executor_) executor_->tally_guard_skip(id);
+  ++stats_.messages_delivered;
+  monitor_.tally(monitor::EventKind::MessageForwarded);
 }
 
 void RuntimeInjector::process_now(const lang::InFlightMessage& msg) {

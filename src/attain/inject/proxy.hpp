@@ -63,6 +63,16 @@ class RuntimeInjector {
   /// lands here (via a channel's injector stage or the side-input sinks).
   void on_envelope(ConnectionId id, chan::Direction direction, chan::Envelope envelope);
 
+  /// Batch fast path (see chan::Stage::plan_fast): true when on_envelope()
+  /// for any frame of this shape on `id` reduces to counter bookkeeping
+  /// plus one channel forward — no SLEEP() queueing, no rule evaluation
+  /// (disarmed, or every bucketed rule guard-rejects the shape), no stored
+  /// monitor events, no redirect or suppression. The channel then calls
+  /// on_envelope_fast() per frame and forwards the envelope itself.
+  bool plan_fast(ConnectionId id, const chan::BatchShape& shape) const;
+  /// Counter mirror of one fast-pathed frame (pairs with plan_fast()).
+  void on_envelope_fast(ConnectionId id);
+
   /// Arms an attack: the executor starts at σ_start with fresh storage.
   /// Both referents must outlive the injector or a later disarm().
   void arm(const dsl::CompiledAttack& attack, const model::CapabilityMap& capabilities);

@@ -90,6 +90,20 @@ class Monitor {
   /// Pairs with enabled() so kind counts match the record() path exactly.
   void tally(EventKind kind, std::uint64_t n = 1) { kind_counts_[kind] += n; }
 
+  bool counters_only() const { return counters_only_; }
+
+  /// Counter-only mirror of a MessageObserved record(): bumps the kind,
+  /// type, and per-connection counters exactly as record() would, without
+  /// building the string-heavy Event. The channel's fast path calls this
+  /// once per frame; only valid while counters_only() is true (otherwise
+  /// the event list would diverge from the record() path).
+  void tally_observed(std::optional<ofp::MsgType> type, ConnectionId connection,
+                      lang::Direction direction) {
+    ++kind_counts_[EventKind::MessageObserved];
+    if (type) ++type_counts_[*type];
+    ++conn_counts_[{connection, direction}];
+  }
+
   /// Renders the log as text, one event per line.
   std::string to_text(std::size_t max_events = 0) const;
 

@@ -82,6 +82,21 @@ Channel::Channel(sim::Scheduler& sched, ChannelConfig config)
   proxy_to_controller_.set_receiver([this](Envelope e) {
     deliver(Direction::SwitchToController, std::move(e));
   });
+  // Opt all four hops into burst coalescing (sim/batching.hpp gates it at
+  // run time). Flood-shaped traffic — many sends sharing a zero-serialize
+  // delivery instant — then crosses each hop as one event per burst.
+  switch_to_proxy_.set_batch_receiver([this](EnvelopeBatch batch) {
+    arrive_at_proxy_batch(Direction::SwitchToController, std::move(batch));
+  });
+  controller_to_proxy_.set_batch_receiver([this](EnvelopeBatch batch) {
+    arrive_at_proxy_batch(Direction::ControllerToSwitch, std::move(batch));
+  });
+  proxy_to_switch_.set_batch_receiver([this](EnvelopeBatch batch) {
+    deliver_batch(Direction::ControllerToSwitch, std::move(batch));
+  });
+  proxy_to_controller_.set_batch_receiver([this](EnvelopeBatch batch) {
+    deliver_batch(Direction::SwitchToController, std::move(batch));
+  });
 }
 
 void Channel::send_from_switch(Envelope envelope) {
@@ -129,7 +144,74 @@ void Channel::arrive_at_proxy(Direction direction, Envelope envelope) {
       ++counters.decode_errors;
     }
   }
+  if (sim::batching_enabled() && try_run_fast(direction, envelope)) return;
   run_stage(0, direction, std::move(envelope));
+}
+
+BatchShape Channel::shape_of(Direction direction, const Envelope& envelope) {
+  BatchShape shape;
+  shape.direction = direction;
+  shape.sealed = envelope.sealed();
+  if (!shape.sealed) {
+    if (const ofp::Message* message = envelope.message()) shape.type = message->type();
+  }
+  return shape;
+}
+
+bool Channel::try_run_fast(Direction direction, Envelope& envelope) {
+  if (stages_.empty()) return false;
+  const BatchShape shape = shape_of(direction, envelope);
+  for (const std::unique_ptr<Stage>& stage : stages_) {
+    if (!stage->plan_fast(*this, shape)) return false;
+  }
+  run_fast(direction, std::move(envelope));
+  return true;
+}
+
+void Channel::run_fast(Direction direction, Envelope envelope) {
+  for (const std::unique_ptr<Stage>& stage : stages_) {
+    if (!stage->on_envelope_fast(*this, direction, envelope)) return;  // consumed
+  }
+  forward(direction, std::move(envelope));
+}
+
+void Channel::arrive_at_proxy_batch(Direction direction, EnvelopeBatch batch) {
+  DirectionCounters& counters = dir_counters(direction);
+  std::optional<BatchShape> plan_shape;
+  bool plan_ok = false;
+  for (sim::BatchItem<Envelope>& item : batch) {
+    Envelope& envelope = item.payload;
+    if (config_.tls && !envelope.sealed()) envelope.seal();
+    if (!envelope.sealed()) {
+      if (envelope.has_message()) {
+        ++counters.codec_ops_saved;
+      } else if (envelope.message() == nullptr && envelope.has_wire()) {
+        ++counters.decode_errors;
+      }
+    }
+    if (stages_.empty() || !sim::batching_enabled()) {
+      run_stage(0, direction, std::move(envelope));
+      continue;
+    }
+    const BatchShape shape = shape_of(direction, envelope);
+    if (!plan_shape || !(shape == *plan_shape)) {
+      plan_shape = shape;
+      plan_ok = true;
+      for (const std::unique_ptr<Stage>& stage : stages_) {
+        if (!stage->plan_fast(*this, shape)) {
+          plan_ok = false;
+          break;
+        }
+      }
+    }
+    if (plan_ok) {
+      run_fast(direction, std::move(envelope));
+    } else {
+      run_stage(0, direction, std::move(envelope));
+      // Scalar stage work may change injector/monitor state; replan.
+      plan_shape.reset();
+    }
+  }
 }
 
 void Channel::run_stage(std::size_t index, Direction direction, Envelope envelope) {
@@ -165,6 +247,12 @@ void Channel::deliver(Direction direction, Envelope envelope) {
   EnvelopeSink& sink =
       direction == Direction::SwitchToController ? controller_sink_ : switch_sink_;
   if (sink) sink(std::move(envelope));
+}
+
+void Channel::deliver_batch(Direction direction, EnvelopeBatch batch) {
+  for (sim::BatchItem<Envelope>& item : batch) {
+    deliver(direction, std::move(item.payload));
+  }
 }
 
 DirectionCounters Channel::totals() const {
@@ -216,6 +304,25 @@ void MonitorTapStage::on_envelope(Channel& channel, Direction direction, Envelop
   next(std::move(envelope));
 }
 
+bool MonitorTapStage::plan_fast(Channel& channel, const BatchShape& shape) {
+  (void)channel;
+  (void)shape;
+  // record() stores the Event only when !counters_only; in counters-only
+  // mode tally_observed() reproduces its counter effects exactly. The
+  // message_id_() peek the scalar path performs is side-effect free.
+  return monitor_.counters_only();
+}
+
+bool MonitorTapStage::on_envelope_fast(Channel& channel, Direction direction,
+                                       Envelope& envelope) {
+  (void)channel;
+  const ofp::Message* message = envelope.message();
+  monitor_.tally_observed(
+      message != nullptr ? std::optional<ofp::MsgType>(message->type()) : std::nullopt,
+      connection_, direction);
+  return true;
+}
+
 void TraceStage::on_envelope(Channel& channel, Direction direction, Envelope envelope,
                              const EnvelopeSink& next) {
   TraceEntry entry;
@@ -228,6 +335,25 @@ void TraceStage::on_envelope(Channel& channel, Direction direction, Envelope env
   entry.length = envelope.wire_size();
   channel.trace().push(entry);
   next(std::move(envelope));
+}
+
+bool TraceStage::plan_fast(Channel& channel, const BatchShape& shape) {
+  (void)channel;
+  (void)shape;
+  return true;
+}
+
+bool TraceStage::on_envelope_fast(Channel& channel, Direction direction, Envelope& envelope) {
+  TraceEntry entry;
+  entry.time = channel.scheduler().now();
+  entry.direction = direction;
+  if (const ofp::Message* message = envelope.message()) {
+    entry.type = message->type();
+    entry.xid = message->xid;
+  }
+  entry.length = envelope.wire_size();
+  channel.trace().push(entry);
+  return true;
 }
 
 }  // namespace attain::chan

@@ -87,6 +87,21 @@ class TraceRing {
 
 class Channel;
 
+/// A coalesced burst of envelopes sharing one delivery instant on one pipe
+/// (see sim::PayloadBatch and Pipe::set_batch_receiver).
+using EnvelopeBatch = sim::PayloadBatch<Envelope>;
+
+/// The frame shape a fast-path decision is made against: direction, TLS
+/// opacity, and (for readable frames) the decoded message type. Two frames
+/// with equal shapes are indistinguishable to every stage's plan_fast().
+struct BatchShape {
+  Direction direction{Direction::SwitchToController};
+  bool sealed{false};
+  std::optional<ofp::MsgType> type;  // absent for sealed/undecodable frames
+
+  friend bool operator==(const BatchShape&, const BatchShape&) = default;
+};
+
 /// One interposition stage at the channel's proxy point. on_envelope()
 /// receives every frame (both directions) and either passes it on via
 /// `next` (zero or more times; zero consumes it) or re-enters the channel
@@ -97,6 +112,29 @@ class Stage {
   virtual const char* name() const = 0;
   virtual void on_envelope(Channel& channel, Direction direction, Envelope envelope,
                            const EnvelopeSink& next) = 0;
+
+  /// Fast-path contract: return true when, for every frame matching
+  /// `shape`, this stage's on_envelope() is exactly equivalent to
+  /// on_envelope_fast() — same counters, same monitor effects, same
+  /// forwarding — with no event scheduling. The channel queries all stages
+  /// once per batch (or once per frame on the scalar ingress) and falls
+  /// back to on_envelope() whenever any stage declines, so the default is
+  /// safely "no fast path".
+  virtual bool plan_fast(Channel& channel, const BatchShape& shape) {
+    (void)channel;
+    (void)shape;
+    return false;
+  }
+  /// Only called for shapes plan_fast() accepted. Returns true to pass the
+  /// envelope to the next stage (the channel forward()s after the last
+  /// stage); false when the stage consumed it and owns all forwarding or
+  /// suppression accounting itself.
+  virtual bool on_envelope_fast(Channel& channel, Direction direction, Envelope& envelope) {
+    (void)channel;
+    (void)direction;
+    (void)envelope;
+    return true;
+  }
 };
 
 struct ChannelConfig {
@@ -163,6 +201,18 @@ class Channel {
 
  private:
   void arrive_at_proxy(Direction direction, Envelope envelope);
+  /// Batch ingress: per-envelope preamble identical to arrive_at_proxy(),
+  /// with one stage plan per run of same-shaped envelopes instead of one
+  /// dispatch chain per frame. Any shape change or declined plan falls back
+  /// to the scalar stage chain for that envelope (and forces a replan,
+  /// since scalar stage work may change injector state).
+  void arrive_at_proxy_batch(Direction direction, EnvelopeBatch batch);
+  void deliver_batch(Direction direction, EnvelopeBatch batch);
+  static BatchShape shape_of(Direction direction, const Envelope& envelope);
+  /// Scalar fast path: plan + run the fast hooks for one frame; returns
+  /// false (envelope untouched) if any stage declines.
+  bool try_run_fast(Direction direction, Envelope& envelope);
+  void run_fast(Direction direction, Envelope envelope);
   void run_stage(std::size_t index, Direction direction, Envelope envelope);
   void deliver(Direction direction, Envelope envelope);
   DirectionCounters& dir_counters(Direction direction) {
@@ -207,6 +257,12 @@ class MonitorTapStage : public Stage {
   void on_envelope(Channel& channel, Direction direction, Envelope envelope,
                    const EnvelopeSink& next) override;
 
+  /// Fast when the monitor keeps counters only: tally_observed() bumps the
+  /// same kind/type/connection counters record() would, and the Event the
+  /// scalar path builds would be dropped anyway.
+  bool plan_fast(Channel& channel, const BatchShape& shape) override;
+  bool on_envelope_fast(Channel& channel, Direction direction, Envelope& envelope) override;
+
  private:
   monitor::Monitor& monitor_;
   ConnectionId connection_;
@@ -220,6 +276,10 @@ class TraceStage : public Stage {
   const char* name() const override { return "trace"; }
   void on_envelope(Channel& channel, Direction direction, Envelope envelope,
                    const EnvelopeSink& next) override;
+
+  /// Always fast: the ring push is identical either way.
+  bool plan_fast(Channel& channel, const BatchShape& shape) override;
+  bool on_envelope_fast(Channel& channel, Direction direction, Envelope& envelope) override;
 };
 
 }  // namespace attain::chan

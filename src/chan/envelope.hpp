@@ -47,6 +47,15 @@ class Envelope {
 
   static Envelope from_wire(Bytes wire) { return Envelope(std::move(wire)); }
   static Envelope from_message(ofp::Message message) { return Envelope(std::move(message)); }
+  /// Both views up front, both caches valid — the stamped-template emit
+  /// path uses this to skip the first-hop encode. The caller guarantees
+  /// `wire` is byte-identical to ofp::encode(message) (StampedTemplate
+  /// validates this invariant at build time and under differential fuzz).
+  static Envelope from_parts(ofp::Message message, Bytes wire) {
+    Envelope envelope(std::move(message));
+    envelope.wire_ = std::move(wire);
+    return envelope;
+  }
 
   /// The decoded view: cached after the first call. Returns nullptr while
   /// sealed, when the envelope is empty, or when the wire bytes do not

@@ -1,0 +1,161 @@
+#include "packet/stamp.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "packet/codec.hpp"
+
+namespace attain::pkt {
+
+namespace {
+
+// Probe values whose big-endian encodings differ in every byte (B = ~A), so
+// a diff between the two probe encodings exposes the field's full byte span.
+constexpr std::array<std::uint8_t, 6> kProbeA = {0x13, 0x24, 0x35, 0x46, 0x57, 0x68};
+
+std::uint64_t probe_value(std::size_t width, bool inverted) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value = (value << 8) | static_cast<std::uint64_t>(inverted ? ~kProbeA[i] & 0xff : kProbeA[i]);
+  }
+  return value;
+}
+
+void store_be(Bytes& wire, std::size_t offset, std::uint64_t value, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    wire[offset + i] = static_cast<std::uint8_t>(value >> (8 * (width - 1 - i)));
+  }
+}
+
+bool match_be(const Bytes& wire, std::size_t offset, std::uint64_t value, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    if (wire[offset + i] != static_cast<std::uint8_t>(value >> (8 * (width - 1 - i)))) return false;
+  }
+  return true;
+}
+
+/// Recomputes the IPv4 header checksum over the 20-byte header starting at
+/// `ip_start`, mirroring the codec's inet_checksum-over-zeroed-field pass.
+void patch_ip_checksum(Bytes& wire, std::size_t ip_start) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < 20; i += 2) {
+    if (i == 10) continue;  // checksum field counts as zero
+    sum += static_cast<std::uint32_t>((wire[ip_start + i] << 8) | wire[ip_start + i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  const std::uint16_t csum = static_cast<std::uint16_t>(~sum);
+  wire[ip_start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  wire[ip_start + 11] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+/// Locates the unique offset where probe A appears in e1 and probe B in e2.
+std::optional<std::size_t> locate_probe(const Bytes& e1, const Bytes& e2, std::uint64_t a,
+                                        std::uint64_t b, std::size_t width) {
+  std::optional<std::size_t> found;
+  if (e1.size() != e2.size() || e1.size() < width) return std::nullopt;
+  for (std::size_t p = 0; p + width <= e1.size(); ++p) {
+    if (match_be(e1, p, a, width) && match_be(e2, p, b, width)) {
+      if (found) return std::nullopt;  // ambiguous
+      found = p;
+    }
+  }
+  return found;
+}
+
+/// Discovers the wire offset of one field: encodes the prototype with two
+/// probe values, requires the probes to land verbatim at a unique offset,
+/// and requires a pure byte patch (plus the IPv4 checksum recompute when
+/// `ip_checksum` is set) to reproduce the full re-encode exactly.
+template <typename Setter>
+std::optional<std::size_t> discover_field(const Packet& prototype, std::size_t wire_size,
+                                          Setter set, std::size_t width, bool ip_checksum) {
+  const std::uint64_t a = probe_value(width, false);
+  const std::uint64_t b = probe_value(width, true);
+  Packet p1 = prototype;
+  Packet p2 = prototype;
+  set(p1, a);
+  set(p2, b);
+  const Bytes e1 = encode(p1);
+  const Bytes e2 = encode(p2);
+  if (e1.size() != wire_size || e2.size() != wire_size) return std::nullopt;
+  const std::optional<std::size_t> offset = locate_probe(e1, e2, a, b, width);
+  if (!offset) return std::nullopt;
+  Bytes candidate = e1;
+  store_be(candidate, *offset, b, width);
+  if (ip_checksum) {
+    if (*offset < 12) return std::nullopt;
+    patch_ip_checksum(candidate, *offset - 12);
+  }
+  if (!std::equal(candidate.begin(), candidate.end(), e2.begin())) return std::nullopt;
+  return offset;
+}
+
+}  // namespace
+
+FrameStamper::FrameStamper(Packet prototype) : packet_(std::move(prototype)) {
+  wire_ = encode(packet_);
+  discover();
+}
+
+void FrameStamper::discover() {
+  src_mac_off_ = discover_field(
+      packet_, wire_.size(),
+      [](Packet& p, std::uint64_t v) { p.eth.src = MacAddress::from_u64(v); }, 6, false);
+  if (packet_.ipv4) {
+    src_ip_off_ = discover_field(
+        packet_, wire_.size(),
+        [](Packet& p, std::uint64_t v) { p.ipv4->src = Ipv4Address{static_cast<std::uint32_t>(v)}; },
+        4, true);
+  }
+  if (packet_.tcp) {
+    src_port_off_ = discover_field(
+        packet_, wire_.size(),
+        [](Packet& p, std::uint64_t v) { p.tcp->src_port = static_cast<std::uint16_t>(v); }, 2,
+        false);
+    tcp_seq_off_ = discover_field(
+        packet_, wire_.size(),
+        [](Packet& p, std::uint64_t v) { p.tcp->seq = static_cast<std::uint32_t>(v); }, 4, false);
+  } else if (packet_.udp) {
+    src_port_off_ = discover_field(
+        packet_, wire_.size(),
+        [](Packet& p, std::uint64_t v) { p.udp->src_port = static_cast<std::uint16_t>(v); }, 2,
+        false);
+  }
+}
+
+void FrameStamper::refresh_ip_checksum() { patch_ip_checksum(wire_, *src_ip_off_ - 12); }
+
+bool FrameStamper::set_src_mac(MacAddress mac) {
+  if (!src_mac_off_) return false;
+  packet_.eth.src = mac;
+  std::copy(mac.octets.begin(), mac.octets.end(), wire_.begin() + static_cast<long>(*src_mac_off_));
+  return true;
+}
+
+bool FrameStamper::set_src_ip(Ipv4Address ip) {
+  if (!src_ip_off_) return false;
+  packet_.ipv4->src = ip;
+  store_be(wire_, *src_ip_off_, ip.value, 4);
+  refresh_ip_checksum();
+  return true;
+}
+
+bool FrameStamper::set_src_port(std::uint16_t port) {
+  if (!src_port_off_) return false;
+  if (packet_.tcp) {
+    packet_.tcp->src_port = port;
+  } else {
+    packet_.udp->src_port = port;
+  }
+  store_be(wire_, *src_port_off_, port, 2);
+  return true;
+}
+
+bool FrameStamper::set_tcp_seq(std::uint32_t seq) {
+  if (!tcp_seq_off_) return false;
+  packet_.tcp->seq = seq;
+  store_be(wire_, *tcp_seq_off_, seq, 4);
+  return true;
+}
+
+}  // namespace attain::pkt

@@ -1,0 +1,66 @@
+// Template-stamped data-plane frame encoding for flood generators.
+//
+// A FrameStamper encodes a prototype pkt::Packet once, then discovers —
+// by mutate/re-encode/diff against the real codec — the wire offsets of the
+// fields a volumetric flood varies (src MAC, src IPv4 address, L4 source
+// port, TCP sequence number). Emitting a flood instance is then a handful
+// of in-place byte patches (plus an IPv4 header-checksum recompute over the
+// fixed 20-byte header) instead of a full pkt::encode pass, while the typed
+// packet view is patched in lock step so (packet(), wire()) always satisfy
+// wire() == pkt::encode(packet()).
+//
+// The discovery is self-validating: every field is probed with two values
+// whose big-endian encodings differ in every byte, and the patch offsets
+// are only accepted if the probe encodings round-trip through the full
+// codec byte-for-byte. A field that does not validate simply reports
+// unstampable and the caller falls back to pkt::encode (tests fuzz the
+// stamped path against the codec to keep this contract honest).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "packet/packet.hpp"
+
+namespace attain::pkt {
+
+class FrameStamper {
+ public:
+  /// Builds a stamper from a prototype. Never fails outright; fields that
+  /// cannot be discovered/validated are reported unstampable.
+  explicit FrameStamper(Packet prototype);
+
+  bool can_stamp_src_mac() const { return src_mac_off_.has_value(); }
+  bool can_stamp_src_ip() const { return src_ip_off_.has_value(); }
+  bool can_stamp_src_port() const { return src_port_off_.has_value(); }
+  bool can_stamp_tcp_seq() const { return tcp_seq_off_.has_value(); }
+
+  /// Stampers patch the wire image and the typed packet together; each
+  /// returns false (leaving both views unchanged) when the field is not
+  /// stampable for this prototype.
+  bool set_src_mac(MacAddress mac);
+  bool set_src_ip(Ipv4Address ip);
+  bool set_src_port(std::uint16_t port);
+  bool set_tcp_seq(std::uint32_t seq);
+
+  /// Current views; wire() is byte-identical to pkt::encode(packet()).
+  const Packet& packet() const { return packet_; }
+  const Bytes& wire() const { return wire_; }
+
+  Packet emit_packet() const { return packet_; }
+  Bytes emit_wire() const { return wire_; }
+
+ private:
+  void discover();
+  void refresh_ip_checksum();
+
+  Packet packet_;
+  Bytes wire_;
+  std::optional<std::size_t> src_mac_off_;
+  std::optional<std::size_t> src_ip_off_;    // IPv4 source; header at off-12
+  std::optional<std::size_t> src_port_off_;  // TCP or UDP source port
+  std::optional<std::size_t> tcp_seq_off_;
+};
+
+}  // namespace attain::pkt

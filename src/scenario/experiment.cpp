@@ -8,6 +8,8 @@
 #include "attain/dsl/parser.hpp"
 #include "common/arena.hpp"
 #include "packet/codec.hpp"
+#include "packet/stamp.hpp"
+#include "sim/batching.hpp"
 #include "topo/generators.hpp"
 
 namespace attain::scenario {
@@ -667,6 +669,10 @@ class VolumetricWarmup final : public WarmupPhase {
                  [this, name = sources[s].sw, port = sources[s].port, base, lo, hi, victim_mac,
                   victim_ip] {
                    swsim::OpenFlowSwitch& sw = bed_->switch_named(name);
+                   if (sim::batching_enabled() &&
+                       emit_flood_batch(sw, port, base, lo, hi, victim_mac, victim_ip)) {
+                     return;
+                   }
                    for (std::uint64_t f = lo; f < hi; ++f) {
                      pkt::TcpHeader tcp;
                      tcp.src_port = static_cast<std::uint16_t>(40000 + (f & 0x3fff));
@@ -684,9 +690,47 @@ class VolumetricWarmup final : public WarmupPhase {
     }
   }
 
+  /// Batched flood emission: one PacketBatch per (source, interval) event,
+  /// frames produced by a template stamper (memcpy + src MAC/IP/port patch,
+  /// bytes validated identical to the scalar make_tcp + pkt::encode path).
+  /// Returns false — caller falls back to the scalar loop — if any flood-
+  /// varying field turned out unstampable on this prototype.
+  bool emit_flood_batch(swsim::OpenFlowSwitch& sw, std::uint16_t port, std::uint64_t base,
+                        std::uint64_t lo, std::uint64_t hi, pkt::MacAddress victim_mac,
+                        pkt::Ipv4Address victim_ip) {
+    if (!flood_stamper_) {
+      pkt::TcpHeader tcp;
+      tcp.src_port = 40000;
+      tcp.dst_port = 80;
+      tcp.flags = pkt::kTcpSyn;
+      flood_stamper_.emplace(pkt::make_tcp(pkt::MacAddress::from_u64(0x0aad00000000ULL),
+                                           victim_mac, pkt::Ipv4Address{0xc0000000u}, victim_ip,
+                                           tcp, /*payload_size=*/0, /*tag=*/0));
+    }
+    pkt::FrameStamper& st = *flood_stamper_;
+    if (!st.can_stamp_src_mac() || !st.can_stamp_src_ip() || !st.can_stamp_src_port()) {
+      return false;
+    }
+    swsim::PacketBatch batch;
+    batch.port = port;
+    batch.packets.reserve(hi - lo);
+    batch.wires.reserve(hi - lo);
+    for (std::uint64_t f = lo; f < hi; ++f) {
+      st.set_src_mac(pkt::MacAddress::from_u64(0x0aad00000000ULL | (base + f)));
+      st.set_src_ip(pkt::Ipv4Address{static_cast<std::uint32_t>(0xc0000000u + base + f)});
+      st.set_src_port(static_cast<std::uint16_t>(40000 + (f & 0x3fff)));
+      batch.packets.push_back(st.emit_packet());
+      batch.wires.push_back(st.emit_wire());
+      ++injected_;
+    }
+    sw.on_packet_batch(std::move(batch));
+    return true;
+  }
+
   RunSpec rep_;
   std::unique_ptr<Testbed> bed_;
   std::unique_ptr<dpl::PingApp> ping_;
+  std::optional<pkt::FrameStamper> flood_stamper_;
   std::uint64_t injected_{0};
   std::uint64_t peak_{0};
   SimTime end_{0};

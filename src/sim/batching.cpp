@@ -1,0 +1,17 @@
+#include "sim/batching.hpp"
+
+#include <atomic>
+
+namespace attain::sim {
+
+namespace {
+std::atomic<bool> g_batching_enabled{true};
+}  // namespace
+
+bool batching_enabled() { return g_batching_enabled.load(std::memory_order_relaxed); }
+
+void set_batching_enabled(bool enabled) {
+  g_batching_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace attain::sim

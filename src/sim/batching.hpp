@@ -1,0 +1,30 @@
+// Process-global switch for the batched fast path (pipe payload
+// coalescing, channel stage fast hooks, switch packet batches, stamped
+// encode). Default on; tests and bench_batch_pipeline flip it off to run
+// the scalar reference pipeline and check byte-identity / measure speedup.
+//
+// The flag is read on hot paths but only written at run boundaries (never
+// mid-simulation), so a relaxed atomic is sufficient for the multi-threaded
+// sweep drivers.
+#pragma once
+
+namespace attain::sim {
+
+bool batching_enabled();
+void set_batching_enabled(bool enabled);
+
+/// RAII guard for tests: flips the flag and restores the previous value.
+class BatchingOverride {
+ public:
+  explicit BatchingOverride(bool enabled) : previous_(batching_enabled()) {
+    set_batching_enabled(enabled);
+  }
+  ~BatchingOverride() { set_batching_enabled(previous_); }
+  BatchingOverride(const BatchingOverride&) = delete;
+  BatchingOverride& operator=(const BatchingOverride&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace attain::sim

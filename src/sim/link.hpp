@@ -13,10 +13,26 @@
 #include <functional>
 #include <utility>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
+#include "sim/batching.hpp"
 #include "sim/scheduler.hpp"
 
 namespace attain::sim {
+
+/// One coalesced payload inside a PayloadBatch.
+template <typename T>
+struct BatchItem {
+  T payload;
+  std::size_t size_bytes{0};
+};
+
+/// A burst of payloads that share one delivery instant on one pipe. The
+/// batch fires as a single scheduler event but counts as one logical event
+/// per item (Scheduler::count_extra_events), so events_executed() and every
+/// delivery side effect stay byte-identical to the scalar schedule.
+template <typename T>
+using PayloadBatch = mem::vector<BatchItem<T>>;
 
 /// Counters describing a pipe's lifetime behaviour; used by monitors and
 /// the benchmark harness.
@@ -42,10 +58,20 @@ template <typename T>
 class Pipe {
  public:
   using Receiver = std::function<void(T)>;
+  using BatchReceiver = std::function<void(PayloadBatch<T>)>;
 
   Pipe(Scheduler& sched, PipeConfig config) : sched_(&sched), config_(config) {}
 
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  /// Opts this pipe into delivery coalescing: consecutive sends that share a
+  /// delivery instant — with no event scheduled anywhere in between (see
+  /// Scheduler::issue_seq) — are handed to `receiver` as one batch instead
+  /// of one event each. Delivery order, per-payload stats, and
+  /// events_executed() accounting are preserved exactly; when
+  /// sim::batching_enabled() is off the pipe runs the scalar path even with
+  /// a batch receiver installed.
+  void set_batch_receiver(BatchReceiver receiver) { batch_receiver_ = std::move(receiver); }
 
   const PipeStats& stats() const { return stats_; }
   const PipeConfig& config() const { return config_; }
@@ -75,6 +101,22 @@ class Pipe {
     const SimTime start = std::max(sched_->now(), busy_until_);
     busy_until_ = start + serialize;
     const SimTime deliver_at = busy_until_ + config_.propagation_delay;
+    if (batch_receiver_ && batching_enabled()) {
+      if (open_batch_ != kNoBatch && open_deliver_at_ == deliver_at &&
+          sched_->issue_seq() == open_seq_) {
+        // Nothing was scheduled since the last append, so no event can be
+        // ordered between this payload and the batch ahead of it: coalesce.
+        batch_pool_[open_batch_].push_back(BatchItem<T>{std::move(payload), size_bytes});
+        return;
+      }
+      const std::uint32_t slot = acquire_batch();
+      batch_pool_[slot].push_back(BatchItem<T>{std::move(payload), size_bytes});
+      open_batch_ = slot;
+      open_deliver_at_ = deliver_at;
+      sched_->at(deliver_at, [this, slot] { fire_batch(slot); });
+      open_seq_ = sched_->issue_seq();  // snapshot AFTER our own at()
+      return;
+    }
     sched_->at(deliver_at, [this, payload = std::move(payload), size_bytes]() mutable {
       --in_flight_;
       if (!up_) return;
@@ -85,13 +127,48 @@ class Pipe {
   }
 
  private:
+  static constexpr std::uint32_t kNoBatch = 0xffffffffu;
+
+  std::uint32_t acquire_batch() {
+    if (!free_batches_.empty()) {
+      const std::uint32_t slot = free_batches_.back();
+      free_batches_.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(batch_pool_.size());
+    batch_pool_.emplace_back();
+    return slot;
+  }
+
+  void fire_batch(std::uint32_t slot) {
+    if (open_batch_ == slot) open_batch_ = kNoBatch;
+    PayloadBatch<T> items = std::move(batch_pool_[slot]);
+    batch_pool_[slot].clear();
+    free_batches_.push_back(slot);
+    if (items.size() > 1) sched_->count_extra_events(items.size() - 1);
+    in_flight_ -= items.size();
+    // up_ cannot differ across the batch: any set_up happens inside another
+    // event, and the coalescing guard proved no event sits between these
+    // deliveries in the scalar schedule.
+    if (!up_) return;
+    stats_.delivered += items.size();
+    for (const BatchItem<T>& item : items) stats_.bytes_delivered += item.size_bytes;
+    batch_receiver_(std::move(items));
+  }
+
   Scheduler* sched_;
   PipeConfig config_;
   Receiver receiver_;
+  BatchReceiver batch_receiver_;
   PipeStats stats_;
   SimTime busy_until_{0};
   std::size_t in_flight_{0};
   bool up_{true};
+  mem::vector<PayloadBatch<T>> batch_pool_;
+  mem::vector<std::uint32_t> free_batches_;
+  std::uint32_t open_batch_{kNoBatch};
+  SimTime open_deliver_at_{0};
+  std::uint64_t open_seq_{0};
 };
 
 /// A bidirectional link: two independent pipes sharing a configuration.

@@ -77,6 +77,17 @@ class Scheduler {
   /// Number of events executed since construction.
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Monotone count of at()/after() calls issued so far. The pipe batcher
+  /// compares snapshots of this counter to prove that no event was scheduled
+  /// anywhere in the process between two sends — the order-isomorphism guard
+  /// that makes coalescing same-instant deliveries safe.
+  std::uint64_t issue_seq() const { return seq_; }
+
+  /// Credits `n` extra logical events against events_executed(). A batch
+  /// event that delivers k coalesced payloads reports k-1 extras so the
+  /// executed count matches the scalar schedule exactly.
+  void count_extra_events(std::uint64_t n) { executed_ += n; }
+
   std::size_t pending_events() const { return queue_.size(); }
 
  private:

@@ -314,6 +314,26 @@ const FlowEntry* FlowTable::match_packet(const pkt::Packet& packet, std::uint16_
   return match_packet(pkt::FlowKey::from_packet(packet, in_port), now, wire_size);
 }
 
+void FlowTable::match_batch(const pkt::FlowKey* keys, const std::size_t* wire_sizes,
+                            std::size_t count, SimTime now, const FlowEntry** out) {
+#if defined(__GNUC__)
+  // Pass 1: hash every key and prefetch its exact-tier bucket head so the
+  // per-packet dependent load (bucket array -> node) overlaps across the
+  // batch. The walk in pass 2 re-does the (now cached) hash lookup.
+  if (!exact_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t b = exact_.bucket(keys[i]);
+      const auto head = exact_.begin(b);
+      if (head != exact_.end(b)) __builtin_prefetch(&*head);
+    }
+  }
+#endif
+  // Pass 2: scalar-order matching, byte-identical semantics.
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = match_packet(keys[i], now, wire_sizes[i]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Expiry
 

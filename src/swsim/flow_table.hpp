@@ -89,6 +89,15 @@ class FlowTable {
   const FlowEntry* match_packet(const pkt::Packet& packet, std::uint16_t in_port, SimTime now,
                                 std::size_t wire_size);
 
+  /// Batch lookup: observationally identical to calling the FlowKey
+  /// overload once per key in order (same winners, same counter updates —
+  /// nothing between two keys of a batch can change the table's
+  /// structure), with one upfront pass that hashes every key and
+  /// software-prefetches its exact-tier bucket, so the dependent cache
+  /// misses overlap across the batch instead of serializing per packet.
+  void match_batch(const pkt::FlowKey* keys, const std::size_t* wire_sizes, std::size_t count,
+                   SimTime now, const FlowEntry** out);
+
   /// Removes entries whose idle or hard timeout has elapsed, in insertion
   /// order. When both timeouts elapsed by `now`, the hard timeout wins the
   /// FLOW_REMOVED reason (checked first, as the seed scan did).

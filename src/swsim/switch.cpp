@@ -1,7 +1,10 @@
 #include "swsim/switch.hpp"
 
+#include <span>
+
 #include "common/log.hpp"
 #include "packet/codec.hpp"
+#include "sim/batching.hpp"
 
 namespace attain::swsim {
 
@@ -332,25 +335,103 @@ void OpenFlowSwitch::on_packet(std::uint16_t port, pkt::Packet packet) {
   }
 }
 
+void OpenFlowSwitch::on_packet_batch(PacketBatch batch) {
+  if (!sim::batching_enabled() || state_ != ChannelState::Connected) {
+    // Disconnected fail-mode handling (and the batching-off oracle) take
+    // the scalar path unchanged.
+    for (pkt::Packet& packet : batch.packets) on_packet(batch.port, std::move(packet));
+    return;
+  }
+  const SimTime now = sched_.now();
+  const std::size_t count = batch.packets.size();
+  const bool have_wires = batch.wires.size() == count;
+  // Slab-backed scratch: steady-state batches recycle these pages.
+  mem::vector<pkt::FlowKey> keys;
+  mem::vector<std::size_t> sizes;
+  mem::vector<const FlowEntry*> entries(count, nullptr);
+  keys.reserve(count);
+  sizes.reserve(count);
+  for (const pkt::Packet& packet : batch.packets) {
+    keys.push_back(pkt::FlowKey::from_packet(packet, batch.port));
+    sizes.push_back(packet.wire_size());
+  }
+  // Nothing below mutates the table's structure (control messages travel
+  // over pipes), so matching every key up front — with the prefetch pass —
+  // selects exactly what per-packet matching would.
+  table_.match_batch(keys.data(), sizes.data(), count, now, entries.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    ++counters_.packets_in;
+    if (entries[i] != nullptr) {
+      apply_actions(entries[i]->actions, std::move(batch.packets[i]), batch.port);
+      continue;
+    }
+    ++counters_.table_misses;
+    if (have_wires) {
+      table_miss(batch.packets[i], batch.wires[i], batch.port);
+    } else {
+      table_miss(batch.packets[i], batch.port);
+    }
+  }
+}
+
 void OpenFlowSwitch::table_miss(const pkt::Packet& packet, std::uint16_t in_port) {
+  table_miss(packet, pkt::encode(packet), in_port);
+}
+
+void OpenFlowSwitch::table_miss(const pkt::Packet& packet, const Bytes& frame,
+                                std::uint16_t in_port) {
+  // Buffering decision first, exactly the scalar order: buffer id, then
+  // the shipped data region (miss_send_len-truncated when buffered, the
+  // whole frame when the pool is exhausted), then the xid.
+  std::uint32_t buffer_id = ofp::kNoBuffer;
+  std::size_t data_size = frame.size();
+  if (buffers_.size() < config_.buffer_capacity) {
+    buffer_id = next_buffer_id_++;
+    buffers_[buffer_id] = Buffered{packet, in_port, sched_.now()};
+    data_size = std::min<std::size_t>(frame.size(), config_.miss_send_len);
+  }
+  ++counters_.packet_in_sent;
+
+  if (sim::batching_enabled() && send_control_) {
+    if (ofp::StampedTemplate* tmpl = miss_template(data_size)) {
+      // O(patched bytes) emission: memcpy the prototype wire and stamp the
+      // flood-varying fields — bytes validated identical to a full encode
+      // at template construction (and by the differential fuzz tests).
+      tmpl->set_xid(next_xid());
+      tmpl->set_buffer_id(buffer_id);
+      tmpl->set_in_port(in_port);
+      tmpl->set_total_len(static_cast<std::uint16_t>(frame.size()));
+      tmpl->set_data(std::span<const std::uint8_t>(frame.data(), data_size));
+      ++counters_.control_tx;
+      send_control_(chan::Envelope::from_parts(tmpl->emit_message(), tmpl->emit_wire()));
+      return;
+    }
+  }
+
   ofp::PacketIn pin;
   pin.in_port = in_port;
   pin.reason = ofp::PacketInReason::NoMatch;
-  const Bytes frame = pkt::encode(packet);
   pin.total_len = static_cast<std::uint16_t>(frame.size());
-  if (buffers_.size() < config_.buffer_capacity) {
-    const std::uint32_t id = next_buffer_id_++;
-    buffers_[id] = Buffered{packet, in_port, sched_.now()};
-    pin.buffer_id = id;
-    const std::size_t keep = std::min<std::size_t>(frame.size(), config_.miss_send_len);
-    pin.data.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(keep));
-  } else {
-    // Buffer pool exhausted: ship the whole frame, unbuffered.
-    pin.buffer_id = ofp::kNoBuffer;
-    pin.data = frame;
-  }
-  ++counters_.packet_in_sent;
+  pin.buffer_id = buffer_id;
+  pin.data.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(data_size));
   send_message(ofp::make_message(next_xid(), std::move(pin)));
+}
+
+ofp::StampedTemplate* OpenFlowSwitch::miss_template(std::size_t data_size) {
+  const auto it = miss_templates_.find(data_size);
+  if (it != miss_templates_.end()) return it->second ? &*it->second : nullptr;
+  if (miss_templates_.size() >= 16) miss_templates_.clear();  // pathological size churn
+  ofp::PacketIn proto;
+  proto.reason = ofp::PacketInReason::NoMatch;
+  proto.data.assign(data_size, 0);
+  ofp::StampedTemplate tmpl(ofp::Message{0, std::move(proto)});
+  std::optional<ofp::StampedTemplate>& slot = miss_templates_[data_size];
+  if (tmpl.can_stamp_xid() && tmpl.can_stamp_buffer_id() && tmpl.can_stamp_in_port() &&
+      tmpl.can_stamp_total_len() && tmpl.can_stamp_data(data_size)) {
+    slot.emplace(std::move(tmpl));
+    return &*slot;
+  }
+  return nullptr;  // slot stays nullopt: negative cache
 }
 
 void OpenFlowSwitch::standalone_forward(const pkt::Packet& packet, std::uint16_t in_port) {

@@ -17,11 +17,23 @@
 #include "common/types.hpp"
 #include "ofp/codec.hpp"
 #include "ofp/messages.hpp"
+#include "ofp/stamp.hpp"
 #include "packet/packet.hpp"
 #include "sim/scheduler.hpp"
 #include "swsim/flow_table.hpp"
 
 namespace attain::swsim {
+
+/// A burst of data-plane frames arriving on one ingress port at one
+/// instant (the volumetric flood generators emit these). `wires`, when the
+/// same length as `packets`, carries each packet's encoded frame —
+/// byte-identical to pkt::encode(packets[i]) — so a table miss reuses it
+/// instead of re-encoding; leave it empty to encode on demand.
+struct PacketBatch {
+  std::uint16_t port{0};
+  mem::vector<pkt::Packet> packets;
+  mem::vector<Bytes> wires;
+};
 
 struct SwitchConfig {
   std::string name{"s?"};
@@ -88,6 +100,13 @@ class OpenFlowSwitch {
   /// Delivers a data-plane frame arriving on `port`.
   void on_packet(std::uint16_t port, pkt::Packet packet);
 
+  /// Delivers a burst of data-plane frames arriving together on one port.
+  /// Observationally identical to calling on_packet() once per frame in
+  /// order; when batching is enabled and the channel is Connected, the
+  /// flow-table lookups run through match_batch() (prefetched) and table
+  /// misses emit PACKET_INs through the stamped template.
+  void on_packet_batch(PacketBatch batch);
+
   /// Administratively raises/lowers a port (models link failure at this
   /// end). Lowering drops all egress on the port and emits a PORT_STATUS
   /// (reason Modify, OFPPS_LINK_DOWN) to the controller; raising clears
@@ -115,6 +134,12 @@ class OpenFlowSwitch {
   void output_packet(std::uint16_t out_port, const pkt::Packet& packet, std::uint16_t in_port);
   void flood(const pkt::Packet& packet, std::uint16_t in_port);
   void table_miss(const pkt::Packet& packet, std::uint16_t in_port);
+  /// table_miss with the packet's frame already encoded (`frame` must equal
+  /// pkt::encode(packet) byte-for-byte).
+  void table_miss(const pkt::Packet& packet, const Bytes& frame, std::uint16_t in_port);
+  /// Lazily built stamped PACKET_IN template for misses whose shipped data
+  /// region is `data_size` bytes; nullptr when the shape is unstampable.
+  ofp::StampedTemplate* miss_template(std::size_t data_size);
   void standalone_forward(const pkt::Packet& packet, std::uint16_t in_port);
   void send_message(const ofp::Message& msg);
   void send_flow_removed(const ExpiredEntry& expired);
@@ -147,6 +172,12 @@ class OpenFlowSwitch {
   static constexpr SimTime kBufferTtl = 10 * kSecond;
   mem::map<std::uint32_t, Buffered> buffers_;
   std::uint32_t next_buffer_id_{1};
+
+  /// Stamped PACKET_IN templates keyed by shipped-data size (flood traffic
+  /// is a handful of frame sizes; nullopt caches "unstampable"). A miss
+  /// then costs one memcpy plus in-place field stamps instead of a full
+  /// ofp::encode — same bytes, validated at template construction.
+  mem::map<std::size_t, std::optional<ofp::StampedTemplate>> miss_templates_;
 
   // Standalone (fail-safe) learning table: MAC -> port.
   mem::map<std::uint64_t, std::uint16_t> standalone_macs_;

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/alloc_hook.hpp"
 #include "scenario/experiment.hpp"
 #include "snap/wire.hpp"
 #include "sweep/distributed.hpp"

@@ -22,9 +22,15 @@ Two subcommands (stdlib only, no third-party deps):
             clashes); exit non-zero if anything present on both sides is
             slower than --max-slowdown x the baseline (default 5.0).
             Harness documents are compared on their numeric "metrics"
-            entries whose keys end in "_seconds". Benchmarks missing on
-            either side are reported but do not fail the check (table
-            sizes and regimes may grow).
+            entries whose keys end in "_seconds". Entries that are new in
+            the current run are reported and skipped (table sizes and
+            regimes may grow), but baseline entries MISSING from the
+            current run fail the check: a silently dropped benchmark or
+            metric would otherwise un-gate itself. Missing google-benchmark
+            names are only enforced when at least one --current file is
+            given, and missing harness metrics when at least one
+            --current-harness file is given, so one-sided checks stay
+            possible — pass only the matching --baseline files.
 
 Baseline schema (see docs/perf.md):
 
@@ -137,6 +143,7 @@ def cmd_check(args):
         current.update(gbench_entries(load_json(path)))
 
     failures = []
+    missing = []
     compared = 0
     for name, cur in sorted(current.items()):
         ref = base.get(name)
@@ -153,22 +160,27 @@ def cmd_check(args):
               f"{ref['real_time']:.1f} {ref.get('time_unit', 'ns')} ({ratio:.2f}x)")
         if ratio > args.max_slowdown:
             failures.append((name, ratio))
-    for name in sorted(set(base) - set(current)):
-        if args.current:
-            print(f"  [gone]  {name} (in baseline, not in current run)")
+    if args.current:
+        for name in sorted(set(base) - set(current)):
+            print(f"  [MISS]  {name} (in baseline, not in current run)")
+            missing.append(name)
 
+    current_harness = {}
     for path in args.current_harness:
         doc = load_json(path)
         bench_name = doc.get("bench")
         if not bench_name:
             sys.exit(f"{path}: not a bench_json.hpp wrapper document (no 'bench' key)")
+        current_harness[bench_name] = doc
+
+    for bench_name, doc in sorted(current_harness.items()):
         ref_doc = baseline["harness"].get(bench_name)
         if ref_doc is None:
             print(f"  [new]   harness {bench_name} (not in baseline, skipped)")
             continue
         ref_metrics = dict(harness_seconds(ref_doc))
         for key, cur_value in harness_seconds(doc):
-            ref_value = ref_metrics.get(key)
+            ref_value = ref_metrics.pop(key, None)
             if ref_value is None:
                 print(f"  [new]   {bench_name}.{key} (not in baseline, skipped)")
                 continue
@@ -179,14 +191,30 @@ def cmd_check(args):
                   f"{ref_value:.3f} s ({ratio:.2f}x)")
             if ratio > args.max_slowdown:
                 failures.append((f"{bench_name}.{key}", ratio))
+        for key in sorted(ref_metrics):
+            print(f"  [MISS]  {bench_name}.{key} (in baseline, not in current run)")
+            missing.append(f"{bench_name}.{key}")
+    if args.current_harness:
+        for bench_name in sorted(set(baseline["harness"]) - set(current_harness)):
+            for key, _ in harness_seconds(baseline["harness"][bench_name]):
+                print(f"  [MISS]  {bench_name}.{key} "
+                      f"(harness {bench_name} has no --current-harness run)")
+                missing.append(f"{bench_name}.{key}")
 
     if compared == 0:
         sys.exit("no overlapping benchmarks between baseline(s) and current run(s)")
+    if missing:
+        print(f"\n{len(missing)} baseline metric(s) missing from the current "
+              f"run(s) — every gated metric must still be produced (rerun "
+              f"`collect` to retire one deliberately):", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "
               f"{args.max_slowdown}x:", file=sys.stderr)
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    if failures or missing:
         return 1
     print(f"\nall {compared} overlapping benchmarks within "
           f"{args.max_slowdown}x of baseline")
